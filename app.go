@@ -1,0 +1,236 @@
+package tamp
+
+import (
+	"time"
+
+	"repro/internal/membership"
+	"repro/internal/proxy"
+	"repro/internal/service"
+	"repro/internal/topology"
+)
+
+// Handler processes one application request on a provider node: it
+// receives the partition the request addresses and the request payload,
+// and returns the reply payload.
+type Handler = service.Handler
+
+// Invocation errors, re-exported from the service layer.
+var (
+	// ErrUnavailable: no provider for the (service, partition) is known.
+	ErrUnavailable = service.ErrUnavailable
+	// ErrTimeout: the provider (or proxy chain) did not reply in time.
+	ErrTimeout = service.ErrTimeout
+	// ErrRejected: the provider failed the request or a proxy rejected it.
+	ErrRejected = service.ErrRejected
+)
+
+// App is a full application node: a membership daemon plus the
+// Neptune-like service runtime for hosting and invoking services with
+// random-polling load balancing, and optionally a membership proxy for
+// multi-data-center deployments.
+type App struct {
+	*MService
+	rt    *service.Runtime
+	proxy *proxy.Proxy
+}
+
+// AppConfig tunes an App beyond the defaults.
+type AppConfig struct {
+	// PollSize is the number of candidates polled for load before
+	// dispatch (2 = power of two choices; the default).
+	PollSize int
+	// RequestTimeout bounds one invocation end to end (default 2s).
+	RequestTimeout time.Duration
+	// EnableLoadPush turns on the §6.1 interest-based load dissemination.
+	EnableLoadPush bool
+}
+
+// NewApp creates an application node on host h of the simulation. Call
+// Run to start it.
+func NewApp(s *Sim, h HostID) *App { return NewAppConfig(s, h, AppConfig{}) }
+
+// NewAppConfig is NewApp with explicit tuning.
+func NewAppConfig(s *Sim, h HostID, ac AppConfig) *App {
+	ms, err := NewMService(s, h, "")
+	if err != nil {
+		panic(err) // defaults cannot fail
+	}
+	scfg := service.DefaultConfig()
+	if ac.PollSize > 0 {
+		scfg.PollSize = ac.PollSize
+	}
+	if ac.RequestTimeout > 0 {
+		scfg.RequestTimeout = ac.RequestTimeout
+	}
+	scfg.EnableLoadPush = ac.EnableLoadPush
+	a := &App{MService: ms}
+	a.rt = service.NewRuntime(scfg, s.eng, s.net.Endpoint(h), ms.node)
+	return a
+}
+
+// Provide registers a service implementation on this node: it is
+// published through the membership service and served locally.
+// serviceTime is the simulated per-request processing time (requests
+// queue FIFO).
+func (a *App) Provide(name, partitions string, serviceTime time.Duration, h Handler, params ...KV) error {
+	return a.rt.Register(name, partitions, serviceTime, h, params...)
+}
+
+// Invoke performs one location-transparent invocation: the provider is
+// found in the local yellow-page directory and chosen by random-polling
+// load balancing; if no local provider exists and a proxy is attached,
+// the request crosses data centers. The callback runs exactly once on the
+// simulation goroutine.
+func (a *App) Invoke(serviceName string, partition int32, payload []byte, cb func([]byte, error)) {
+	a.rt.Invoke(serviceName, partition, payload, cb)
+}
+
+// InvokeNode sends the request to one specific provider, bypassing load
+// balancing — the building block for client-driven replication (e.g.
+// write-through to every replica of a partition).
+func (a *App) InvokeNode(n NodeID, serviceName string, partition int32, payload []byte, cb func([]byte, error)) {
+	a.rt.InvokeNode(n, serviceName, partition, payload, cb)
+}
+
+// InvokeWait is Invoke that drives the simulation until the reply arrives
+// or the request times out, returning the result synchronously — the
+// convenient form for examples and tests.
+func (a *App) InvokeWait(serviceName string, partition int32, payload []byte) ([]byte, error) {
+	var out []byte
+	var err error
+	done := false
+	a.Invoke(serviceName, partition, payload, func(b []byte, e error) {
+		out, err, done = b, e, true
+	})
+	limit := a.s.Now() + 2*time.Minute
+	for !done && a.s.Now() < limit {
+		a.s.Run(10 * time.Millisecond)
+	}
+	if !done {
+		return nil, ErrTimeout
+	}
+	return out, err
+}
+
+// Load returns this node's instantaneous service queue length.
+func (a *App) Load() uint32 { return a.rt.Load() }
+
+// DataCenters bundles a multi-data-center deployment: apps on every host
+// plus membership proxies per data center sharing one VIP table.
+type DataCenters struct {
+	*Sim
+	Apps    []*App
+	Proxies []*Proxy
+	vip     *proxy.VIPTable
+}
+
+// Proxy is a public handle to one membership proxy daemon.
+type Proxy struct {
+	p *proxy.Proxy
+	h HostID
+}
+
+// Host returns the host the proxy runs on.
+func (p *Proxy) Host() HostID { return p.h }
+
+// IsLeader reports whether this proxy holds its data center's virtual IP.
+func (p *Proxy) IsLeader() bool { return p.p.IsLeader() }
+
+// Stop kills the proxy daemon (the node's membership daemon keeps
+// running unless stopped separately).
+func (p *Proxy) Stop() { p.p.Stop() }
+
+// NewDataCenters builds apps over a MultiDC topology and places
+// proxiesPerDC membership proxies on the first hosts of each data center.
+// Invocations that cannot be served locally are forwarded through the
+// proxies automatically.
+func NewDataCenters(top *Topology, proxiesPerDC int, seed int64) *DataCenters {
+	s := NewSim(top, seed)
+	d := &DataCenters{Sim: s, vip: proxy.NewVIPTable()}
+	dcs := top.NumDataCenters()
+	for h := 0; h < top.NumHosts(); h++ {
+		hid := HostID(h)
+		ms, err := NewMService(s, hid, "")
+		if err != nil {
+			panic(err)
+		}
+		scfg := service.DefaultConfig()
+		dc := top.HostDC(hid)
+		scfg.ProxyAddr = func() (topology.HostID, bool) { return d.vip.Get(dc) }
+		a := &App{MService: ms}
+		a.rt = service.NewRuntime(scfg, s.eng, s.net.Endpoint(hid), ms.node)
+		d.Apps = append(d.Apps, a)
+	}
+	for dc := 0; dc < dcs; dc++ {
+		var remotes []int
+		for o := 0; o < dcs; o++ {
+			if o != dc {
+				remotes = append(remotes, o)
+			}
+		}
+		hosts := top.HostsInDC(dc)
+		for i := 0; i < proxiesPerDC && i < len(hosts); i++ {
+			h := hosts[i]
+			pcfg := proxy.DefaultConfig(dc, remotes)
+			pcfg.ProxyTTL = top.Diameter()
+			p := proxy.New(pcfg, s.eng, s.net.Endpoint(h), d.Apps[h].rt, d.vip)
+			a := d.Apps[h]
+			a.proxy = p
+			d.Proxies = append(d.Proxies, &Proxy{p: p, h: HostID(h)})
+		}
+	}
+	return d
+}
+
+// StartAll runs every membership daemon and proxy.
+func (d *DataCenters) StartAll() {
+	for _, a := range d.Apps {
+		a.Run()
+	}
+	for _, p := range d.Proxies {
+		p.p.Start()
+	}
+}
+
+// App returns host h's application node.
+func (d *DataCenters) App(h HostID) *App { return d.Apps[h] }
+
+// VIP returns the current proxy address of a data center, if elected.
+func (d *DataCenters) VIP(dc int) (HostID, bool) { return d.vip.Get(dc) }
+
+// Converged reports whether every running daemon within each data center
+// sees all running daemons of its own data center (cross-DC membership is
+// summarized through proxies, not mirrored per node).
+func (d *DataCenters) Converged() bool {
+	top := d.Sim.top
+	for dc := 0; dc < top.NumDataCenters(); dc++ {
+		var want []membership.NodeID
+		for _, h := range top.HostsInDC(dc) {
+			if d.Apps[h].Running() {
+				want = append(want, d.Apps[h].ID())
+			}
+		}
+		for _, h := range top.HostsInDC(dc) {
+			a := d.Apps[h]
+			if !a.Running() {
+				continue
+			}
+			if !membership.ViewEqual(a.Client().Members(), want) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// WaitConverged runs until per-DC convergence or the deadline elapses.
+func (d *DataCenters) WaitConverged(step, deadline time.Duration) bool {
+	limit := d.Now() + deadline
+	for d.Now() < limit {
+		if d.Converged() {
+			return true
+		}
+		d.Run(step)
+	}
+	return d.Converged()
+}

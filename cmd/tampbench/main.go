@@ -1,0 +1,140 @@
+// Command tampbench regenerates every table and figure of the paper's
+// evaluation section (plus this repository's ablation studies) and prints
+// them as aligned text tables.
+//
+// Usage:
+//
+//	tampbench -fig all
+//	tampbench -fig 11            # one figure: 2, 11, 12, 13, 14, 4x
+//	tampbench -fig abl-piggyback # ablations: abl-piggyback, abl-group, abl-maxloss
+//	tampbench -fig 11 -sizes 20,60,100 -pergroup 20 -seed 7 -loss 0.01
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/metrics"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 2, 11, 12, 13, 14, 4x, abl-piggyback, abl-group, abl-maxloss, accuracy, all")
+	sizes := flag.String("sizes", "20,40,60,80,100", "cluster sizes for figures 11-13")
+	perGroup := flag.Int("pergroup", 20, "nodes per network/membership group")
+	seed := flag.Int64("seed", 42, "simulation RNG seed")
+	loss := flag.Float64("loss", 0, "injected packet loss probability")
+	chart := flag.Bool("chart", false, "also render sparkline charts")
+	svgDir := flag.String("svg", "", "directory to write one SVG per figure (created if missing)")
+	flag.Parse()
+
+	sz, err := parseSizes(*sizes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tampbench:", err)
+		os.Exit(2)
+	}
+	o := harness.DefaultOptions()
+	o.Sizes = sz
+	o.PerGroup = *perGroup
+	o.Seed = *seed
+	o.LossProb = *loss
+
+	runners := map[string]func() *metrics.Figure{
+		"2": func() *metrics.Figure {
+			per := harness.MeasureReceiveCost(5000)
+			fmt.Printf("(measured per-heartbeat receive cost: %v)\n", per)
+			return harness.Figure2(per, []int{250, 500, 1000, 2000, 4000})
+		},
+		"11": func() *metrics.Figure { return harness.Figure11(o) },
+		"12": func() *metrics.Figure { return harness.Figure12(o) },
+		"13": func() *metrics.Figure { return harness.Figure13(o) },
+		"14": func() *metrics.Figure {
+			fo := harness.DefaultFigure14Options()
+			fo.Seed = *seed
+			return harness.Figure14(fo)
+		},
+		"4x": func() *metrics.Figure { return harness.Section4([]int{20, 100, 500, 1000, 4000}) },
+		"4b": func() *metrics.Figure { return harness.Section4FixedBandwidth([]int{20, 100, 500, 1000, 4000}) },
+		"abl-piggyback": func() *metrics.Figure {
+			return harness.AblationPiggyback([]int{0, 1, 3, 6, 8}, lossOr(*loss, 0.05), *seed)
+		},
+		"abl-group": func() *metrics.Figure {
+			return harness.AblationGroupSize(40, []int{5, 10, 20, 40}, *seed)
+		},
+		"abl-maxloss": func() *metrics.Figure {
+			return harness.AblationMaxLoss([]int{2, 3, 5, 8}, lossOr(*loss, 0.05), *seed)
+		},
+		"accuracy": func() *metrics.Figure {
+			o := harness.DefaultAccuracyOptions()
+			o.Seed = *seed
+			return harness.Accuracy(o)
+		},
+		"breakdown": func() *metrics.Figure { return harness.BandwidthBreakdown(o) },
+		"detect-dist": func() *metrics.Figure {
+			return harness.DetectionDistribution(harness.Hierarchical, o, 60, 12)
+		},
+		"abl-fanout": func() *metrics.Figure {
+			return harness.AblationGossipFanout(40, []int{1, 2, 3, 5}, *seed)
+		},
+	}
+	order := []string{"2", "11", "12", "13", "14", "4x", "4b", "abl-piggyback", "abl-group",
+		"abl-maxloss", "abl-fanout", "accuracy", "breakdown", "detect-dist"}
+
+	var todo []string
+	if *fig == "all" {
+		todo = order
+	} else {
+		if _, ok := runners[*fig]; !ok {
+			fmt.Fprintf(os.Stderr, "tampbench: unknown figure %q (want one of %s, all)\n", *fig, strings.Join(order, ", "))
+			os.Exit(2)
+		}
+		todo = []string{*fig}
+	}
+	if *svgDir != "" {
+		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "tampbench:", err)
+			os.Exit(1)
+		}
+	}
+	for _, name := range todo {
+		start := time.Now()
+		table := runners[name]()
+		fmt.Println(table.Render())
+		if *chart {
+			fmt.Println(table.RenderChart(48))
+		}
+		if *svgDir != "" {
+			path := filepath.Join(*svgDir, "fig-"+name+".svg")
+			if err := os.WriteFile(path, []byte(table.RenderSVG(720, 440)), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "tampbench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("(svg: %s)\n", path)
+		}
+		fmt.Printf("(regenerated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func lossOr(v, def float64) float64 {
+	if v > 0 {
+		return v
+	}
+	return def
+}
+
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("bad size %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -1,0 +1,110 @@
+// Command tampdir demonstrates the §5 daemon/client split end to end: it
+// runs a simulated cluster in the background (advancing virtual time on a
+// real-time pace), serves one node's yellow-page directory over a local
+// socket, and answers lookup_service queries typed on stdin — the workflow
+// of an operator's diagnostic shell against a production membership daemon.
+//
+// Usage:
+//
+//	tampdir -groups 3 -pergroup 5
+//	> Cache 0-3         (query: service regex + partition spec)
+//	> .* *
+//	> kill 7            (inject a failure)
+//	> quit
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"flag"
+
+	tamp "repro"
+)
+
+func main() {
+	groups := flag.Int("groups", 3, "networks")
+	perGroup := flag.Int("pergroup", 5, "hosts per network")
+	flag.Parse()
+
+	cl := tamp.NewCluster(tamp.Clustered(*groups, *perGroup))
+	// Give a few nodes services so queries have something to find.
+	cl.MustService(1).RegisterService("Cache", "0-3", tamp.KV{Key: "Port", Value: "11211"})
+	cl.MustService(2).RegisterService("Cache", "4-7")
+	cl.MustService(tamp.HostID(*perGroup)).RegisterService("HTTP", "0", tamp.KV{Key: "Port", Value: "8080"})
+	cl.StartAll()
+	if !cl.WaitConverged(time.Second, time.Minute) {
+		fmt.Fprintln(os.Stderr, "tampdir: cluster did not converge")
+		os.Exit(1)
+	}
+	srv, err := cl.MustService(0).ServeDirectory()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tampdir:", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+
+	client, err := tamp.DialDirectory(srv.Addr())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tampdir:", err)
+		os.Exit(1)
+	}
+	defer client.Close()
+
+	fmt.Printf("cluster of %d nodes converged; directory served at %s\n",
+		*groups**perGroup, srv.Addr())
+	fmt.Println(`queries: "<service-regex> <partition-spec>"; commands: "kill <n>", "revive <n>", "quit"`)
+
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || line == "quit" || line == "exit":
+			if line != "" {
+				return
+			}
+		case strings.HasPrefix(line, "kill "):
+			var n int
+			if _, err := fmt.Sscanf(line, "kill %d", &n); err == nil && n >= 0 && n < len(cl.Services) {
+				cl.MustService(tamp.HostID(n)).Stop()
+				cl.Run(10 * time.Second) // let detection run
+				fmt.Printf("killed node %d; detection window elapsed\n", n)
+			} else {
+				fmt.Println("usage: kill <node>")
+			}
+		case strings.HasPrefix(line, "revive "):
+			var n int
+			if _, err := fmt.Sscanf(line, "revive %d", &n); err == nil && n >= 0 && n < len(cl.Services) {
+				cl.MustService(tamp.HostID(n)).Run()
+				cl.Run(10 * time.Second)
+				fmt.Printf("revived node %d\n", n)
+			} else {
+				fmt.Println("usage: revive <node>")
+			}
+		default:
+			fields := strings.Fields(line)
+			spec := "*"
+			if len(fields) > 1 {
+				spec = fields[1]
+			}
+			cl.Run(time.Second) // keep virtual time moving
+			matches, err := client.Lookup(fields[0], spec)
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			if len(matches) == 0 {
+				fmt.Println("(no matches)")
+			}
+			for _, m := range matches {
+				fmt.Printf("  node %-4v %-10s partitions %v params %v\n",
+					m.Node, m.Service, m.Partitions, m.Params)
+			}
+		}
+		fmt.Print("> ")
+	}
+}

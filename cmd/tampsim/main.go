@@ -1,0 +1,141 @@
+// Command tampsim runs one membership scenario and prints a timeline of
+// view changes plus final statistics.
+//
+// Usage:
+//
+//	tampsim -scheme hierarchical -groups 5 -pergroup 20 -duration 60s -kill 30 -killat 20s
+//	tampsim -scheme gossip -groups 1 -pergroup 50 -loss 0.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/membership"
+	"repro/internal/topology"
+)
+
+func main() {
+	schemeName := flag.String("scheme", "hierarchical", "membership scheme: alltoall, gossip, hierarchical")
+	groups := flag.Int("groups", 3, "number of networks (switch groups)")
+	perGroup := flag.Int("pergroup", 10, "nodes per network")
+	duration := flag.Duration("duration", 60*time.Second, "virtual run time")
+	kill := flag.Int("kill", -1, "node to kill (-1: none)")
+	killAt := flag.Duration("killat", 20*time.Second, "virtual time of the kill")
+	recoverAt := flag.Duration("recoverat", 0, "virtual time to restart the killed node (0: never)")
+	loss := flag.Float64("loss", 0, "packet loss probability")
+	seed := flag.Int64("seed", 42, "RNG seed")
+	verbose := flag.Bool("v", false, "print every view-change event")
+	flag.Parse()
+
+	var scheme harness.Scheme
+	switch *schemeName {
+	case "alltoall", "a2a":
+		scheme = harness.AllToAll
+	case "gossip":
+		scheme = harness.Gossip
+	case "hierarchical", "hier":
+		scheme = harness.Hierarchical
+	default:
+		fmt.Fprintf(os.Stderr, "tampsim: unknown scheme %q\n", *schemeName)
+		os.Exit(2)
+	}
+
+	var top *topology.Topology
+	if *groups <= 1 {
+		top = topology.FlatLAN(*perGroup)
+	} else {
+		top = topology.Clustered(*groups, *perGroup)
+	}
+	c := harness.NewCluster(scheme, top, *seed)
+	if *loss > 0 {
+		c.Net.SetLossProbability(*loss)
+	}
+
+	events := 0
+	for _, n := range c.Nodes {
+		n := n
+		n.Directory().SetObserver(func(e membership.Event) {
+			events++
+			if *verbose {
+				fmt.Printf("%12v  node %-5v %-6v %v\n", e.Time.Round(time.Millisecond), n.ID(), e.Type, e.Node)
+			}
+		})
+	}
+	c.StartAll()
+
+	if *kill >= 0 && *kill < len(c.Nodes) {
+		victim := c.Nodes[*kill]
+		c.Eng.ScheduleAt(*killAt, func() {
+			fmt.Printf("%12v  === killing node %v ===\n", *killAt, victim.ID())
+			victim.Stop()
+		})
+		if *recoverAt > 0 {
+			c.Eng.ScheduleAt(*recoverAt, func() {
+				fmt.Printf("%12v  === restarting node %v ===\n", *recoverAt, victim.ID())
+				victim.Start(c.Eng)
+			})
+		}
+	}
+	c.Run(*duration)
+
+	fmt.Printf("\nscheme=%v nodes=%d duration=%v seed=%d loss=%.3f\n",
+		scheme, top.NumHosts(), *duration, *seed, *loss)
+	fmt.Printf("view-change events: %d\n", events)
+	st := c.Net.TotalStats()
+	fmt.Printf("packets sent=%d recv=%d dropped=%d; bytes sent=%d recv=%d\n",
+		st.PktsSent, st.PktsRecv, st.Dropped, st.BytesSent, st.BytesRecv)
+	fmt.Printf("aggregate receive bandwidth: %.1f KB/s\n",
+		float64(st.BytesRecv)/(*duration).Seconds()/1024)
+
+	full, partial := 0, 0
+	alive := 0
+	for _, n := range c.Nodes {
+		if n.Running() {
+			alive++
+		}
+	}
+	for _, n := range c.Nodes {
+		if !n.Running() {
+			continue
+		}
+		if n.Directory().Len() == alive {
+			full++
+		} else {
+			partial++
+		}
+	}
+	fmt.Printf("final views: %d complete, %d incomplete (of %d running nodes)\n", full, partial, alive)
+
+	if scheme == harness.Hierarchical {
+		var agg core.Stats
+		for _, n := range c.Nodes {
+			s := n.(*core.Node).Stats()
+			agg.HeartbeatsSent += s.HeartbeatsSent
+			agg.HeartbeatsReceived += s.HeartbeatsReceived
+			agg.UpdatesOriginated += s.UpdatesOriginated
+			agg.UpdatesRelayed += s.UpdatesRelayed
+			agg.UpdatesApplied += s.UpdatesApplied
+			agg.DuplicateUpdates += s.DuplicateUpdates
+			agg.BootstrapsServed += s.BootstrapsServed
+			agg.SyncsRequested += s.SyncsRequested
+			agg.Elections += s.Elections
+			agg.Abdications += s.Abdications
+			agg.MembersExpired += s.MembersExpired
+			agg.RelayedPurged += s.RelayedPurged
+		}
+		fmt.Printf("protocol stats (cluster totals): hb sent=%d recv=%d | updates orig=%d relay=%d apply=%d dup=%d\n",
+			agg.HeartbeatsSent, agg.HeartbeatsReceived, agg.UpdatesOriginated,
+			agg.UpdatesRelayed, agg.UpdatesApplied, agg.DuplicateUpdates)
+		fmt.Printf("                 bootstraps=%d syncs=%d elections=%d abdications=%d expiries=%d purges=%d\n",
+			agg.BootstrapsServed, agg.SyncsRequested, agg.Elections,
+			agg.Abdications, agg.MembersExpired, agg.RelayedPurged)
+	}
+	if partial > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,98 @@
+// Command tamptopo inspects topology-aware group formation: it builds a
+// topology, runs the hierarchical membership protocol to convergence, and
+// prints the emerged tree — which nodes lead which level, and each group's
+// membership as scoped by TTL.
+//
+// Usage:
+//
+//	tamptopo -topo clustered -groups 5 -pergroup 20
+//	tamptopo -topo threetier -pods 2 -racks 3 -pergroup 4
+//	tamptopo -topo figure4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/topology"
+)
+
+func main() {
+	topoName := flag.String("topo", "clustered", "topology: flat, clustered, threetier, figure4")
+	groups := flag.Int("groups", 3, "networks (clustered) ")
+	perGroup := flag.Int("pergroup", 5, "hosts per network/rack")
+	pods := flag.Int("pods", 2, "pods (threetier)")
+	racks := flag.Int("racks", 2, "racks per pod (threetier)")
+	settle := flag.Duration("settle", 30*time.Second, "virtual time to let the tree form")
+	seed := flag.Int64("seed", 42, "RNG seed")
+	flag.Parse()
+
+	var top *topology.Topology
+	switch *topoName {
+	case "flat":
+		top = topology.FlatLAN(*perGroup)
+	case "clustered":
+		top = topology.Clustered(*groups, *perGroup)
+	case "threetier":
+		top = topology.ThreeTier(*pods, *racks, *perGroup)
+	case "figure4":
+		top = topology.Figure4(*perGroup)
+	default:
+		fmt.Fprintf(os.Stderr, "tamptopo: unknown topology %q\n", *topoName)
+		os.Exit(2)
+	}
+
+	fmt.Printf("topology: %s, %d hosts, %d devices, diameter (min TTL to span) = %d\n\n",
+		*topoName, top.NumHosts(), top.NumDevices(), top.Diameter())
+
+	c := harness.NewCluster(harness.Hierarchical, top, *seed)
+	c.StartAll()
+	c.Run(*settle)
+
+	maxLevel := top.Diameter()
+	for lvl := 0; lvl < maxLevel; lvl++ {
+		var leaders []*core.Node
+		for _, n := range c.Nodes {
+			cn := n.(*core.Node)
+			if cn.IsLeader(lvl) {
+				leaders = append(leaders, cn)
+			}
+		}
+		if len(leaders) == 0 {
+			continue
+		}
+		fmt.Printf("level %d (TTL %d): %d group(s)\n", lvl, lvl+1, len(leaders))
+		for _, l := range leaders {
+			scope := top.MulticastScope(topology.HostID(l.ID()), lvl+1)
+			fmt.Printf("  leader %-5v topology scope: %v", l.ID(), l.ID())
+			for _, h := range scope.Hosts {
+				fmt.Printf(" %v", h)
+			}
+			fmt.Printf("\n%14s protocol view:  %v %v\n", "", l.ID(), l.GroupMembers(lvl))
+		}
+	}
+
+	fmt.Println("\nper-node channel membership:")
+	for _, n := range c.Nodes {
+		cn := n.(*core.Node)
+		fmt.Printf("  node %-5v levels=%v", cn.ID(), cn.Levels())
+		for _, lvl := range cn.Levels() {
+			if cn.IsLeader(lvl) {
+				fmt.Printf(" leader@%d", lvl)
+			}
+		}
+		fmt.Println()
+	}
+
+	complete := 0
+	for _, n := range c.Nodes {
+		if n.Directory().Len() == top.NumHosts() {
+			complete++
+		}
+	}
+	fmt.Printf("\nviews: %d/%d nodes hold the complete directory\n", complete, top.NumHosts())
+}

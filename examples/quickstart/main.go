@@ -1,0 +1,64 @@
+// Quickstart: build a simulated 3-network cluster, run the topology-aware
+// hierarchical membership service on every node, publish a service, look
+// it up from another node, and watch a failure get detected and propagated
+// cluster-wide.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	tamp "repro"
+)
+
+func main() {
+	// Three networks of five hosts behind one core router: the protocol
+	// will form three TTL-1 groups plus a TTL-2 group of their leaders.
+	cl := tamp.NewCluster(tamp.Clustered(3, 5))
+
+	// Node 7 hosts a cache service for partitions 0-3 with a parameter.
+	if err := cl.MustService(7).RegisterService("Cache", "0-3",
+		tamp.KV{Key: "Port", Value: "11211"}); err != nil {
+		log.Fatal(err)
+	}
+	cl.MustService(7).UpdateValue("mem", "2G")
+
+	cl.StartAll()
+	if !cl.WaitConverged(time.Second, 30*time.Second) {
+		log.Fatal("cluster did not converge")
+	}
+	fmt.Printf("converged at t=%v: every node sees %d members\n",
+		cl.Now().Round(time.Second), cl.MustService(0).Client().Len())
+
+	// Location-transparent lookup from node 0 (a different network).
+	machines, err := cl.MustService(0).Client().LookupService("Cache", "2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range machines {
+		fmt.Printf("lookup(Cache, 2) -> node %v partitions %v params %v attrs %v\n",
+			m.Node, m.Partitions, m.Params, m.Attrs)
+	}
+
+	// Group leaders are the lowest IDs of each network.
+	for _, h := range []tamp.HostID{0, 5, 10} {
+		fmt.Printf("node %v leads its group: %v\n",
+			cl.MustService(h).ID(), cl.MustService(h).IsLeader(0))
+	}
+
+	// Kill the cache node; the membership service detects the failure and
+	// every directory drops it.
+	fmt.Printf("\nt=%v: killing node 7\n", cl.Now().Round(time.Second))
+	before := cl.Now()
+	cl.MustService(7).Stop()
+	for !cl.Converged() {
+		cl.Run(500 * time.Millisecond)
+	}
+	fmt.Printf("t=%v: views reconverged %.1fs after the kill\n",
+		cl.Now().Round(time.Second), (cl.Now() - before).Seconds())
+	machines, _ = cl.MustService(0).Client().LookupService("Cache", "2")
+	fmt.Printf("lookup(Cache, 2) now returns %d machines (failure shielding)\n", len(machines))
+}

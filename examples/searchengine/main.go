@@ -1,0 +1,117 @@
+// Searchengine runs the paper's Figure 1 prototype inside one data center:
+// a protocol gateway fans queries out to partitioned, replicated index
+// servers, translates the document IDs through partitioned document
+// servers, and compiles results — with provider selection by random
+// polling load balancing over the membership directory. Halfway through,
+// one doc replica is killed to show failure shielding: after detection the
+// gateway routes around it with zero failed queries.
+//
+//	go run ./examples/searchengine
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/service"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func main() {
+	// One data center: 2 networks x 6 hosts.
+	// host 0: gateway; hosts 1-4: index partitions 0,1 (2 replicas each);
+	// hosts 5-10: doc partitions 0-2 (2 replicas each).
+	top := topology.Clustered(2, 6)
+	eng := sim.NewEngine(1)
+	net := netsim.New(eng, top)
+
+	mcfg := core.DefaultConfig()
+	mcfg.MaxTTL = top.Diameter()
+	nodes := make([]*core.Node, top.NumHosts())
+	rts := make([]*service.Runtime, top.NumHosts())
+	for h := 0; h < top.NumHosts(); h++ {
+		ep := net.Endpoint(topology.HostID(h))
+		nodes[h] = core.NewNode(mcfg, ep)
+		rts[h] = service.NewRuntime(service.DefaultConfig(), eng, ep, nodes[h])
+	}
+
+	const docPartitions = 3
+	served := map[int]int{}
+	mustRegister := func(h int, name, parts string, handler service.Handler) {
+		wrapped := func(p int32, b []byte) ([]byte, error) {
+			served[h]++
+			return handler(p, b)
+		}
+		if err := rts[h].Register(name, parts, 2*time.Millisecond, wrapped); err != nil {
+			log.Fatal(err)
+		}
+	}
+	mustRegister(1, service.IndexService, "0", service.IndexHandler(docPartitions))
+	mustRegister(2, service.IndexService, "0", service.IndexHandler(docPartitions))
+	mustRegister(3, service.IndexService, "1", service.IndexHandler(docPartitions))
+	mustRegister(4, service.IndexService, "1", service.IndexHandler(docPartitions))
+	for p := 0; p < docPartitions; p++ {
+		mustRegister(5+p*2, service.DocService, fmt.Sprint(p), service.DocHandler())
+		mustRegister(6+p*2, service.DocService, fmt.Sprint(p), service.DocHandler())
+	}
+
+	for _, n := range nodes {
+		n.Start(eng)
+	}
+	eng.Run(15 * time.Second) // membership convergence
+	gw := service.NewGateway(rts[0], 2, 3)
+
+	fmt.Println("search cluster up: 2 index partitions x2 replicas, 3 doc partitions x2 replicas")
+
+	// Issue a stream of queries; kill doc replica (host 6) halfway.
+	const total = 400
+	okCount, failCount := 0, 0
+	var firstResult string
+	var sumLatency time.Duration
+	i := 0
+	var tick func()
+	tick = func() {
+		if i == total/2 {
+			fmt.Printf("t=%v: killing doc replica on host 6\n", eng.Now().Round(time.Second))
+			nodes[6].Stop()
+		}
+		if i >= total {
+			return
+		}
+		i++
+		gw.Query(fmt.Sprintf("golang membership %d", i), func(r service.QueryResult) {
+			if r.Err != nil {
+				failCount++
+				return
+			}
+			okCount++
+			sumLatency += r.Elapsed
+			if firstResult == "" {
+				firstResult = r.Result
+			}
+		})
+		eng.Schedule(50*time.Millisecond, tick)
+	}
+	eng.Schedule(0, tick)
+	eng.Run(eng.Now() + time.Duration(total)*50*time.Millisecond + 10*time.Second)
+
+	fmt.Printf("\nfirst result: %s\n", firstResult)
+	fmt.Printf("queries: %d ok, %d failed (retries + membership detection shield the failure)\n", okCount, failCount)
+	fmt.Printf("mean response: %v\n", (sumLatency / time.Duration(okCount)).Round(100*time.Microsecond))
+	fmt.Println("\nper-replica requests served (random polling load balancing):")
+	for h := 1; h <= 10; h++ {
+		role := "doc"
+		if h <= 4 {
+			role = "index"
+		}
+		alive := "alive"
+		if !nodes[h].Running() {
+			alive = "KILLED at halfway"
+		}
+		fmt.Printf("  host %-2d %-5s served %4d  (%s)\n", h, role, served[h], alive)
+	}
+}

@@ -1,0 +1,182 @@
+// Package alltoall implements the paper's first baseline: every node
+// periodically multicasts its heartbeat to the entire cluster and builds
+// its yellow-page directory from everyone else's heartbeats.
+//
+// This is the scheme Neptune used for small clusters: it is fully
+// decentralized and gives the best fault isolation, but both the per-node
+// receive rate and the aggregate bandwidth grow with the square of the
+// cluster size (Figure 2), which is why it does not scale.
+package alltoall
+
+import (
+	"time"
+
+	"repro/internal/membership"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// Config parametrizes an all-to-all node.
+type Config struct {
+	// Channel is the single cluster-wide multicast channel.
+	Channel netsim.ChannelID
+	// TTL must cover the whole cluster (at least the topology diameter).
+	TTL int
+	// HeartbeatInterval is the multicast period (1 Hz in the paper).
+	HeartbeatInterval time.Duration
+	// MaxLoss is the consecutive losses tolerated before declaring a node
+	// dead (5 in the paper).
+	MaxLoss int
+	// HeartbeatPad pads heartbeats to emulate configured packet sizes
+	// (the paper's Figure 2 uses 1024-byte heartbeats).
+	HeartbeatPad int
+}
+
+// DefaultConfig mirrors the paper's experiment settings.
+func DefaultConfig() Config {
+	return Config{
+		Channel:           1,
+		TTL:               8,
+		HeartbeatInterval: time.Second,
+		MaxLoss:           5,
+	}
+}
+
+// DeadAfter is the silence duration after which a node is declared dead.
+func (c Config) DeadAfter() time.Duration {
+	return time.Duration(c.MaxLoss) * c.HeartbeatInterval
+}
+
+// Node is one cluster node running the all-to-all membership scheme.
+type Node struct {
+	cfg     Config
+	eng     *sim.Engine
+	ep      netsim.Transport
+	id      membership.NodeID
+	dir     *membership.Directory
+	info    membership.MemberInfo
+	hb      *sim.Ticker
+	tracker *sim.Ticker
+	running bool
+}
+
+// NewNode creates a node bound to an endpoint.
+func NewNode(cfg Config, ep netsim.Transport) *Node {
+	id := membership.NodeID(ep.ID())
+	return &Node{
+		cfg:  cfg,
+		ep:   ep,
+		id:   id,
+		dir:  membership.NewDirectory(id),
+		info: membership.MemberInfo{Node: id},
+	}
+}
+
+// ID returns the node identity.
+func (n *Node) ID() membership.NodeID { return n.id }
+
+// Directory returns the node's yellow-page directory.
+func (n *Node) Directory() *membership.Directory { return n.dir }
+
+// Running reports whether the node is started.
+func (n *Node) Running() bool { return n.running }
+
+// SetInfo replaces the published services/attributes.
+func (n *Node) SetInfo(info membership.MemberInfo) {
+	info.Node = n.id
+	inc, beat := n.info.Incarnation, n.info.Beat
+	n.info = info.Clone()
+	n.info.Incarnation, n.info.Beat = inc, beat
+}
+
+// UpdateValue publishes a key/value pair.
+func (n *Node) UpdateValue(key, value string) {
+	n.info.SetAttr(key, value)
+	n.info.Version++
+	if n.running {
+		n.dir.Upsert(n.info.Clone(), membership.OriginSelf, 0, membership.NoNode, n.eng.Now())
+	}
+}
+
+// RegisterService publishes a service hosted by this node.
+func (n *Node) RegisterService(name, partitions string, params ...membership.KV) error {
+	parts, err := membership.ParsePartitions(partitions)
+	if err != nil {
+		return err
+	}
+	n.info.Services = append(n.info.Services, membership.ServiceDecl{
+		Name: name, Partitions: parts, Params: append([]membership.KV(nil), params...),
+	})
+	n.info.Version++
+	return nil
+}
+
+// Start joins the cluster channel and begins heartbeating.
+func (n *Node) Start(eng *sim.Engine) {
+	if n.running {
+		return
+	}
+	n.eng = eng
+	n.running = true
+	n.info.Incarnation++
+	n.dir.Upsert(n.info.Clone(), membership.OriginSelf, 0, membership.NoNode, eng.Now())
+	n.ep.SetHandler(n.receive)
+	n.ep.SetUp(true)
+	n.ep.Join(n.cfg.Channel)
+	jitter := time.Duration(eng.Rand().Int63n(int64(n.cfg.HeartbeatInterval)))
+	n.hb = sim.NewTicker(eng, jitter, n.cfg.HeartbeatInterval, n.sendHeartbeat)
+	n.tracker = sim.NewTicker(eng, n.cfg.HeartbeatInterval/2, n.cfg.HeartbeatInterval/2, n.track)
+}
+
+// Stop kills the daemon.
+func (n *Node) Stop() {
+	if !n.running {
+		return
+	}
+	n.running = false
+	n.hb.Stop()
+	n.tracker.Stop()
+	n.ep.Leave(n.cfg.Channel)
+	n.ep.SetUp(false)
+}
+
+func (n *Node) sendHeartbeat() {
+	if !n.running {
+		return
+	}
+	n.info.Beat++
+	hb := &wire.Heartbeat{
+		Info:   n.info.Clone(),
+		Backup: membership.NoNode,
+		Seq:    n.info.Beat,
+		Pad:    uint16(n.cfg.HeartbeatPad),
+	}
+	n.ep.Multicast(n.cfg.Channel, n.cfg.TTL, wire.Encode(hb))
+}
+
+func (n *Node) receive(pkt netsim.Packet) {
+	if !n.running {
+		return
+	}
+	msg, err := wire.Decode(pkt.Payload)
+	if err != nil {
+		return
+	}
+	hb, ok := msg.(*wire.Heartbeat)
+	if !ok || hb.Info.Node == n.id {
+		return
+	}
+	n.dir.Upsert(hb.Info, membership.OriginDirect, 0, membership.NoNode, n.eng.Now())
+}
+
+func (n *Node) track() {
+	if !n.running {
+		return
+	}
+	now := n.eng.Now()
+	dead := n.dir.Expired(now, func(*membership.Entry) time.Duration { return n.cfg.DeadAfter() })
+	for _, id := range dead {
+		n.dir.Remove(id, now)
+	}
+}

@@ -1,0 +1,174 @@
+// Package analysis implements the closed-form scalability models of the
+// paper's Section 4 for the three membership schemes: failure detection
+// time, view convergence time, bandwidth consumption, and the combined
+// bandwidth-detection-time (BDP) and bandwidth-convergence-time (BCP)
+// products.
+//
+// Two regimes are modelled, as in the paper:
+//
+//   - Fixed bandwidth budget B: the heartbeat/gossip frequency adapts so
+//     the scheme consumes exactly B, and detection time scales as O(MN²/B)
+//     for all-to-all, O(MN² log N / B) for gossip, and O(MN/B) for the
+//     hierarchical scheme.
+//
+//   - Fixed frequency f (the experimental setup, 1 Hz): detection time is
+//     constant for all-to-all and hierarchical (K/f) and grows
+//     logarithmically for gossip, while bandwidth grows quadratically for
+//     all-to-all and gossip but linearly for the hierarchical scheme.
+package analysis
+
+import (
+	"math"
+	"time"
+)
+
+// Params are the model inputs, using the paper's symbols.
+type Params struct {
+	// N is the total number of nodes.
+	N int
+	// RecordBytes is M, the size of one node's membership description
+	// (228 bytes in the paper's measurements).
+	RecordBytes float64
+	// MaxLoss is K, the number of consecutive heartbeats that may be
+	// missed before declaring a failure (5).
+	MaxLoss int
+	// GroupSize is g, the membership group size of the hierarchical
+	// scheme (20 in the paper's experiments).
+	GroupSize int
+	// HopTime is d, the one-hop transmission time of an update message.
+	HopTime time.Duration
+	// Frequency is f in Hz for the fixed-frequency regime.
+	Frequency float64
+	// Bandwidth is B in bytes/second for the fixed-bandwidth regime.
+	Bandwidth float64
+}
+
+// DefaultParams mirrors the paper's experiment configuration for a given
+// cluster size.
+func DefaultParams(n int) Params {
+	return Params{
+		N:           n,
+		RecordBytes: 228,
+		MaxLoss:     5,
+		GroupSize:   20,
+		HopTime:     200 * time.Microsecond,
+		Frequency:   1,
+		Bandwidth:   1 << 20, // 1 MB/s budget for the fixed-bandwidth view
+	}
+}
+
+// Metrics are the model outputs for one scheme in one regime.
+type Metrics struct {
+	// DetectionTime is how quickly a single node failure is first
+	// detected.
+	DetectionTime time.Duration
+	// ConvergenceTime is when every node's view reflects the failure.
+	ConvergenceTime time.Duration
+	// Bandwidth is the aggregate steady-state consumption in bytes/s.
+	Bandwidth float64
+	// BDP and BCP are bandwidth × detection time and bandwidth ×
+	// convergence time, in byte-seconds/s·s = bytes.
+	BDP, BCP float64
+}
+
+func (p Params) k() float64 { return float64(p.MaxLoss) }
+func (p Params) n() float64 { return float64(p.N) }
+func (p Params) m() float64 { return p.RecordBytes }
+func (p Params) g() float64 {
+	if p.GroupSize < 2 {
+		return 2
+	}
+	return float64(p.GroupSize)
+}
+
+// TreeHeight is the height of the hierarchical membership tree, log_g N.
+func (p Params) TreeHeight() float64 {
+	if p.N <= 1 {
+		return 0
+	}
+	return math.Ceil(math.Log(p.n()) / math.Log(p.g()))
+}
+
+// Groups is the total number of groups at all levels,
+// (N-1)/(g-1) from the paper's geometric sum.
+func (p Params) Groups() float64 {
+	return (p.n() - 1) / (p.g() - 1)
+}
+
+func seconds(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+func finish(det, conv time.Duration, bw float64) Metrics {
+	return Metrics{
+		DetectionTime:   det,
+		ConvergenceTime: conv,
+		Bandwidth:       bw,
+		BDP:             bw * det.Seconds(),
+		BCP:             bw * conv.Seconds(),
+	}
+}
+
+// --- fixed-frequency regime (the experimental setup) ---
+
+// AllToAllFixedFrequency models the all-to-all scheme at fixed frequency:
+// every node multicasts M bytes at f to all N-1 others; detection after K
+// missed heartbeats; convergence equals detection because every node
+// detects independently.
+func AllToAllFixedFrequency(p Params) Metrics {
+	det := seconds(p.k() / p.Frequency)
+	bw := p.m() * p.n() * p.n() * p.Frequency
+	return finish(det, det, bw)
+}
+
+// GossipFixedFrequency models the gossip scheme at fixed frequency: each
+// node sends its full view (M·N bytes) to one random peer per period, so
+// aggregate bandwidth is M·N²·f; detection takes O(log N) periods (the
+// fail timeout), and convergence equals detection since every node times
+// out independently.
+func GossipFixedFrequency(p Params) Metrics {
+	rounds := 2 * math.Log2(math.Max(p.n(), 2))
+	det := seconds(rounds / p.Frequency)
+	bw := p.m() * p.n() * p.n() * p.Frequency
+	return finish(det, det, bw)
+}
+
+// HierarchicalFixedFrequency models the hierarchical scheme at fixed
+// frequency: each node heartbeats within its group of g (plus leaders one
+// level up, a geometric overhead already captured by the group count), so
+// aggregate bandwidth is M·g²·f per group × (N-1)/(g-1) groups ≈ M·g·N·f;
+// detection is K/f as in all-to-all; convergence adds one tree traversal
+// up and down: 2·log_g(N) hops of HopTime.
+func HierarchicalFixedFrequency(p Params) Metrics {
+	det := seconds(p.k() / p.Frequency)
+	bw := p.m() * p.g() * p.g() * p.Frequency * p.Groups()
+	conv := det + time.Duration(2*p.TreeHeight())*p.HopTime
+	return finish(det, conv, bw)
+}
+
+// --- fixed-bandwidth regime (the paper's §4 formulas) ---
+
+// AllToAllFixedBandwidth: f = B/(M·N²), T = K·M·N²/B, BDP = O(M·N²).
+func AllToAllFixedBandwidth(p Params) Metrics {
+	f := p.Bandwidth / (p.m() * p.n() * p.n())
+	det := seconds(p.k() / f)
+	return finish(det, det, p.Bandwidth)
+}
+
+// GossipFixedBandwidth: each gossip message is M·N bytes, f = B/(M·N²),
+// and detection needs O(log N) rounds: T = O(K·M·N²·log N / B).
+func GossipFixedBandwidth(p Params) Metrics {
+	f := p.Bandwidth / (p.m() * p.n() * p.n())
+	rounds := math.Log2(math.Max(p.n(), 2))
+	det := seconds(rounds / f)
+	return finish(det, det, p.Bandwidth)
+}
+
+// HierarchicalFixedBandwidth: per-cycle traffic is M·g·N, so f = B/(M·g·N)
+// and T = K·M·g·N/B = O(N); convergence adds the tree traversal.
+func HierarchicalFixedBandwidth(p Params) Metrics {
+	f := p.Bandwidth / (p.m() * p.g() * p.n())
+	det := seconds(p.k() / f)
+	conv := det + time.Duration(2*p.TreeHeight())*p.HopTime
+	return finish(det, conv, p.Bandwidth)
+}

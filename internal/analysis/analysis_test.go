@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFixedFrequencyShapes(t *testing.T) {
+	small := DefaultParams(100)
+	big := DefaultParams(1000)
+
+	// Detection time: constant for all-to-all and hierarchical.
+	if AllToAllFixedFrequency(small).DetectionTime != AllToAllFixedFrequency(big).DetectionTime {
+		t.Error("all-to-all detection should be size-independent at fixed frequency")
+	}
+	if HierarchicalFixedFrequency(small).DetectionTime != HierarchicalFixedFrequency(big).DetectionTime {
+		t.Error("hierarchical detection should be size-independent at fixed frequency")
+	}
+	// Gossip detection grows with log N.
+	gs, gb := GossipFixedFrequency(small), GossipFixedFrequency(big)
+	if gb.DetectionTime <= gs.DetectionTime {
+		t.Error("gossip detection should grow with N")
+	}
+	if gb.DetectionTime > 2*gs.DetectionTime {
+		t.Errorf("gossip growth should be logarithmic: %v -> %v", gs.DetectionTime, gb.DetectionTime)
+	}
+	// Gossip is slower than heartbeat detection at the paper's sizes.
+	if gs.DetectionTime <= AllToAllFixedFrequency(small).DetectionTime {
+		t.Error("gossip should detect slower than all-to-all")
+	}
+
+	// Bandwidth: quadratic for all-to-all and gossip, ~linear for
+	// hierarchical.
+	a := AllToAllFixedFrequency(big).Bandwidth / AllToAllFixedFrequency(small).Bandwidth
+	if a < 90 || a > 110 {
+		t.Errorf("all-to-all bandwidth ratio for 10x nodes = %.1f, want ~100", a)
+	}
+	g := GossipFixedFrequency(big).Bandwidth / GossipFixedFrequency(small).Bandwidth
+	if g < 90 || g > 110 {
+		t.Errorf("gossip bandwidth ratio = %.1f, want ~100", g)
+	}
+	h := HierarchicalFixedFrequency(big).Bandwidth / HierarchicalFixedFrequency(small).Bandwidth
+	if h < 8 || h > 13 {
+		t.Errorf("hierarchical bandwidth ratio = %.1f, want ~10 (linear)", h)
+	}
+	// And hierarchical uses far less bandwidth than either at N=1000.
+	if HierarchicalFixedFrequency(big).Bandwidth*5 > AllToAllFixedFrequency(big).Bandwidth {
+		t.Error("hierarchical should use far less bandwidth than all-to-all")
+	}
+}
+
+func TestFixedBandwidthShapes(t *testing.T) {
+	small := DefaultParams(100)
+	big := DefaultParams(1000)
+
+	// BDP ordering at fixed budget: hierarchical < all-to-all < gossip.
+	ha, aa, ga := HierarchicalFixedBandwidth(big), AllToAllFixedBandwidth(big), GossipFixedBandwidth(big)
+	if !(ha.DetectionTime < aa.DetectionTime && aa.DetectionTime < ga.DetectionTime) {
+		t.Errorf("detection ordering wrong: hier=%v a2a=%v gossip=%v",
+			ha.DetectionTime, aa.DetectionTime, ga.DetectionTime)
+	}
+	// Hierarchical detection is O(N): 10x nodes -> ~10x time.
+	r := HierarchicalFixedBandwidth(big).DetectionTime.Seconds() / HierarchicalFixedBandwidth(small).DetectionTime.Seconds()
+	if r < 8 || r > 12 {
+		t.Errorf("hierarchical fixed-bandwidth detection ratio = %.1f, want ~10", r)
+	}
+	// All-to-all is O(N²): ~100x.
+	r = AllToAllFixedBandwidth(big).DetectionTime.Seconds() / AllToAllFixedBandwidth(small).DetectionTime.Seconds()
+	if r < 80 || r > 120 {
+		t.Errorf("all-to-all fixed-bandwidth detection ratio = %.1f, want ~100", r)
+	}
+}
+
+func TestConvergenceAddsTreeTraversal(t *testing.T) {
+	p := DefaultParams(400) // height = ceil(log20 400) = 2
+	m := HierarchicalFixedFrequency(p)
+	want := m.DetectionTime + time.Duration(2*p.TreeHeight())*p.HopTime
+	if m.ConvergenceTime != want {
+		t.Fatalf("convergence = %v, want %v", m.ConvergenceTime, want)
+	}
+	if p.TreeHeight() != 2 {
+		t.Fatalf("tree height = %v, want 2", p.TreeHeight())
+	}
+}
+
+func TestGroupsGeometricSum(t *testing.T) {
+	p := DefaultParams(400)
+	p.GroupSize = 20
+	// (400-1)/(20-1) = 21
+	if g := p.Groups(); g < 20.9 || g > 21.1 {
+		t.Fatalf("Groups = %v, want 21", g)
+	}
+}
+
+func TestBDPProducts(t *testing.T) {
+	p := DefaultParams(100)
+	m := AllToAllFixedFrequency(p)
+	if m.BDP != m.Bandwidth*m.DetectionTime.Seconds() {
+		t.Fatal("BDP inconsistent")
+	}
+	if m.BCP != m.Bandwidth*m.ConvergenceTime.Seconds() {
+		t.Fatal("BCP inconsistent")
+	}
+}
+
+func TestDegenerateSizes(t *testing.T) {
+	p := DefaultParams(1)
+	for _, m := range []Metrics{
+		AllToAllFixedFrequency(p), GossipFixedFrequency(p), HierarchicalFixedFrequency(p),
+		AllToAllFixedBandwidth(p), GossipFixedBandwidth(p), HierarchicalFixedBandwidth(p),
+	} {
+		if m.DetectionTime < 0 || m.Bandwidth < 0 {
+			t.Fatalf("negative metric for N=1: %+v", m)
+		}
+	}
+	if DefaultParams(1).TreeHeight() != 0 {
+		t.Fatal("tree height for N=1 should be 0")
+	}
+}

@@ -1,0 +1,29 @@
+package config
+
+import "testing"
+
+// FuzzParse ensures the configuration parser never panics and that
+// successfully parsed files are internally consistent.
+func FuzzParse(f *testing.F) {
+	f.Add(paperExample)
+	f.Add("")
+	f.Add("*SYSTEM\nA=1\n*SERVICE\n[X]\nPARTITION = 1-3\nPort = 80\n")
+	f.Add("*SERVICE\n[A]\n[B]\nPARTITION=0\n")
+	f.Add("# only comments\n; more\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		file, err := ParseString(in)
+		if err != nil {
+			return
+		}
+		for _, kv := range file.System {
+			if kv.Key == "" {
+				t.Fatal("empty system key accepted")
+			}
+		}
+		for _, svc := range file.Services {
+			if svc.Name == "" {
+				t.Fatal("empty service name accepted")
+			}
+		}
+	})
+}

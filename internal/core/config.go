@@ -1,0 +1,175 @@
+// Package core implements the paper's topology-adaptive hierarchical
+// membership protocol.
+//
+// Every node joins a level-0 multicast group scoped by TTL 1 (its own
+// layer-2 segment) and heartbeats there. Each group elects a leader (bully,
+// lowest ID) with a leader-designated backup; leaders of level-k groups
+// join the level-(k+1) channel with TTL k+2, forming a tree whose shape
+// adapts automatically to the network topology. Membership changes are
+// detected inside level-0 groups by heartbeat timeout and relayed across
+// the tree by the Update Protocol; joining nodes fetch the directory from
+// their group leader via the Bootstrap Protocol; stale relayed information
+// is garbage-collected by the Timeout Protocol, tied to the liveness of the
+// relaying leader; lost update packets are recovered by sequence numbers,
+// piggybacked recent updates, and full synchronization (Message Loss
+// Detection).
+package core
+
+import (
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// Config parametrizes a hierarchical membership node. The defaults mirror
+// the paper's experiment settings (§6.2): 1 Hz multicast frequency and a
+// maximum of 5 consecutive losses before a node is declared dead.
+type Config struct {
+	// BaseChannel is the base multicast channel; the level-L group uses
+	// channel BaseChannel+L with TTL L+1. The paper derives all channels
+	// from one configured base channel the same way.
+	BaseChannel netsim.ChannelID
+
+	// ChannelOverride optionally assigns explicit channels to individual
+	// levels, overriding the BaseChannel+L derivation — the paper's
+	// "for maximum control flexibility, our implementation also allows
+	// administrators to specify multicast channels at each level".
+	// Every node must share the same overrides.
+	ChannelOverride map[int]netsim.ChannelID
+
+	// MaxTTL caps the group hierarchy: levels run from 0 (TTL 1) to
+	// MaxTTL-1 (TTL MaxTTL). It should be at least the topology's
+	// diameter so the tree covers the whole cluster.
+	MaxTTL int
+
+	// HeartbeatInterval is the in-group multicast heartbeat period
+	// (MCAST_FREQ = 1 packet/second in the paper).
+	HeartbeatInterval time.Duration
+
+	// MaxLoss is how many consecutive heartbeats may be missed before a
+	// group mate is declared dead (MAX_LOSS = 5).
+	MaxLoss int
+
+	// LevelTimeoutStep adds this many tolerated heartbeats per tree level:
+	// a level-L group mate is declared dead after
+	// (MaxLoss + L*LevelTimeoutStep) missed heartbeats. The paper: "we
+	// assign different timeout values for groups at different levels.
+	// Higher level groups are assigned with larger timeout values. Thus
+	// when a group leader fails, the lower level group can still have
+	// time to elect its new leader before the higher level group purges
+	// all the nodes of the lower level group."
+	LevelTimeoutStep int
+
+	// PiggybackDepth is how many previous updates ride along with each
+	// update message for loss recovery (the paper uses 3).
+	PiggybackDepth int
+
+	// HeartbeatPad pads heartbeat packets to emulate a configured
+	// heartbeat size; 0 sends the natural encoded size.
+	HeartbeatPad int
+
+	// ElectionPatience is how long a node must observe a leaderless group
+	// before contending; it also delays elections right after joining a
+	// channel so existing heartbeats can arrive first.
+	ElectionPatience time.Duration
+
+	// LevelGrace is the extra per-level lifetime of information relayed by
+	// a dead leader: entries relayed through a level-L leader are purged
+	// LevelGrace*(L+1) after the leader is declared dead, giving lower
+	// levels time to elect a replacement (Timeout Protocol: "higher level
+	// groups are assigned with larger timeout values").
+	LevelGrace time.Duration
+
+	// RepublishInterval is the anti-entropy period: every interval, each
+	// node that leads some group multicasts its full directory on every
+	// channel it has joined, repairing any one-shot exchange whose packets
+	// were all lost. Zero disables republication (the protocol then relies
+	// solely on the paper's event-driven mechanisms).
+	RepublishInterval time.Duration
+
+	// TombstoneTTL is how long a removed node's relayed re-addition is
+	// rejected, so a stale snapshot cannot resurrect a dead node; direct
+	// heartbeats (proof of life), higher incarnations, and advanced
+	// heartbeat counters always override.
+	TombstoneTTL time.Duration
+
+	// RelayedTTL is the maximum time a relayed directory entry survives
+	// without fresh evidence of life (an advancing heartbeat counter
+	// carried by updates or republished snapshots). It must exceed the
+	// tree depth times RepublishInterval so evidence can propagate; it is
+	// the mechanism that lets every node eventually purge a partitioned
+	// subtree (Timeout Protocol). Zero disables.
+	RelayedTTL time.Duration
+}
+
+// DefaultConfig returns the paper's experiment configuration.
+func DefaultConfig() Config {
+	return Config{
+		BaseChannel:       1,
+		MaxTTL:            4,
+		HeartbeatInterval: time.Second,
+		MaxLoss:           5,
+		LevelTimeoutStep:  2,
+		PiggybackDepth:    3,
+		ElectionPatience:  2 * time.Second,
+		LevelGrace:        3 * time.Second,
+		RepublishInterval: 10 * time.Second,
+		TombstoneTTL:      10 * time.Second,
+		RelayedTTL:        40 * time.Second,
+	}
+}
+
+// DeadAfter is the silence duration after which a level-0 group mate is
+// declared dead.
+func (c Config) DeadAfter() time.Duration {
+	return time.Duration(c.MaxLoss) * c.HeartbeatInterval
+}
+
+// DeadAfterLevel is the per-level silence threshold: higher levels tolerate
+// more missed heartbeats so lower-level elections finish first.
+func (c Config) DeadAfterLevel(level int) time.Duration {
+	step := c.LevelTimeoutStep
+	if step < 0 {
+		step = 0
+	}
+	return time.Duration(c.MaxLoss+level*step) * c.HeartbeatInterval
+}
+
+func (c Config) channel(level int) netsim.ChannelID {
+	if ch, ok := c.ChannelOverride[level]; ok {
+		return ch
+	}
+	return c.BaseChannel + netsim.ChannelID(level)
+}
+
+// levelOf is the inverse of channel: the level a received channel maps to,
+// or -1 for foreign channels.
+func (c Config) levelOf(ch netsim.ChannelID) int {
+	for l := 0; l < c.MaxTTL; l++ {
+		if c.channel(l) == ch {
+			return l
+		}
+	}
+	return -1
+}
+
+// ttl for a level's multicast group.
+func (c Config) ttl(level int) int { return level + 1 }
+
+// maxLevel is the highest level index.
+func (c Config) maxLevel() int { return c.MaxTTL - 1 }
+
+func (c Config) validate() {
+	if c.MaxTTL < 1 {
+		panic("core: MaxTTL must be >= 1")
+	}
+	if c.HeartbeatInterval <= 0 {
+		panic("core: HeartbeatInterval must be positive")
+	}
+	if c.MaxLoss < 1 {
+		panic("core: MaxLoss must be >= 1")
+	}
+	if c.PiggybackDepth < 0 {
+		panic("core: PiggybackDepth must be >= 0")
+	}
+}

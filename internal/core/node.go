@@ -1,0 +1,678 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/membership"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// memberState tracks a group mate heard directly on one channel.
+type memberState struct {
+	lastHeard time.Duration
+	leader    bool // the mate's heartbeats carry the leader flag
+	backup    membership.NodeID
+	version   uint64 // last info (incarnation, version) folded into one ordering key
+	inc       uint32
+}
+
+// levelState is one level's group view: who we hear on that channel, who
+// leads, and whether we lead.
+type levelState struct {
+	level    int
+	joined   bool
+	joinedAt time.Duration
+	hbSeq    uint64
+	hbTicker *sim.Ticker
+	members  map[membership.NodeID]*memberState
+	isLeader bool
+	backup   membership.NodeID // our designated backup when we lead
+	// bootstrapped records that we already pulled a directory from a
+	// leader at this level; bootstrapFrom is the leader we are waiting on.
+	bootstrapped  bool
+	bootstrapFrom membership.NodeID
+}
+
+// Node is one cluster node running the hierarchical membership protocol.
+// All methods must be called on the simulation goroutine.
+type Node struct {
+	cfg Config
+	eng *sim.Engine
+	ep  netsim.Transport
+	id  membership.NodeID
+	dir *membership.Directory
+
+	info      membership.MemberInfo
+	levels    []*levelState
+	tracker   *sim.Ticker
+	republish *sim.Ticker
+	running   bool
+
+	// lastTTLScan throttles the full-directory stale-entry sweep.
+	lastTTLScan time.Duration
+
+	stats Stats
+
+	// update machinery
+	updCounter uint32                 // my UpdateID counter
+	outSeq     []uint64               // per-level update stream sequences (survive restarts)
+	recent     []wire.Update          // my last PiggybackDepth+1 emitted updates, newest first
+	seen       map[wire.UpdateID]bool // applied update IDs
+	seenOrder  []wire.UpdateID        // FIFO for bounding seen
+	// peerSeq tracks the highest update sequence seen per (sender, level):
+	// sequences are per channel, because an emit may skip the channel the
+	// triggering information arrived on, and a global sequence would make
+	// those skips look like losses.
+	peerSeq map[peerKey]uint64
+}
+
+// peerKey identifies one sender's update stream on one channel.
+type peerKey struct {
+	id    membership.NodeID
+	level int8
+}
+
+// maxSeen bounds the dedup set.
+const maxSeen = 4096
+
+// NewNode creates a node bound to endpoint ep. The node's identity is the
+// endpoint's host ID. Call Start to join the membership service.
+func NewNode(cfg Config, ep netsim.Transport) *Node {
+	cfg.validate()
+	id := membership.NodeID(ep.ID())
+	n := &Node{
+		cfg:     cfg,
+		eng:     nil,
+		ep:      ep,
+		id:      id,
+		dir:     membership.NewDirectory(id),
+		info:    membership.MemberInfo{Node: id},
+		seen:    make(map[wire.UpdateID]bool),
+		peerSeq: make(map[peerKey]uint64),
+		outSeq:  make([]uint64, cfg.MaxTTL),
+	}
+	n.levels = make([]*levelState, cfg.MaxTTL)
+	for l := range n.levels {
+		n.levels[l] = &levelState{level: l, members: make(map[membership.NodeID]*memberState), bootstrapFrom: membership.NoNode}
+	}
+	return n
+}
+
+// ID returns the node's identity.
+func (n *Node) ID() membership.NodeID { return n.id }
+
+// Directory returns the node's yellow-page directory.
+func (n *Node) Directory() *membership.Directory { return n.dir }
+
+// Info returns a copy of the node's own published information.
+func (n *Node) Info() membership.MemberInfo { return n.info.Clone() }
+
+// Running reports whether the node is started.
+func (n *Node) Running() bool { return n.running }
+
+// SetInfo replaces the node's published services/attributes before Start.
+// After Start use RegisterService/UpdateValue/DeleteValue, which version
+// the changes.
+func (n *Node) SetInfo(info membership.MemberInfo) {
+	info.Node = n.id
+	inc := n.info.Incarnation
+	n.info = info.Clone()
+	n.info.Incarnation = inc
+}
+
+// RegisterService publishes a service hosted by this node (the library's
+// register_service call). The partition list uses the paper's "1-3" spec
+// syntax.
+func (n *Node) RegisterService(name, partitions string, params ...membership.KV) error {
+	parts, err := membership.ParsePartitions(partitions)
+	if err != nil {
+		return err
+	}
+	for i := range n.info.Services {
+		if n.info.Services[i].Name == name {
+			n.info.Services[i].Partitions = parts
+			n.info.Services[i].Params = append([]membership.KV(nil), params...)
+			n.bumpVersion()
+			return nil
+		}
+	}
+	n.info.Services = append(n.info.Services, membership.ServiceDecl{
+		Name: name, Partitions: parts, Params: append([]membership.KV(nil), params...),
+	})
+	n.bumpVersion()
+	return nil
+}
+
+// UpdateValue publishes a key/value through the membership service
+// (update_value in the paper's API).
+func (n *Node) UpdateValue(key, value string) {
+	n.info.SetAttr(key, value)
+	n.bumpVersion()
+}
+
+// DeleteValue removes a published key (delete_value).
+func (n *Node) DeleteValue(key string) bool {
+	ok := n.info.DeleteAttr(key)
+	if ok {
+		n.bumpVersion()
+	}
+	return ok
+}
+
+func (n *Node) bumpVersion() {
+	n.info.Version++
+	if n.running {
+		n.dir.Upsert(n.info.Clone(), membership.OriginSelf, 0, membership.NoNode, n.eng.Now())
+	}
+}
+
+// Start joins the membership service: the node enters its level-0 group,
+// begins heartbeating, and bootstraps its directory from the group leader.
+func (n *Node) Start(eng *sim.Engine) {
+	if n.running {
+		return
+	}
+	n.eng = eng
+	n.running = true
+	n.stats = Stats{}
+	n.info.Incarnation++
+	n.info.Node = n.id
+	n.dir.Upsert(n.info.Clone(), membership.OriginSelf, 0, membership.NoNode, eng.Now())
+	n.dir.SetTombstoneTTL(n.cfg.TombstoneTTL)
+	// Claim the endpoint only if no one owns it: a service runtime or
+	// proxy installs a mux as the handler and delegates membership
+	// packets to Receive.
+	if !n.ep.HasHandler() {
+		n.ep.SetHandler(n.receive)
+	}
+	n.ep.SetUp(true)
+	n.joinLevel(0)
+	n.tracker = sim.NewTicker(eng, n.cfg.HeartbeatInterval/2, n.cfg.HeartbeatInterval/2, n.track)
+	if n.cfg.RepublishInterval > 0 {
+		n.republish = sim.NewJitteredTicker(eng, n.cfg.RepublishInterval, func() {
+			if !n.anyLeader() {
+				return
+			}
+			for _, lv := range n.levels {
+				if lv.joined {
+					n.publishDirectory(lv.level)
+				}
+			}
+		})
+	}
+}
+
+// Leave departs the membership service gracefully: the node announces its
+// own departure on every joined channel — an authoritative update that
+// group mates apply immediately and relay across the tree — and then stops.
+// The cluster converges in one relay time instead of waiting out the
+// MaxLoss detection window.
+func (n *Node) Leave() {
+	if !n.running {
+		return
+	}
+	n.updCounter++
+	u := wire.Update{
+		ID:      wire.UpdateID{Origin: n.id, Counter: n.updCounter},
+		Kind:    wire.UDepart,
+		Subject: n.id,
+	}
+	n.markSeen(u.ID)
+	n.stats.UpdatesOriginated++
+	n.emitUpdate(u, -1)
+	n.Stop()
+}
+
+// Stop kills the membership daemon: all timers stop and the endpoint goes
+// silent, exactly like the paper's experiment that kills the daemon process
+// to emulate a node failure. The directory is left as-is.
+func (n *Node) Stop() {
+	if !n.running {
+		return
+	}
+	n.running = false
+	for _, lv := range n.levels {
+		if lv.hbTicker != nil {
+			lv.hbTicker.Stop()
+			lv.hbTicker = nil
+		}
+		if lv.joined {
+			n.ep.Leave(n.cfg.channel(lv.level))
+			lv.joined = false
+		}
+		lv.isLeader = false
+		lv.bootstrapped, lv.bootstrapFrom = false, membership.NoNode
+		lv.members = make(map[membership.NodeID]*memberState)
+	}
+	if n.tracker != nil {
+		n.tracker.Stop()
+		n.tracker = nil
+	}
+	if n.republish != nil {
+		n.republish.Stop()
+		n.republish = nil
+	}
+	n.ep.SetUp(false)
+}
+
+// IsLeader reports whether the node currently leads its group at the given
+// level.
+func (n *Node) IsLeader(level int) bool {
+	if level < 0 || level >= len(n.levels) {
+		return false
+	}
+	return n.levels[level].isLeader
+}
+
+// Levels returns the levels whose channels the node has joined.
+func (n *Node) Levels() []int {
+	var out []int
+	for _, lv := range n.levels {
+		if lv.joined {
+			out = append(out, lv.level)
+		}
+	}
+	return out
+}
+
+// GroupMembers returns the group mates currently heard directly on the
+// level's channel (excluding this node), in ascending ID order — the
+// protocol's live view of its group, as opposed to the topology's static
+// TTL scope.
+func (n *Node) GroupMembers(level int) []membership.NodeID {
+	if level < 0 || level >= len(n.levels) || !n.levels[level].joined {
+		return nil
+	}
+	lv := n.levels[level]
+	out := make([]membership.NodeID, 0, len(lv.members))
+	for id := range lv.members {
+		out = append(out, id)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Leader returns the node currently believed to lead the level's group:
+// this node itself, a group mate whose heartbeats carry the leader flag,
+// or NoNode while leaderless.
+func (n *Node) Leader(level int) membership.NodeID {
+	if level < 0 || level >= len(n.levels) || !n.levels[level].joined {
+		return membership.NoNode
+	}
+	lv := n.levels[level]
+	if lv.isLeader {
+		return n.id
+	}
+	best := membership.NoNode
+	for id, ms := range lv.members {
+		if ms.leader && (best == membership.NoNode || id < best) {
+			best = id
+		}
+	}
+	return best
+}
+
+// joinLevel subscribes to the level's channel and starts heartbeating
+// there.
+func (n *Node) joinLevel(level int) {
+	lv := n.levels[level]
+	if lv.joined || level > n.cfg.maxLevel() {
+		return
+	}
+	lv.joined = true
+	lv.joinedAt = n.eng.Now()
+	lv.bootstrapped, lv.bootstrapFrom = false, membership.NoNode
+	lv.members = make(map[membership.NodeID]*memberState)
+	n.ep.Join(n.cfg.channel(level))
+	// First heartbeat goes out immediately so peers learn about us fast;
+	// subsequent ones follow the configured period. A small deterministic
+	// jitter desynchronizes nodes that start at the same instant.
+	jitter := time.Duration(n.eng.Rand().Int63n(int64(n.cfg.HeartbeatInterval / 4)))
+	lv.hbTicker = sim.NewTicker(n.eng, jitter, n.cfg.HeartbeatInterval, func() {
+		n.sendHeartbeat(level)
+	})
+	// Bootstrap after we have listened for long enough to spot the leader
+	// flag in incoming heartbeats.
+	n.eng.Schedule(n.cfg.HeartbeatInterval+jitter, func() { n.bootstrap(level) })
+}
+
+// leaveLevel abandons a level (used when abdicating leadership below it)
+// and cascades out of any higher levels we only occupied as a leader.
+func (n *Node) leaveLevel(level int) {
+	lv := n.levels[level]
+	if !lv.joined {
+		return
+	}
+	lv.joined = false
+	lv.bootstrapped, lv.bootstrapFrom = false, membership.NoNode
+	if lv.hbTicker != nil {
+		lv.hbTicker.Stop()
+		lv.hbTicker = nil
+	}
+	n.ep.Leave(n.cfg.channel(level))
+	if lv.isLeader {
+		n.setLeader(level, false)
+	}
+	lv.members = make(map[membership.NodeID]*memberState)
+}
+
+// setLeader flips our leadership at a level, joining or leaving the next
+// level's channel accordingly.
+func (n *Node) setLeader(level int, lead bool) {
+	lv := n.levels[level]
+	if lv.isLeader == lead {
+		return
+	}
+	lv.isLeader = lead
+	if lead {
+		n.stats.Elections++
+		lv.backup = n.pickBackup(level)
+		if level < n.cfg.maxLevel() {
+			n.joinLevel(level + 1)
+		}
+		// Announce leadership immediately rather than waiting a period.
+		n.sendHeartbeat(level)
+		// Refresh our group with everything we know so entries relayed by
+		// the previous leader are re-anchored to us (Timeout Protocol
+		// recovery path).
+		n.publishDirectory(level)
+	} else {
+		n.stats.Abdications++
+		lv.backup = membership.NoNode
+		if level < n.cfg.maxLevel() {
+			n.leaveLevel(level + 1)
+		}
+	}
+}
+
+// pickBackup chooses a random live group mate as backup leader.
+func (n *Node) pickBackup(level int) membership.NodeID {
+	lv := n.levels[level]
+	var candidates []membership.NodeID
+	for id := range lv.members {
+		candidates = append(candidates, id)
+	}
+	if len(candidates) == 0 {
+		return membership.NoNode
+	}
+	// Sort so the RNG draw is deterministic across runs with one seed
+	// (map iteration order is not).
+	for i := 1; i < len(candidates); i++ {
+		for j := i; j > 0 && candidates[j] < candidates[j-1]; j-- {
+			candidates[j], candidates[j-1] = candidates[j-1], candidates[j]
+		}
+	}
+	return candidates[n.eng.Rand().Intn(len(candidates))]
+}
+
+// sendHeartbeat multicasts our announcement on one level's channel.
+func (n *Node) sendHeartbeat(level int) {
+	if !n.running {
+		return
+	}
+	lv := n.levels[level]
+	if !lv.joined {
+		return
+	}
+	lv.hbSeq++
+	n.stats.HeartbeatsSent++
+	if level == 0 {
+		// The liveness beat advances once per heartbeat period; every node
+		// is always joined to level 0.
+		n.info.Beat++
+	}
+	hb := &wire.Heartbeat{
+		Info:   n.info.Clone(),
+		Level:  uint8(level),
+		Leader: lv.isLeader,
+		Backup: lv.backup,
+		Seq:    lv.hbSeq,
+		Pad:    uint16(n.cfg.HeartbeatPad),
+	}
+	n.ep.Multicast(n.cfg.channel(level), n.cfg.ttl(level), wire.Encode(hb))
+}
+
+// publishDirectory multicasts a full snapshot into one group; receivers
+// re-anchor relayed entries to us.
+func (n *Node) publishDirectory(level int) {
+	if !n.running || !n.levels[level].joined {
+		return
+	}
+	msg := &wire.DirectoryMsg{From: n.id, Infos: n.dir.Snapshot()}
+	n.ep.Multicast(n.cfg.channel(level), n.cfg.ttl(level), wire.Encode(msg))
+}
+
+// Receive feeds one delivered packet into the protocol. The node installs
+// itself as the endpoint handler on Start; layers that need to share the
+// endpoint (the service runtime, membership proxies) install a mux as the
+// handler instead and delegate membership packets here.
+func (n *Node) Receive(pkt netsim.Packet) { n.receive(pkt) }
+
+// receive dispatches one delivered packet.
+func (n *Node) receive(pkt netsim.Packet) {
+	if !n.running {
+		return
+	}
+	msg, err := wire.Decode(pkt.Payload)
+	if err != nil {
+		return // UDP: corrupt packets are dropped silently
+	}
+	level := -1
+	if pkt.Multicast() {
+		level = n.cfg.levelOf(pkt.Channel)
+		if level < 0 || level >= len(n.levels) || !n.levels[level].joined {
+			return
+		}
+	}
+	switch m := msg.(type) {
+	case *wire.Heartbeat:
+		if level >= 0 {
+			n.onHeartbeat(level, m)
+		}
+	case *wire.UpdateMsg:
+		n.onUpdateMsg(level, m)
+	case *wire.BootstrapRequest:
+		n.onBootstrapRequest(m)
+	case *wire.DirectoryMsg:
+		n.onDirectoryMsg(level, m)
+	case *wire.SyncRequest:
+		n.onSyncRequest(m)
+	}
+}
+
+// onHeartbeat processes a group mate's announcement at one level.
+func (n *Node) onHeartbeat(level int, hb *wire.Heartbeat) {
+	from := hb.Info.Node
+	if from == n.id {
+		return
+	}
+	lv := n.levels[level]
+	n.stats.HeartbeatsReceived++
+	now := n.eng.Now()
+	ms, known := lv.members[from]
+	if !known {
+		ms = &memberState{}
+		lv.members[from] = ms
+	}
+	ms.lastHeard = now
+	ms.leader = hb.Leader
+	ms.backup = hb.Backup
+	newInfo := hb.Info.Incarnation != ms.inc || hb.Info.Version != ms.version
+	ms.inc, ms.version = hb.Info.Incarnation, hb.Info.Version
+
+	prev := n.dir.Get(from)
+	changed := prev != nil && hb.Info.Newer(prev.Info)
+	n.dir.Upsert(hb.Info, membership.OriginDirect, level, membership.NoNode, now)
+
+	// Any member that leads some group announces direct observations to
+	// the rest of the tree ("a group leader will also inform all other
+	// groups when a new node joins"): a newly heard group mate or changed
+	// info becomes an update flooded on every joined channel, which
+	// members of those groups relay onward (Fig. 5). Keyed on first
+	// hearing at this level — not on directory novelty — so a leader that
+	// already learned the node via bootstrap still tells its own group.
+	if n.anyLeader() {
+		if !known {
+			n.originateUpdate(wire.UJoin, from, hb.Info, -1)
+		} else if changed && newInfo {
+			n.originateUpdate(wire.UChange, from, hb.Info, -1)
+		}
+	}
+	// Conflict resolution: if we lead this level but a lower-ID leader is
+	// visible, abdicate ("a group leader cannot see other leaders at the
+	// same level").
+	if hb.Leader && lv.isLeader && from < n.id {
+		n.setLeader(level, false)
+	}
+}
+
+// anyLeader reports whether we lead at any level (and therefore have relay
+// duties).
+func (n *Node) anyLeader() bool {
+	for _, lv := range n.levels {
+		if lv.isLeader {
+			return true
+		}
+	}
+	return false
+}
+
+// track is the Status Tracker: expire silent group mates, cascade the
+// timeout protocol, run elections.
+func (n *Node) track() {
+	if !n.running {
+		return
+	}
+	now := n.eng.Now()
+	for _, lv := range n.levels {
+		if !lv.joined {
+			continue
+		}
+		deadAfter := n.cfg.DeadAfterLevel(lv.level)
+		for id, ms := range lv.members {
+			if now-ms.lastHeard <= deadAfter {
+				continue
+			}
+			delete(lv.members, id)
+			n.onMemberDead(lv.level, id, ms)
+		}
+		n.elect(lv.level)
+	}
+	// Timeout Protocol, liveness-evidence form: relayed entries whose
+	// heartbeat counter has stopped advancing are purged, which is how a
+	// partitioned subtree eventually disappears from every directory. The
+	// full sweep is O(directory), so it runs at a fraction of the TTL, not
+	// on every tracker tick.
+	if n.cfg.RelayedTTL > 0 && now-n.lastTTLScan >= n.cfg.RelayedTTL/8 {
+		n.lastTTLScan = now
+		stale := n.dir.Expired(now, func(e *membership.Entry) time.Duration {
+			if e.Origin == membership.OriginRelayed {
+				return n.cfg.RelayedTTL
+			}
+			return 4 * n.cfg.RelayedTTL // backstop for orphaned direct entries
+		})
+		for _, id := range stale {
+			if !n.hearsDirectly(id) {
+				n.dir.Remove(id, now)
+				n.stats.RelayedPurged++
+			}
+		}
+	}
+}
+
+// onMemberDead handles the death of a directly heard group mate.
+func (n *Node) onMemberDead(level int, id membership.NodeID, ms *memberState) {
+	n.stats.MembersExpired++
+	now := n.eng.Now()
+	// Every group member detects the failure independently and drops the
+	// node; the leader additionally propagates it.
+	stillDirect := false
+	for _, lv := range n.levels {
+		if lv.joined {
+			if m2, ok := lv.members[id]; ok && now-m2.lastHeard <= n.cfg.DeadAfterLevel(lv.level) {
+				stillDirect = true
+				break
+			}
+		}
+	}
+	if !stillDirect {
+		if n.dir.Remove(id, now) {
+			// Any group mate that leads some group announces the death to
+			// the tree — in particular, when a group's own leader dies the
+			// surviving members at its level (each a leader one level
+			// down) are the ones who must tell their subtrees (Fig. 4:
+			// node B multicasts the failure in both groups it joins).
+			if n.anyLeader() {
+				n.originateUpdate(wire.ULeave, id, membership.MemberInfo{}, -1)
+			}
+		}
+		// Timeout Protocol: information relayed by the dead node dies with
+		// it, after a per-level grace that gives replacement leaders time
+		// to re-publish.
+		n.schedulePurgeRelayedBy(id, level, now)
+	}
+	// Backup promotion: if the dead mate was our group leader and we are
+	// its designated backup, take over instantly.
+	if ms.leader && ms.backup == n.id && !n.levels[level].isLeader {
+		n.setLeader(level, true)
+	}
+}
+
+// schedulePurgeRelayedBy purges, after the level-scaled grace period,
+// every entry whose relayer was the dead node and that has not been
+// refreshed by a replacement leader in the meantime.
+func (n *Node) schedulePurgeRelayedBy(dead membership.NodeID, level int, deathTime time.Duration) {
+	// The grace must exceed the republication cadence: entries about live
+	// nodes that merely had the dead node as their last relayer get fresh
+	// evidence (advancing beats) from surviving leaders within one
+	// republish interval, cancelling the purge.
+	grace := n.cfg.RepublishInterval + n.cfg.LevelGrace*time.Duration(level+1)
+	n.eng.Schedule(grace, func() {
+		if !n.running {
+			return
+		}
+		for _, victim := range n.dir.RelayedBy(dead) {
+			e := n.dir.Get(victim)
+			if e == nil || e.LastRefresh > deathTime {
+				continue // refreshed since; a new leader took over
+			}
+			n.dir.Remove(victim, n.eng.Now())
+			n.stats.RelayedPurged++
+		}
+	})
+}
+
+// elect implements the bully election with the paper's constraint that a
+// node does not contend while any leader is visible at the level.
+func (n *Node) elect(level int) {
+	lv := n.levels[level]
+	now := n.eng.Now()
+	if now-lv.joinedAt < n.cfg.ElectionPatience {
+		return
+	}
+	leaderVisible := false
+	lowest := n.id
+	for id, ms := range lv.members {
+		if ms.leader {
+			leaderVisible = true
+		}
+		if id < lowest {
+			lowest = id
+		}
+	}
+	if lv.isLeader {
+		return // conflict abdication happens in onHeartbeat
+	}
+	if leaderVisible {
+		return
+	}
+	if lowest == n.id {
+		n.setLeader(level, true)
+	}
+}

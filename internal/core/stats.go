@@ -1,0 +1,37 @@
+package core
+
+// Stats are one node's protocol counters since Start, for monitoring and
+// experiment introspection. All counters are monotone while the node runs;
+// Stop preserves them and a subsequent Start resets them.
+type Stats struct {
+	// HeartbeatsSent / HeartbeatsReceived count in-group announcements
+	// across all levels.
+	HeartbeatsSent     uint64
+	HeartbeatsReceived uint64
+	// UpdatesOriginated counts membership changes this node detected and
+	// announced; UpdatesRelayed counts foreign updates re-multicast into
+	// other groups; UpdatesApplied counts distinct updates applied.
+	UpdatesOriginated uint64
+	UpdatesRelayed    uint64
+	UpdatesApplied    uint64
+	// DuplicateUpdates counts updates discarded by UID dedup — the price
+	// of the loop-free flood.
+	DuplicateUpdates uint64
+	// BootstrapsServed counts directory transfers served to joiners;
+	// SyncsRequested counts full synchronizations this node had to ask
+	// for after unrecoverable update loss.
+	BootstrapsServed uint64
+	SyncsRequested   uint64
+	// Elections counts leadership acquisitions; Abdications counts
+	// leaderships ceded to a lower-ID leader.
+	Elections   uint64
+	Abdications uint64
+	// MembersExpired counts direct group mates declared dead.
+	MembersExpired uint64
+	// RelayedPurged counts entries removed by the timeout protocol
+	// (relayer death cascade or stale liveness evidence).
+	RelayedPurged uint64
+}
+
+// Stats returns a copy of the node's counters.
+func (n *Node) Stats() Stats { return n.stats }

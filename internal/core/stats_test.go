@@ -1,0 +1,174 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/membership"
+	"repro/internal/netsim"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+func TestStatsCounters(t *testing.T) {
+	top := topology.Clustered(2, 4)
+	cfg := cfgFor(top)
+	c := newCluster(top, cfg)
+	c.startAll()
+	c.run(20 * time.Second)
+
+	leader := c.nodes[0]
+	follower := c.nodes[1]
+	ls, fs := leader.Stats(), follower.Stats()
+
+	if ls.HeartbeatsSent == 0 || fs.HeartbeatsSent == 0 {
+		t.Fatal("no heartbeats sent recorded")
+	}
+	// The leader heartbeats on two channels, so it sends more.
+	if ls.HeartbeatsSent <= fs.HeartbeatsSent {
+		t.Errorf("leader sent %d heartbeats <= follower %d", ls.HeartbeatsSent, fs.HeartbeatsSent)
+	}
+	if fs.HeartbeatsReceived == 0 {
+		t.Fatal("no heartbeats received recorded")
+	}
+	if ls.Elections == 0 {
+		t.Error("leader recorded no election")
+	}
+	if fs.Elections != 0 {
+		t.Errorf("follower recorded %d elections", fs.Elections)
+	}
+	if ls.BootstrapsServed == 0 {
+		t.Error("leader served no bootstraps")
+	}
+	// Followers learned the other group via relayed updates.
+	if fs.UpdatesApplied == 0 {
+		t.Error("follower applied no updates")
+	}
+
+	// A failure bumps expiry counters.
+	c.nodes[5].Stop()
+	c.run(30 * time.Second)
+	if got := c.nodes[4].Stats().MembersExpired; got == 0 {
+		t.Error("group mate expiry not counted")
+	}
+	if got := c.nodes[4].Stats().UpdatesOriginated; got == 0 {
+		t.Error("leader originated no updates for the failure")
+	}
+
+	// Restart resets counters.
+	c.nodes[5].Start(c.eng)
+	if got := c.nodes[5].Stats(); got.HeartbeatsSent > 1 {
+		t.Errorf("stats not reset on restart: %+v", got)
+	}
+}
+
+func TestSetInfoPreservesIdentityAndIncarnation(t *testing.T) {
+	top := topology.FlatLAN(2)
+	c := newCluster(top, cfgFor(top))
+	n := c.nodes[1]
+	n.Start(c.eng)
+	inc := n.Info().Incarnation
+	var replacement membership.MemberInfo
+	replacement.Node = 99 // must be overridden with the node's own ID
+	replacement.SetAttr("dc", "west")
+	replacement.Incarnation = 42 // must not override the live incarnation
+	n.SetInfo(replacement)
+	got := n.Info()
+	if got.Node != 1 {
+		t.Fatalf("SetInfo let the identity change: %v", got.Node)
+	}
+	if got.Incarnation != inc {
+		t.Fatalf("SetInfo changed the incarnation: %d -> %d", inc, got.Incarnation)
+	}
+	if v, _ := got.Attr("dc"); v != "west" {
+		t.Fatalf("attrs not replaced: %q", v)
+	}
+}
+
+func TestMarkSeenBounded(t *testing.T) {
+	top := topology.FlatLAN(2)
+	c := newCluster(top, cfgFor(top))
+	n := c.nodes[0]
+	n.Start(c.eng)
+	for i := uint32(0); i < maxSeen+100; i++ {
+		n.markSeen(wire.UpdateID{Origin: 7, Counter: i})
+	}
+	if len(n.seen) != maxSeen || len(n.seenOrder) != maxSeen {
+		t.Fatalf("dedup set unbounded: %d/%d", len(n.seen), len(n.seenOrder))
+	}
+	// Oldest evicted, newest retained.
+	if n.seen[wire.UpdateID{Origin: 7, Counter: 0}] {
+		t.Fatal("oldest UID not evicted")
+	}
+	if !n.seen[wire.UpdateID{Origin: 7, Counter: maxSeen + 99}] {
+		t.Fatal("newest UID missing")
+	}
+	// Re-marking a seen UID is a no-op.
+	before := len(n.seenOrder)
+	n.markSeen(wire.UpdateID{Origin: 7, Counter: maxSeen + 99})
+	if len(n.seenOrder) != before {
+		t.Fatal("re-marking grew the FIFO")
+	}
+}
+
+func TestGroupMembersAndLeader(t *testing.T) {
+	top := topology.Clustered(2, 3)
+	cfg := cfgFor(top)
+	c := newCluster(top, cfg)
+	c.startAll()
+	c.run(15 * time.Second)
+	// Follower's protocol view of its level-0 group.
+	got := c.nodes[1].GroupMembers(0)
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("GroupMembers = %v, want [0 2]", got)
+	}
+	if l := c.nodes[1].Leader(0); l != 0 {
+		t.Fatalf("Leader(0) = %v, want 0", l)
+	}
+	if l := c.nodes[0].Leader(0); l != 0 {
+		t.Fatalf("leader's own Leader(0) = %v, want self", l)
+	}
+	// Unjoined level: empty.
+	if got := c.nodes[1].GroupMembers(1); got != nil {
+		t.Fatalf("unjoined level members = %v", got)
+	}
+	if l := c.nodes[1].Leader(1); l != membership.NoNode {
+		t.Fatalf("unjoined level leader = %v", l)
+	}
+	// Level-1 group: the two level-0 leaders see each other.
+	got = c.nodes[0].GroupMembers(1)
+	if len(got) != 1 || got[0] != 3 {
+		t.Fatalf("level-1 members at node 0 = %v, want [3]", got)
+	}
+}
+
+func TestStatsSyncCounting(t *testing.T) {
+	top := topology.Clustered(2, 4)
+	cfg := cfgFor(top)
+	c := newCluster(top, cfg)
+	c.startAll()
+	c.run(15 * time.Second)
+	// Drop 6 consecutive update messages from node 0 to node 1 (beyond
+	// piggyback depth 3) while generating changes.
+	remaining := 6
+	c.net.Endpoint(1).SetFilter(func(pkt netsim.Packet) bool {
+		if remaining <= 0 {
+			return true
+		}
+		if m, err := wire.Decode(pkt.Payload); err == nil {
+			if um, ok := m.(*wire.UpdateMsg); ok && um.Sender == 0 {
+				remaining--
+				return false
+			}
+		}
+		return true
+	})
+	for i := 0; i < 8; i++ {
+		c.nodes[2].UpdateValue("k", string(rune('a'+i)))
+		c.run(1500 * time.Millisecond)
+	}
+	c.run(5 * time.Second)
+	if got := c.nodes[1].Stats().SyncsRequested; got == 0 {
+		t.Fatal("sync fallback not counted")
+	}
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"repro/internal/membership"
+	"repro/internal/wire"
+)
+
+// originateUpdate creates a new membership change notification and floods
+// it over the tree. exceptLevel is the level whose channel the triggering
+// information arrived on (-1 to send everywhere); the group there learns of
+// the change from its own heartbeats or detection.
+func (n *Node) originateUpdate(kind wire.UpdateKind, subject membership.NodeID, info membership.MemberInfo, exceptLevel int) {
+	n.updCounter++
+	u := wire.Update{
+		ID:      wire.UpdateID{Origin: n.id, Counter: n.updCounter},
+		Kind:    kind,
+		Subject: subject,
+	}
+	if kind != wire.ULeave {
+		u.Info = info.Clone()
+	}
+	n.markSeen(u.ID)
+	n.stats.UpdatesOriginated++
+	n.emitUpdate(u, exceptLevel)
+}
+
+// emitUpdate appends one update to our outgoing stream and multicasts it —
+// piggybacking the previous PiggybackDepth updates — on every channel we
+// have joined except exceptLevel. Only leaders are joined to more than one
+// channel, so this realizes the paper's relay pattern: updates travel up to
+// the parent group and down into every group the receiving members lead.
+func (n *Node) emitUpdate(u wire.Update, exceptLevel int) {
+	// recent is newest-first.
+	n.recent = append([]wire.Update{u}, n.recent...)
+	if max := n.cfg.PiggybackDepth + 1; len(n.recent) > max {
+		n.recent = n.recent[:max]
+	}
+	updates := make([]wire.Update, len(n.recent))
+	copy(updates, n.recent)
+	// Sequences are per channel so a channel skipped by one emit does not
+	// look lossy to its subscribers.
+	for _, lv := range n.levels {
+		if !lv.joined || lv.level == exceptLevel {
+			continue
+		}
+		n.outSeq[lv.level]++
+		msg := &wire.UpdateMsg{Sender: n.id, Seq: n.outSeq[lv.level], Updates: updates}
+		n.ep.Multicast(n.cfg.channel(lv.level), n.cfg.ttl(lv.level), wire.Encode(msg))
+	}
+}
+
+// onUpdateMsg processes an update message heard on channel level (-1 for
+// unicast, which the protocol does not normally use for updates).
+func (n *Node) onUpdateMsg(level int, m *wire.UpdateMsg) {
+	if m.Sender == n.id {
+		return
+	}
+	if m.Seq > 0 && level >= 0 {
+		key := peerKey{id: m.Sender, level: int8(level)}
+		last, knownSender := n.peerSeq[key]
+		if m.Seq > last {
+			n.peerSeq[key] = m.Seq
+		}
+		switch {
+		case knownSender && m.Seq <= last:
+			// Duplicate or reordered; UID dedup below still applies
+			// piggybacked updates we may have missed.
+		case knownSender && m.Seq-last > uint64(len(m.Updates)):
+			// More consecutive losses than the piggyback covers: fall
+			// back to full synchronization with the sender (Message Loss
+			// Detection).
+			n.stats.SyncsRequested++
+			n.ep.Unicast(topoHost(m.Sender), wire.Encode(&wire.SyncRequest{From: n.id}))
+		}
+	}
+	// Apply oldest-first so causality within the stream is preserved.
+	for i := len(m.Updates) - 1; i >= 0; i-- {
+		n.applyUpdate(m.Updates[i], level, m.Sender)
+	}
+}
+
+// applyUpdate applies one membership change if unseen and relays it.
+func (n *Node) applyUpdate(u wire.Update, level int, relayer membership.NodeID) {
+	if n.seen[u.ID] {
+		n.stats.DuplicateUpdates++
+		return
+	}
+	n.markSeen(u.ID)
+	n.stats.UpdatesApplied++
+	now := n.eng.Now()
+	lvl := level
+	if lvl < 0 {
+		lvl = 0
+	}
+	switch u.Kind {
+	case wire.ULeave:
+		switch {
+		case u.Subject == n.id:
+			// Reports of our death are exaggerated; our heartbeats and the
+			// incarnation bump on any restart correct the record.
+		case n.hearsDirectly(u.Subject):
+			// We hear the subject ourselves and know better; the paper's
+			// per-node independent detection takes precedence locally.
+		default:
+			n.dir.Remove(u.Subject, now)
+		}
+	case wire.UDepart:
+		// Authoritative: the subject announced its own departure, so it is
+		// removed even while its last heartbeats are still fresh.
+		if u.Subject != n.id {
+			n.dir.Remove(u.Subject, now)
+			for _, lv := range n.levels {
+				delete(lv.members, u.Subject)
+			}
+		}
+	case wire.UJoin, wire.UChange:
+		if u.Subject != n.id {
+			n.dir.Upsert(u.Info, membership.OriginRelayed, lvl, relayer, now)
+		}
+	default:
+		return // unknown kind: do not relay garbage
+	}
+	// Relay into every other group we participate in. Dedup by UID makes
+	// the flood loop-free; idempotent application makes duplicates
+	// harmless (§3.1.1).
+	if n.joinedChannels() > 1 {
+		n.stats.UpdatesRelayed++
+		n.emitUpdate(u, level)
+	}
+}
+
+// hearsDirectly reports whether we have recently heard the node's own
+// heartbeats on any joined channel.
+func (n *Node) hearsDirectly(id membership.NodeID) bool {
+	now := n.eng.Now()
+	for _, lv := range n.levels {
+		if !lv.joined {
+			continue
+		}
+		if ms, ok := lv.members[id]; ok && now-ms.lastHeard <= n.cfg.DeadAfterLevel(lv.level) {
+			return true
+		}
+	}
+	return false
+}
+
+func (n *Node) joinedChannels() int {
+	c := 0
+	for _, lv := range n.levels {
+		if lv.joined {
+			c++
+		}
+	}
+	return c
+}
+
+// markSeen records an update ID with FIFO eviction.
+func (n *Node) markSeen(id wire.UpdateID) {
+	if n.seen[id] {
+		return
+	}
+	n.seen[id] = true
+	n.seenOrder = append(n.seenOrder, id)
+	if len(n.seenOrder) > maxSeen {
+		evict := n.seenOrder[0]
+		n.seenOrder = n.seenOrder[1:]
+		delete(n.seen, evict)
+	}
+}

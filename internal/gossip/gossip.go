@@ -1,0 +1,288 @@
+// Package gossip implements the paper's second baseline: a gossip-style
+// failure detection service after van Renesse, Minsky and Hayden.
+//
+// Every node maintains a list of known members with per-member heartbeat
+// counters. Each gossip interval it increments its own counter and sends
+// its entire list to a few randomly chosen members (unicast). Receivers
+// merge the list, adopting higher counters. A member whose counter has not
+// increased for Tfail is declared failed; it may not be re-added from
+// gossip carrying stale counters for another Tcleanup (handled with the
+// directory's tombstones), which bounds the probability of erroneous
+// re-addition.
+//
+// Because each message carries the full view, the message size grows with
+// the cluster, and the total bandwidth at a fixed gossip frequency grows
+// quadratically — while detection time grows with log N. These are the
+// behaviours the paper's Figures 11-13 measure against the hierarchical
+// scheme.
+package gossip
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/membership"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// Config parametrizes a gossip node.
+type Config struct {
+	// GossipInterval is the period between gossip rounds (1 Hz in the
+	// paper's comparison, matching the multicast frequency of the other
+	// schemes).
+	GossipInterval time.Duration
+	// Fanout is how many random members receive our view each round.
+	Fanout int
+	// FailTimeout is how long a member's counter may stagnate before the
+	// member is declared failed. If zero, it is derived from the expected
+	// cluster size and MistakeProbability via FailTimeoutFor.
+	FailTimeout time.Duration
+	// MistakeProbability bounds the chance of a false failure declaration
+	// (0.1% in the paper's setup); used when FailTimeout is zero.
+	MistakeProbability float64
+	// ExpectedSize is the cluster size used to derive FailTimeout when
+	// FailTimeout is zero.
+	ExpectedSize int
+	// Seeds are contact addresses used to bootstrap gossip before any
+	// members are known (the paper's initial broadcast, which its
+	// analysis excludes).
+	Seeds []membership.NodeID
+	// EntryPad adds inert bytes per gossiped member record, equalizing the
+	// per-member wire size with the other schemes' heartbeats for fair
+	// bandwidth comparisons.
+	EntryPad int
+	// SeedGossipProbability is the per-round chance of additionally
+	// gossiping to a uniformly random seed. Without it, push-only gossip
+	// whose targets come solely from the current view can partition into
+	// isolated cliques at cold start and never merge (van Renesse's
+	// protocol likewise occasionally gossips to well-known addresses).
+	SeedGossipProbability float64
+}
+
+// DefaultConfig mirrors the paper's comparison settings.
+func DefaultConfig() Config {
+	return Config{
+		GossipInterval:        time.Second,
+		Fanout:                1,
+		MistakeProbability:    0.001,
+		ExpectedSize:          100,
+		SeedGossipProbability: 0.25,
+	}
+}
+
+// FailTimeoutFor derives the failure timeout from the mistake probability
+// bound: counters propagate in O(log2 N) rounds with fanout 1, and the
+// detection timeout must leave enough slack that the probability a live
+// member's counter fails to arrive within it stays below pMistake. We use
+// the standard heuristic Tfail = ceil(log2(N) * ln(1/p) / ln(N)) rounds,
+// floored at 2·log2(N) rounds, which reproduces the logarithmic growth of
+// detection time the paper reports.
+func FailTimeoutFor(n int, pMistake float64, interval time.Duration) time.Duration {
+	if n < 2 {
+		n = 2
+	}
+	if pMistake <= 0 || pMistake >= 1 {
+		pMistake = 0.001
+	}
+	log2n := math.Log2(float64(n))
+	rounds := math.Ceil(log2n * math.Log(1/pMistake) / math.Log(float64(n)))
+	if min := 2 * log2n; rounds < min {
+		rounds = math.Ceil(min)
+	}
+	return time.Duration(rounds) * interval
+}
+
+func (c Config) failTimeout() time.Duration {
+	if c.FailTimeout > 0 {
+		return c.FailTimeout
+	}
+	return FailTimeoutFor(c.ExpectedSize, c.MistakeProbability, c.GossipInterval)
+}
+
+// Node is one cluster node running the gossip membership scheme.
+type Node struct {
+	cfg     Config
+	eng     *sim.Engine
+	ep      netsim.Transport
+	id      membership.NodeID
+	dir     *membership.Directory
+	info    membership.MemberInfo
+	ticker  *sim.Ticker
+	running bool
+}
+
+// NewNode creates a gossip node bound to an endpoint.
+func NewNode(cfg Config, ep netsim.Transport) *Node {
+	if cfg.Fanout < 1 {
+		cfg.Fanout = 1
+	}
+	id := membership.NodeID(ep.ID())
+	return &Node{
+		cfg:  cfg,
+		ep:   ep,
+		id:   id,
+		dir:  membership.NewDirectory(id),
+		info: membership.MemberInfo{Node: id},
+	}
+}
+
+// ID returns the node identity.
+func (n *Node) ID() membership.NodeID { return n.id }
+
+// Directory returns the node's yellow-page directory.
+func (n *Node) Directory() *membership.Directory { return n.dir }
+
+// Running reports whether the node is started.
+func (n *Node) Running() bool { return n.running }
+
+// SetInfo replaces the published services/attributes.
+func (n *Node) SetInfo(info membership.MemberInfo) {
+	info.Node = n.id
+	inc, beat := n.info.Incarnation, n.info.Beat
+	n.info = info.Clone()
+	n.info.Incarnation, n.info.Beat = inc, beat
+}
+
+// UpdateValue publishes a key/value pair.
+func (n *Node) UpdateValue(key, value string) {
+	n.info.SetAttr(key, value)
+	n.info.Version++
+	if n.running {
+		n.dir.Upsert(n.info.Clone(), membership.OriginSelf, 0, membership.NoNode, n.eng.Now())
+	}
+}
+
+// FailTimeout reports the effective failure timeout in use.
+func (n *Node) FailTimeout() time.Duration { return n.cfg.failTimeout() }
+
+// Start joins the gossip overlay.
+func (n *Node) Start(eng *sim.Engine) {
+	if n.running {
+		return
+	}
+	n.eng = eng
+	n.running = true
+	n.info.Incarnation++
+	n.dir.SetTombstoneTTL(2 * n.cfg.failTimeout())
+	n.dir.Upsert(n.info.Clone(), membership.OriginSelf, 0, membership.NoNode, eng.Now())
+	n.ep.SetHandler(n.receive)
+	n.ep.SetUp(true)
+	jitter := time.Duration(eng.Rand().Int63n(int64(n.cfg.GossipInterval)))
+	n.ticker = sim.NewTicker(eng, jitter, n.cfg.GossipInterval, n.round)
+}
+
+// Stop kills the daemon.
+func (n *Node) Stop() {
+	if !n.running {
+		return
+	}
+	n.running = false
+	n.ticker.Stop()
+	n.ep.SetUp(false)
+}
+
+// round performs one gossip round: bump our counter, expire stale members,
+// and send our full view to Fanout random peers.
+func (n *Node) round() {
+	if !n.running {
+		return
+	}
+	now := n.eng.Now()
+	n.info.Beat++
+	n.dir.Upsert(n.info.Clone(), membership.OriginSelf, 0, membership.NoNode, now)
+
+	// Expire members whose counters stagnated.
+	tf := n.cfg.failTimeout()
+	for _, id := range n.dir.Expired(now, func(*membership.Entry) time.Duration { return tf }) {
+		n.dir.Remove(id, now)
+	}
+
+	// Build the gossip message: our entire view with counters.
+	nodes := n.dir.Nodes()
+	entries := make([]wire.GossipEntry, 0, len(nodes))
+	for _, id := range nodes {
+		e := n.dir.Get(id)
+		info := e.Info.Clone()
+		info.Beat = e.Counter
+		entries = append(entries, wire.GossipEntry{Counter: e.Counter, Info: info})
+	}
+	pad := uint32(0)
+	if n.cfg.EntryPad > 0 {
+		pad = uint32(n.cfg.EntryPad * len(entries))
+	}
+	payload := wire.Encode(&wire.Gossip{From: n.id, Entries: entries, Pad: pad})
+
+	for _, target := range n.pickTargets() {
+		n.ep.Unicast(topology.HostID(target), payload)
+	}
+}
+
+// pickTargets selects up to Fanout random live members (or seeds while the
+// view is empty).
+func (n *Node) pickTargets() []membership.NodeID {
+	var candidates []membership.NodeID
+	for _, id := range n.dir.Nodes() {
+		if id != n.id {
+			candidates = append(candidates, id)
+		}
+	}
+	if len(candidates) == 0 {
+		for _, s := range n.cfg.Seeds {
+			if s != n.id {
+				candidates = append(candidates, s)
+			}
+		}
+	}
+	rng := n.eng.Rand()
+	var targets []membership.NodeID
+	if len(candidates) <= n.cfg.Fanout {
+		targets = candidates
+	} else {
+		rng.Shuffle(len(candidates), func(i, j int) {
+			candidates[i], candidates[j] = candidates[j], candidates[i]
+		})
+		targets = candidates[:n.cfg.Fanout]
+	}
+	// Occasionally gossip to a well-known seed so isolated views merge.
+	if len(n.cfg.Seeds) > 0 && rng.Float64() < n.cfg.SeedGossipProbability {
+		s := n.cfg.Seeds[rng.Intn(len(n.cfg.Seeds))]
+		dup := s == n.id
+		for _, t := range targets {
+			if t == s {
+				dup = true
+			}
+		}
+		if !dup {
+			targets = append(targets, s)
+		}
+	}
+	return targets
+}
+
+// receive merges an incoming view.
+func (n *Node) receive(pkt netsim.Packet) {
+	if !n.running {
+		return
+	}
+	msg, err := wire.Decode(pkt.Payload)
+	if err != nil {
+		return
+	}
+	g, ok := msg.(*wire.Gossip)
+	if !ok {
+		return
+	}
+	now := n.eng.Now()
+	for _, e := range g.Entries {
+		if e.Info.Node == n.id {
+			continue
+		}
+		// Upsert refreshes only when the counter advances, which is
+		// exactly the gossip merge rule; tombstones implement the
+		// "do not re-add with a stale counter" cleanup window.
+		n.dir.Upsert(e.Info, membership.OriginRelayed, 0, g.From, now)
+	}
+}

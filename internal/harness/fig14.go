@@ -1,0 +1,194 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/proxy"
+	"repro/internal/service"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// Figure14Options parametrize the membership proxy effectiveness
+// experiment (§6.7): a prototype search engine in two data centers; the
+// document retrieval service in data center A fails at FailAt and recovers
+// at RecoverAt, and the gateway's traffic fails over to data center B
+// through the membership proxies.
+type Figure14Options struct {
+	Seed          int64
+	Duration      time.Duration
+	FailAt        time.Duration
+	RecoverAt     time.Duration
+	QueryInterval time.Duration // request arrival period at the gateway
+	// Poisson switches the arrival process from deterministic pacing to a
+	// memoryless stream at rate 1/QueryInterval (independent Internet
+	// users rather than a load generator).
+	Poisson   bool
+	IndexTime time.Duration // index server processing time
+	DocTime   time.Duration // doc server processing time
+}
+
+// DefaultFigure14Options reproduce the paper's run: 60 seconds, failure at
+// 20 s, recovery at 40 s.
+func DefaultFigure14Options() Figure14Options {
+	return Figure14Options{
+		Seed:          42,
+		Duration:      60 * time.Second,
+		FailAt:        20 * time.Second,
+		RecoverAt:     40 * time.Second,
+		QueryInterval: 25 * time.Millisecond, // 40 queries/s offered load
+		IndexTime:     3 * time.Millisecond,
+		DocTime:       3 * time.Millisecond,
+	}
+}
+
+// Figure14Cluster is the two-data-center search deployment.
+type Figure14Cluster struct {
+	Eng      *sim.Engine
+	Net      *netsim.Network
+	Top      *topology.Topology
+	Nodes    []*core.Node
+	Runtimes []*service.Runtime
+	Proxies  []*proxy.Proxy
+	Gateway  *service.Gateway
+	DocA     []*core.Node // DC A's doc servers (the failing service)
+}
+
+// buildFigure14 wires the deployment:
+//
+//	DC0 (data center A): host0 gateway, hosts 1-2 proxies, hosts 3-4 index
+//	partitions 0-1, hosts 5-7 doc partitions 0-2.
+//	DC1 (data center B): hosts 9-10 proxies, hosts 11-12 index partitions,
+//	hosts 13-15 doc partitions 0-2.
+func buildFigure14(o Figure14Options) *Figure14Cluster {
+	top := topology.MultiDC(2, 2, 4) // 8 hosts per DC
+	eng := sim.NewEngine(o.Seed)
+	net := netsim.New(eng, top)
+	vip := proxy.NewVIPTable()
+	f := &Figure14Cluster{Eng: eng, Net: net, Top: top}
+
+	mcfg := core.DefaultConfig()
+	mcfg.MaxTTL = top.Diameter()
+	for h := 0; h < top.NumHosts(); h++ {
+		hid := topology.HostID(h)
+		ep := net.Endpoint(hid)
+		node := core.NewNode(mcfg, ep)
+		scfg := service.DefaultConfig()
+		scfg.RequestTimeout = 500 * time.Millisecond
+		dc := top.HostDC(hid)
+		scfg.ProxyAddr = func() (topology.HostID, bool) { return vip.Get(dc) }
+		rt := service.NewRuntime(scfg, eng, ep, node)
+		f.Nodes = append(f.Nodes, node)
+		f.Runtimes = append(f.Runtimes, rt)
+	}
+	newProxy := func(h int, dc int, remotes []int) {
+		pcfg := proxy.DefaultConfig(dc, remotes)
+		pcfg.ProxyTTL = top.Diameter()
+		p := proxy.New(pcfg, eng, net.Endpoint(topology.HostID(h)), f.Runtimes[h], vip)
+		f.Proxies = append(f.Proxies, p)
+	}
+	newProxy(1, 0, []int{1})
+	newProxy(2, 0, []int{1})
+	newProxy(9, 1, []int{0})
+	newProxy(10, 1, []int{0})
+
+	registerSearch := func(base int) {
+		f.Runtimes[base+3].Register(service.IndexService, "0", o.IndexTime, service.IndexHandler(3))
+		f.Runtimes[base+4].Register(service.IndexService, "1", o.IndexTime, service.IndexHandler(3))
+		for i := 0; i < 3; i++ {
+			f.Runtimes[base+5+i].Register(service.DocService, fmt.Sprintf("%d", i), o.DocTime, service.DocHandler())
+		}
+	}
+	registerSearch(0) // DC A: index at 3-4, docs at 5-7
+	registerSearch(8) // DC B: index at 11-12, docs at 13-15
+	for i := 5; i <= 7; i++ {
+		f.DocA = append(f.DocA, f.Nodes[i])
+	}
+	// A retry budget spanning the failure-detection window: requests that
+	// arrive while the dead replicas are still listed keep retrying until
+	// the membership service removes them and the proxy path takes over,
+	// so they complete late instead of failing (the paper's throughput
+	// only dips during detection).
+	f.Gateway = service.NewGateway(f.Runtimes[0], 2, 14)
+	return f
+}
+
+// Figure14 runs the experiment and returns the paper's two panels as one
+// figure: mean response time (ms) and completed throughput (queries/s) per
+// one-second bucket.
+func Figure14(o Figure14Options) *metrics.Figure {
+	f := buildFigure14(o)
+	for _, n := range f.Nodes {
+		n.Start(f.Eng)
+	}
+	for _, p := range f.Proxies {
+		p.Start()
+	}
+	// Let membership and proxy summaries converge before time zero.
+	warm := 30 * time.Second
+	f.Eng.Run(warm)
+
+	seconds := int(o.Duration / time.Second)
+	sumMS := make([]float64, seconds)
+	count := make([]int, seconds)
+	errs := make([]int, seconds)
+
+	t0 := f.Eng.Now()
+	issue := func(i int) {
+		q := fmt.Sprintf("query-%05d", i)
+		f.Gateway.Query(q, func(res service.QueryResult) {
+			// Bucket by completion time: throughput is completed
+			// queries per second, as the paper plots it.
+			bucket := int((f.Eng.Now() - t0) / time.Second)
+			if bucket < 0 || bucket >= seconds {
+				return
+			}
+			if res.Err != nil {
+				errs[bucket]++
+				return
+			}
+			sumMS[bucket] += float64(res.Elapsed.Microseconds()) / 1000
+			count[bucket]++
+		})
+	}
+	if o.Poisson {
+		workload.Poisson(f.Eng, float64(time.Second)/float64(o.QueryInterval), o.Duration, issue)
+	} else {
+		workload.Deterministic(f.Eng, o.QueryInterval, o.Duration, issue)
+	}
+	f.Eng.ScheduleAt(t0+o.FailAt, func() {
+		for _, n := range f.DocA {
+			n.Stop()
+		}
+	})
+	f.Eng.ScheduleAt(t0+o.RecoverAt, func() {
+		for _, n := range f.DocA {
+			n.Start(f.Eng)
+		}
+	})
+	f.Eng.Run(t0 + o.Duration + 5*time.Second)
+
+	fig := &metrics.Figure{
+		Title:  "Figure 14: Effectiveness of membership proxy (fail@20s, recover@40s)",
+		XLabel: "second",
+		YLabel: "response ms | completed/s | failed/s",
+	}
+	resp := fig.AddSeries("response ms")
+	thr := fig.AddSeries("throughput/s")
+	fail := fig.AddSeries("failed/s")
+	for s := 0; s < seconds; s++ {
+		if count[s] > 0 {
+			resp.Add(float64(s), sumMS[s]/float64(count[s]))
+		} else {
+			resp.Add(float64(s), 0)
+		}
+		thr.Add(float64(s), float64(count[s]))
+		fail.Add(float64(s), float64(errs[s]))
+	}
+	return fig
+}

@@ -1,0 +1,152 @@
+// Package harness builds clusters running any of the three membership
+// schemes and reruns every experiment from the paper's evaluation section,
+// emitting metrics.Figure tables that the benchmarks and the tampbench
+// command print.
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/alltoall"
+	"repro/internal/core"
+	"repro/internal/gossip"
+	"repro/internal/membership"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// Scheme selects a membership protocol.
+type Scheme int
+
+// The three compared schemes.
+const (
+	AllToAll Scheme = iota
+	Gossip
+	Hierarchical
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case AllToAll:
+		return "All-to-all"
+	case Gossip:
+		return "Gossip"
+	case Hierarchical:
+		return "Hierarchical"
+	}
+	return fmt.Sprintf("scheme(%d)", int(s))
+}
+
+// Schemes lists all three in the paper's presentation order.
+var Schemes = []Scheme{AllToAll, Gossip, Hierarchical}
+
+// Instance is the common surface of the three protocol nodes.
+type Instance interface {
+	ID() membership.NodeID
+	Start(eng *sim.Engine)
+	Stop()
+	Directory() *membership.Directory
+	Running() bool
+}
+
+// Statically assert the three implementations satisfy Instance.
+var (
+	_ Instance = (*core.Node)(nil)
+	_ Instance = (*alltoall.Node)(nil)
+	_ Instance = (*gossip.Node)(nil)
+)
+
+// HeartbeatWireTarget is the paper's measured average membership packet
+// size: "The average packet size carrying the membership information of
+// each node is measured as 228 bytes for all three schemes." Heartbeats
+// are padded up to it so bandwidth numbers are comparable.
+const HeartbeatWireTarget = 228
+
+// Cluster is one simulated cluster running one scheme.
+type Cluster struct {
+	Scheme Scheme
+	Eng    *sim.Engine
+	Net    *netsim.Network
+	Top    *topology.Topology
+	Nodes  []Instance
+}
+
+// padFor computes the heartbeat padding that brings a default heartbeat to
+// the target wire size.
+func padFor(target int) int {
+	sample := wire.Encode(&wire.Heartbeat{
+		Info:   membership.MemberInfo{Node: 0, Incarnation: 1},
+		Backup: membership.NoNode,
+	})
+	pad := target - netsim.UDPOverhead - len(sample)
+	if pad < 0 {
+		pad = 0
+	}
+	return pad
+}
+
+// NewCluster builds a cluster of the given scheme over a topology. The
+// configuration mirrors §6.2: 1 Hz multicast/gossip frequency, 5 tolerated
+// losses, 0.1% gossip mistake probability, 228-byte membership packets.
+func NewCluster(scheme Scheme, top *topology.Topology, seed int64) *Cluster {
+	eng := sim.NewEngine(seed)
+	net := netsim.New(eng, top)
+	c := &Cluster{Scheme: scheme, Eng: eng, Net: net, Top: top}
+	n := top.NumHosts()
+	diameter := top.Diameter()
+	if diameter < 1 {
+		diameter = 1
+	}
+	pad := padFor(HeartbeatWireTarget)
+	switch scheme {
+	case AllToAll:
+		cfg := alltoall.DefaultConfig()
+		cfg.TTL = diameter
+		cfg.HeartbeatPad = pad
+		for h := 0; h < n; h++ {
+			c.Nodes = append(c.Nodes, alltoall.NewNode(cfg, net.Endpoint(topology.HostID(h))))
+		}
+	case Gossip:
+		cfg := gossip.DefaultConfig()
+		cfg.ExpectedSize = n
+		// Equalize per-member record size with the heartbeat schemes: one
+		// bare gossip entry is ~50 bytes; pad each to the 228-byte target
+		// minus the per-packet header share.
+		sample := wire.Encode(&wire.Gossip{Entries: []wire.GossipEntry{{
+			Info: membership.MemberInfo{Node: 0, Incarnation: 1},
+		}}})
+		cfg.EntryPad = HeartbeatWireTarget - netsim.UDPOverhead - len(sample)
+		if cfg.EntryPad < 0 {
+			cfg.EntryPad = 0
+		}
+		for h := 0; h < n; h++ {
+			cfg.Seeds = append(cfg.Seeds, membership.NodeID(h))
+		}
+		for h := 0; h < n; h++ {
+			c.Nodes = append(c.Nodes, gossip.NewNode(cfg, net.Endpoint(topology.HostID(h))))
+		}
+	case Hierarchical:
+		cfg := core.DefaultConfig()
+		cfg.MaxTTL = diameter
+		cfg.HeartbeatPad = pad
+		for h := 0; h < n; h++ {
+			c.Nodes = append(c.Nodes, core.NewNode(cfg, net.Endpoint(topology.HostID(h))))
+		}
+	default:
+		panic("harness: unknown scheme")
+	}
+	return c
+}
+
+// StartAll starts every node.
+func (c *Cluster) StartAll() {
+	for _, n := range c.Nodes {
+		n.Start(c.Eng)
+	}
+}
+
+// Run advances the simulation by d.
+func (c *Cluster) Run(d time.Duration) { c.Eng.Run(c.Eng.Now() + d) }

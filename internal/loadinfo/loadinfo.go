@@ -1,0 +1,194 @@
+// Package loadinfo implements the load-information dissemination protocol
+// the paper layers above the membership service (§6.1): "an external
+// protocol can be built on the top of our membership protocol to propagate
+// load information. For example, the protocol can propagate load
+// information only to interested nodes which have recently seeked the
+// service from the service node."
+//
+// A provider runs a Reporter: every consumer that sends it a request is
+// remembered as interested for an interest window; while interested, the
+// consumer receives periodic unsolicited load reports over unicast. A
+// consumer runs a Cache that absorbs the reports; the service runtime
+// consults the cache before falling back to synchronous random polling,
+// trading a little push traffic for the poll round trip on the hot path.
+package loadinfo
+
+import (
+	"time"
+
+	"repro/internal/membership"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// Config parametrizes the reporter.
+type Config struct {
+	// ReportInterval is the push period while any consumer is interested.
+	ReportInterval time.Duration
+	// InterestWindow is how long after its last request a consumer keeps
+	// receiving reports.
+	InterestWindow time.Duration
+	// MinDelta suppresses reports whose load changed by less than this
+	// since the last push (0 pushes every interval).
+	MinDelta uint32
+}
+
+// DefaultConfig returns moderate defaults: 250 ms pushes, 5 s interest.
+func DefaultConfig() Config {
+	return Config{
+		ReportInterval: 250 * time.Millisecond,
+		InterestWindow: 5 * time.Second,
+	}
+}
+
+// Reporter pushes a provider's load to recently interested consumers.
+type Reporter struct {
+	cfg    Config
+	eng    *sim.Engine
+	ep     netsim.Transport
+	id     membership.NodeID
+	load   func() uint32
+	ticker *sim.Ticker
+
+	interested map[membership.NodeID]time.Duration
+	lastSent   uint32
+	sentAny    bool
+	seq        uint64
+	running    bool
+}
+
+// NewReporter creates a reporter that reads the provider's instantaneous
+// load from load().
+func NewReporter(cfg Config, eng *sim.Engine, ep netsim.Transport, load func() uint32) *Reporter {
+	if cfg.ReportInterval <= 0 {
+		cfg.ReportInterval = DefaultConfig().ReportInterval
+	}
+	if cfg.InterestWindow <= 0 {
+		cfg.InterestWindow = DefaultConfig().InterestWindow
+	}
+	return &Reporter{
+		cfg:        cfg,
+		eng:        eng,
+		ep:         ep,
+		id:         membership.NodeID(ep.ID()),
+		load:       load,
+		interested: make(map[membership.NodeID]time.Duration),
+	}
+}
+
+// Start begins pushing.
+func (r *Reporter) Start() {
+	if r.running {
+		return
+	}
+	r.running = true
+	r.ticker = sim.NewJitteredTicker(r.eng, r.cfg.ReportInterval, r.push)
+}
+
+// Stop halts pushing.
+func (r *Reporter) Stop() {
+	if !r.running {
+		return
+	}
+	r.running = false
+	r.ticker.Stop()
+}
+
+// NoteConsumer records that a consumer just used this provider; the
+// service runtime calls it for every served request.
+func (r *Reporter) NoteConsumer(id membership.NodeID) {
+	if id == r.id {
+		return
+	}
+	r.interested[id] = r.eng.Now()
+}
+
+// InterestedCount returns the number of currently interested consumers.
+func (r *Reporter) InterestedCount() int {
+	r.prune()
+	return len(r.interested)
+}
+
+func (r *Reporter) prune() {
+	now := r.eng.Now()
+	for id, at := range r.interested {
+		if now-at > r.cfg.InterestWindow {
+			delete(r.interested, id)
+		}
+	}
+}
+
+func (r *Reporter) push() {
+	if !r.running {
+		return
+	}
+	r.prune()
+	if len(r.interested) == 0 {
+		return
+	}
+	load := r.load()
+	if r.sentAny && r.cfg.MinDelta > 0 {
+		diff := load - r.lastSent
+		if load < r.lastSent {
+			diff = r.lastSent - load
+		}
+		if diff < r.cfg.MinDelta {
+			return
+		}
+	}
+	r.seq++
+	payload := wire.Encode(&wire.LoadReport{From: r.id, Seq: r.seq, Load: load})
+	for id := range r.interested {
+		r.ep.Unicast(topology.HostID(id), payload)
+	}
+	r.lastSent = load
+	r.sentAny = true
+}
+
+// Sample is one cached provider load.
+type Sample struct {
+	Load uint32
+	At   time.Duration
+	seq  uint64
+}
+
+// Cache holds pushed load samples at a consumer.
+type Cache struct {
+	eng *sim.Engine
+	ttl time.Duration
+	m   map[membership.NodeID]Sample
+}
+
+// NewCache creates a cache whose samples expire after ttl.
+func NewCache(eng *sim.Engine, ttl time.Duration) *Cache {
+	if ttl <= 0 {
+		ttl = time.Second
+	}
+	return &Cache{eng: eng, ttl: ttl, m: make(map[membership.NodeID]Sample)}
+}
+
+// Absorb applies one received report; reordered older reports are ignored.
+func (c *Cache) Absorb(rep *wire.LoadReport) {
+	prev, ok := c.m[rep.From]
+	if ok && rep.Seq <= prev.seq {
+		return
+	}
+	c.m[rep.From] = Sample{Load: rep.Load, At: c.eng.Now(), seq: rep.Seq}
+}
+
+// Get returns a fresh sample for the provider, if any.
+func (c *Cache) Get(id membership.NodeID) (Sample, bool) {
+	s, ok := c.m[id]
+	if !ok || c.eng.Now()-s.At > c.ttl {
+		return Sample{}, false
+	}
+	return s, true
+}
+
+// Forget drops a provider (e.g. on membership leave).
+func (c *Cache) Forget(id membership.NodeID) { delete(c.m, id) }
+
+// Len returns the number of cached samples, including stale ones.
+func (c *Cache) Len() int { return len(c.m) }

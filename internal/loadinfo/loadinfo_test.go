@@ -1,0 +1,155 @@
+package loadinfo
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+func fixture(t *testing.T) (*sim.Engine, *netsim.Network) {
+	t.Helper()
+	eng := sim.NewEngine(5)
+	return eng, netsim.New(eng, topology.FlatLAN(4))
+}
+
+func TestReporterPushesOnlyToInterested(t *testing.T) {
+	eng, net := fixture(t)
+	load := uint32(7)
+	rep := NewReporter(DefaultConfig(), eng, net.Endpoint(0), func() uint32 { return load })
+	rep.Start()
+
+	got := map[topology.HostID]int{}
+	for _, h := range []topology.HostID{1, 2, 3} {
+		h := h
+		net.Endpoint(h).SetHandler(func(pkt netsim.Packet) {
+			if m, err := wire.Decode(pkt.Payload); err == nil {
+				if lr, ok := m.(*wire.LoadReport); ok && lr.Load == load {
+					got[h]++
+				}
+			}
+		})
+	}
+	// Nobody interested: nothing pushed.
+	eng.Run(2 * time.Second)
+	if len(got) != 0 {
+		t.Fatalf("pushed to uninterested consumers: %v", got)
+	}
+	// Consumer 1 becomes interested.
+	rep.NoteConsumer(1)
+	eng.Run(eng.Now() + 2*time.Second)
+	if got[1] == 0 {
+		t.Fatal("interested consumer got no reports")
+	}
+	if got[2] != 0 || got[3] != 0 {
+		t.Fatalf("uninterested consumers got reports: %v", got)
+	}
+	if rep.InterestedCount() != 1 {
+		t.Fatalf("InterestedCount = %d", rep.InterestedCount())
+	}
+}
+
+func TestInterestExpires(t *testing.T) {
+	eng, net := fixture(t)
+	cfg := DefaultConfig()
+	cfg.InterestWindow = time.Second
+	rep := NewReporter(cfg, eng, net.Endpoint(0), func() uint32 { return 1 })
+	rep.Start()
+	count := 0
+	net.Endpoint(1).SetHandler(func(pkt netsim.Packet) { count++ })
+	rep.NoteConsumer(1)
+	eng.Run(5 * time.Second)
+	during := count
+	if during == 0 {
+		t.Fatal("no reports during interest window")
+	}
+	// Window long past: counts must have frozen.
+	eng.Run(eng.Now() + 5*time.Second)
+	if count != during {
+		t.Fatalf("reports continued after interest expired: %d -> %d", during, count)
+	}
+	if rep.InterestedCount() != 0 {
+		t.Fatal("interest not pruned")
+	}
+}
+
+func TestMinDeltaSuppression(t *testing.T) {
+	eng, net := fixture(t)
+	cfg := DefaultConfig()
+	cfg.MinDelta = 5
+	load := uint32(10)
+	rep := NewReporter(cfg, eng, net.Endpoint(0), func() uint32 { return load })
+	rep.Start()
+	count := 0
+	net.Endpoint(1).SetHandler(func(pkt netsim.Packet) { count++ })
+	rep.NoteConsumer(1)
+	eng.Run(time.Second)
+	first := count
+	if first == 0 {
+		t.Fatal("first report suppressed")
+	}
+	// Load unchanged: no further pushes.
+	rep.NoteConsumer(1) // keep interest alive
+	eng.Run(eng.Now() + 2*time.Second)
+	if count != first {
+		t.Fatalf("unchanged load still pushed: %d -> %d", first, count)
+	}
+	// Big change: pushed again.
+	load = 20
+	rep.NoteConsumer(1)
+	eng.Run(eng.Now() + time.Second)
+	if count == first {
+		t.Fatal("changed load not pushed")
+	}
+}
+
+func TestReporterStop(t *testing.T) {
+	eng, net := fixture(t)
+	rep := NewReporter(DefaultConfig(), eng, net.Endpoint(0), func() uint32 { return 1 })
+	rep.Start()
+	rep.NoteConsumer(1)
+	count := 0
+	net.Endpoint(1).SetHandler(func(pkt netsim.Packet) { count++ })
+	eng.Run(time.Second)
+	rep.Stop()
+	at := count
+	eng.Run(eng.Now() + 2*time.Second)
+	if count != at {
+		t.Fatal("reports after Stop")
+	}
+}
+
+func TestCacheFreshnessAndOrdering(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c := NewCache(eng, time.Second)
+	c.Absorb(&wire.LoadReport{From: 3, Seq: 2, Load: 9})
+	if s, ok := c.Get(3); !ok || s.Load != 9 {
+		t.Fatalf("Get = %+v, %v", s, ok)
+	}
+	// Older (reordered) report ignored.
+	c.Absorb(&wire.LoadReport{From: 3, Seq: 1, Load: 99})
+	if s, _ := c.Get(3); s.Load != 9 {
+		t.Fatalf("reordered report regressed cache: %+v", s)
+	}
+	// Newer applies.
+	c.Absorb(&wire.LoadReport{From: 3, Seq: 3, Load: 4})
+	if s, _ := c.Get(3); s.Load != 4 {
+		t.Fatalf("newer report ignored: %+v", s)
+	}
+	// Expiry.
+	eng.Schedule(2*time.Second, func() {})
+	eng.RunAll()
+	if _, ok := c.Get(3); ok {
+		t.Fatal("stale sample still fresh")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	c.Forget(3)
+	if c.Len() != 0 {
+		t.Fatal("Forget failed")
+	}
+}

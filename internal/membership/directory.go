@@ -1,0 +1,430 @@
+package membership
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"time"
+)
+
+// Origin says how a directory entry was learned, which determines its
+// lifetime under the paper's Timeout Protocol: entries heard directly decay
+// on their own heartbeat timeout; entries relayed by a group leader live
+// exactly as long as the relaying leader does.
+type Origin uint8
+
+const (
+	// OriginSelf is the node's own entry; it never expires.
+	OriginSelf Origin = iota
+	// OriginDirect entries were heard on a multicast channel the node has
+	// joined (heartbeats from group mates at some level).
+	OriginDirect
+	// OriginRelayed entries arrived in update/bootstrap/sync messages
+	// relayed by a group leader.
+	OriginRelayed
+)
+
+func (o Origin) String() string {
+	switch o {
+	case OriginSelf:
+		return "self"
+	case OriginDirect:
+		return "direct"
+	case OriginRelayed:
+		return "relayed"
+	}
+	return fmt.Sprintf("origin(%d)", uint8(o))
+}
+
+// Entry is one row of the yellow-page directory.
+type Entry struct {
+	Info MemberInfo
+	// Origin and the fields below are per-holder bookkeeping, not part of
+	// the propagated information.
+	Origin Origin
+	// Level is the tree level (for direct entries, the lowest channel the
+	// member was heard on; for relayed entries, the level whose leader
+	// relayed it).
+	Level int
+	// Relayer is the group mate this entry was most recently refreshed by
+	// (for relayed entries), else NoNode.
+	Relayer NodeID
+	// LastRefresh is the holder's clock when the entry was last confirmed.
+	LastRefresh time.Duration
+	// Counter is protocol-specific freshness state (the gossip heartbeat
+	// counter); unused by the heartbeat-based protocols.
+	Counter uint64
+}
+
+// EventType classifies directory change notifications.
+type EventType uint8
+
+const (
+	// EventJoin fires when a node appears in the directory.
+	EventJoin EventType = iota
+	// EventLeave fires when a node is removed (failure or departure).
+	EventLeave
+	// EventUpdate fires when a present node's info changes.
+	EventUpdate
+)
+
+func (e EventType) String() string {
+	switch e {
+	case EventJoin:
+		return "join"
+	case EventLeave:
+		return "leave"
+	case EventUpdate:
+		return "update"
+	}
+	return fmt.Sprintf("event(%d)", uint8(e))
+}
+
+// Event is a directory change notification.
+type Event struct {
+	Type EventType
+	Node NodeID
+	Time time.Duration
+}
+
+// tombstone remembers a removed node so that stale relayed snapshots cannot
+// resurrect it; only a higher incarnation (a real restart) or direct
+// observation (we hear its heartbeats, so it is alive) overrides it.
+type tombstone struct {
+	at   time.Duration
+	inc  uint32
+	beat uint64
+}
+
+// Directory is one node's yellow-page view of the cluster. It is driven by
+// a single goroutine (the simulation loop or the real-transport receive
+// loop); the public tamp API wraps it with locking for client access.
+type Directory struct {
+	owner    NodeID
+	entries  map[NodeID]*Entry
+	tombs    map[NodeID]tombstone
+	tombTTL  time.Duration // 0 disables tombstones
+	observer func(Event)
+
+	// history is a bounded ring of recent change events, letting
+	// consumers reconcile after a gap ("what changed since T") without
+	// subscribing to every event. Zero capacity disables it.
+	history    []Event
+	historyCap int
+	historyOff uint64 // total events ever recorded
+}
+
+// EnableHistory keeps the most recent capacity change events queryable via
+// ChangesSince. Zero disables.
+func (d *Directory) EnableHistory(capacity int) {
+	d.historyCap = capacity
+	if capacity <= 0 {
+		d.history = nil
+		return
+	}
+	if len(d.history) > capacity {
+		d.history = append([]Event(nil), d.history[len(d.history)-capacity:]...)
+	}
+}
+
+func (d *Directory) record(e Event) {
+	if d.historyCap <= 0 {
+		return
+	}
+	d.history = append(d.history, e)
+	d.historyOff++
+	if len(d.history) > d.historyCap {
+		d.history = d.history[1:]
+	}
+}
+
+// ChangesSince returns the retained change events at or after t, oldest
+// first, and whether the history is complete back to t (false means events
+// older than the ring's capacity may have been dropped and the caller
+// should do a full resynchronization).
+func (d *Directory) ChangesSince(t time.Duration) (events []Event, complete bool) {
+	if d.historyCap <= 0 {
+		return nil, false
+	}
+	complete = d.historyOff <= uint64(d.historyCap)
+	if !complete && len(d.history) > 0 && d.history[0].Time <= t {
+		// The oldest retained event predates t: nothing before t was
+		// dropped after t, so the answer is complete for this window.
+		complete = true
+	}
+	for _, e := range d.history {
+		if e.Time >= t {
+			events = append(events, e)
+		}
+	}
+	return events, complete
+}
+
+// NewDirectory creates a directory owned by node owner.
+func NewDirectory(owner NodeID) *Directory {
+	return &Directory{owner: owner, entries: make(map[NodeID]*Entry), tombs: make(map[NodeID]tombstone)}
+}
+
+// SetTombstoneTTL enables rejection of relayed re-additions of removed
+// nodes for ttl after removal. Zero disables.
+func (d *Directory) SetTombstoneTTL(ttl time.Duration) { d.tombTTL = ttl }
+
+// TombstoneActive reports whether a relayed upsert of this info would
+// currently be rejected: the node was removed recently and the offered copy
+// carries no newer evidence of life (no higher incarnation and no further
+// advanced heartbeat counter than we saw at removal time).
+func (d *Directory) TombstoneActive(info MemberInfo, now time.Duration) bool {
+	if d.tombTTL <= 0 {
+		return false
+	}
+	ts, ok := d.tombs[info.Node]
+	return ok && info.Incarnation <= ts.inc && info.Beat <= ts.beat && now-ts.at < d.tombTTL
+}
+
+// Owner returns the owning node's ID.
+func (d *Directory) Owner() NodeID { return d.owner }
+
+// SetObserver installs a change callback (used by the experiment harness to
+// timestamp view changes). Pass nil to remove.
+func (d *Directory) SetObserver(fn func(Event)) { d.observer = fn }
+
+func (d *Directory) emit(t EventType, n NodeID, now time.Duration) {
+	e := Event{Type: t, Node: n, Time: now}
+	d.record(e)
+	if d.observer != nil {
+		d.observer(e)
+	}
+}
+
+// Len returns the number of known-alive nodes (including the owner if
+// present).
+func (d *Directory) Len() int { return len(d.entries) }
+
+// Has reports whether node n is currently in the directory.
+func (d *Directory) Has(n NodeID) bool {
+	_, ok := d.entries[n]
+	return ok
+}
+
+// Get returns the entry for n, or nil.
+func (d *Directory) Get(n NodeID) *Entry { return d.entries[n] }
+
+// Upsert merges info into the directory. The entry's origin bookkeeping is
+// set from the arguments. Stale info (older incarnation/version for a
+// present node) refreshes liveness but does not overwrite newer info.
+// It returns true if this was a new node (a join).
+func (d *Directory) Upsert(info MemberInfo, origin Origin, level int, relayer NodeID, now time.Duration) bool {
+	if origin == OriginRelayed {
+		if d.TombstoneActive(info, now) {
+			return false
+		}
+	} else {
+		// Direct observation proves liveness and clears any tombstone.
+		delete(d.tombs, info.Node)
+	}
+	e, ok := d.entries[info.Node]
+	if !ok {
+		d.entries[info.Node] = &Entry{
+			Info: info, Origin: origin, Level: level, Relayer: relayer,
+			LastRefresh: now, Counter: info.Beat,
+		}
+		d.emit(EventJoin, info.Node, now)
+		return true
+	}
+	// Liveness: a direct observation always refreshes; a relayed copy only
+	// refreshes if it carries evidence of life we have not seen — an
+	// advanced heartbeat counter or newer content. A stale snapshot
+	// circulating among leaders therefore cannot keep a dead node alive.
+	fresh := origin != OriginRelayed || info.Beat > e.Counter || info.Newer(e.Info)
+	if fresh {
+		e.LastRefresh = now
+		// Last writer with fresh evidence takes origin custody; the self
+		// entry is never demoted.
+		if e.Origin != OriginSelf {
+			e.Origin, e.Level, e.Relayer = origin, level, relayer
+		}
+	}
+	if info.Beat > e.Counter {
+		e.Counter = info.Beat
+		// Keep the stored info's beat current even when its content is
+		// not newer, so snapshots we publish carry the freshest liveness
+		// evidence we hold rather than the beat at entry creation.
+		e.Info.Beat = info.Beat
+	}
+	if info.Newer(e.Info) {
+		beat := e.Info.Beat
+		e.Info = info
+		if beat > e.Info.Beat {
+			e.Info.Beat = beat
+		}
+		d.emit(EventUpdate, info.Node, now)
+	}
+	return false
+}
+
+// Refresh bumps LastRefresh for n if present (a heartbeat with unchanged
+// info); reports whether the node was present.
+func (d *Directory) Refresh(n NodeID, now time.Duration) bool {
+	e, ok := d.entries[n]
+	if ok {
+		e.LastRefresh = now
+	}
+	return ok
+}
+
+// Remove deletes node n; reports whether it was present. When tombstones
+// are enabled, the removal is remembered so stale relayed snapshots cannot
+// resurrect the node.
+func (d *Directory) Remove(n NodeID, now time.Duration) bool {
+	e, ok := d.entries[n]
+	if !ok {
+		return false
+	}
+	if d.tombTTL > 0 {
+		d.tombs[n] = tombstone{at: now, inc: e.Info.Incarnation, beat: e.Counter}
+		// Opportunistic pruning keeps the map bounded.
+		for tn, ts := range d.tombs {
+			if now-ts.at >= d.tombTTL {
+				delete(d.tombs, tn)
+			}
+		}
+	}
+	delete(d.entries, n)
+	d.emit(EventLeave, n, now)
+	return true
+}
+
+// Nodes returns the known node IDs in ascending order.
+func (d *Directory) Nodes() []NodeID {
+	out := make([]NodeID, 0, len(d.entries))
+	for n := range d.entries {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Snapshot returns deep copies of all member infos, in node order. This is
+// what bootstrap and sync replies carry.
+func (d *Directory) Snapshot() []MemberInfo {
+	nodes := d.Nodes()
+	out := make([]MemberInfo, 0, len(nodes))
+	for _, n := range nodes {
+		out = append(out, d.entries[n].Info.Clone())
+	}
+	return out
+}
+
+// Expired returns the nodes whose entries have not been refreshed within
+// their timeout, given a per-entry timeout function. The owner's own entry
+// never expires.
+func (d *Directory) Expired(now time.Duration, timeout func(*Entry) time.Duration) []NodeID {
+	var out []NodeID
+	for n, e := range d.entries {
+		if n == d.owner || e.Origin == OriginSelf {
+			continue
+		}
+		if now-e.LastRefresh > timeout(e) {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RelayedBy returns the nodes whose entries were learned via relayer.
+func (d *Directory) RelayedBy(relayer NodeID) []NodeID {
+	var out []NodeID
+	for n, e := range d.entries {
+		if e.Origin == OriginRelayed && e.Relayer == relayer {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Match describes one node matched by a Lookup.
+type Match struct {
+	Node       NodeID
+	Service    string
+	Partitions []int32 // the matching partitions hosted by this node
+	Params     []KV
+	Attrs      []KV
+}
+
+// Lookup implements the paper's lookup_service: servicePattern is a regular
+// expression matched against service names (anchored), and partitionSpec is
+// either "*" / "" (any partition) or a ParsePartitions list of desired
+// partitions. A node matches if it hosts a matching service with at least
+// one desired partition. Results are ordered by (service, node).
+func (d *Directory) Lookup(servicePattern, partitionSpec string) ([]Match, error) {
+	re, err := regexp.Compile("^(?:" + servicePattern + ")$")
+	if err != nil {
+		return nil, fmt.Errorf("membership: bad service pattern: %w", err)
+	}
+	var want map[int32]bool
+	if partitionSpec != "" && partitionSpec != "*" {
+		parts, err := ParsePartitions(partitionSpec)
+		if err != nil {
+			return nil, err
+		}
+		want = make(map[int32]bool, len(parts))
+		for _, p := range parts {
+			want[p] = true
+		}
+	}
+	var out []Match
+	for _, n := range d.Nodes() {
+		e := d.entries[n]
+		for _, svc := range e.Info.Services {
+			if !re.MatchString(svc.Name) {
+				continue
+			}
+			var matched []int32
+			if want == nil {
+				matched = append([]int32(nil), svc.Partitions...)
+			} else {
+				for _, p := range svc.Partitions {
+					if want[p] {
+						matched = append(matched, p)
+					}
+				}
+				if len(matched) == 0 {
+					continue
+				}
+			}
+			out = append(out, Match{
+				Node:       n,
+				Service:    svc.Name,
+				Partitions: matched,
+				Params:     append([]KV(nil), svc.Params...),
+				Attrs:      append([]KV(nil), e.Info.Attrs...),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Service != out[j].Service {
+			return out[i].Service < out[j].Service
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out, nil
+}
+
+// View returns the set of alive nodes as a sorted slice — the quantity whose
+// convergence the experiments measure.
+func (d *Directory) View() []NodeID { return d.Nodes() }
+
+// ViewEqual reports whether two views (sorted node slices) are identical.
+func ViewEqual(a, b []NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,203 @@
+// Package membership defines the data model shared by every membership
+// protocol in this repository: node identities, the per-node service
+// description carried in heartbeats, and the yellow-page Directory each
+// node maintains.
+//
+// The paper's membership service publishes, for every cluster node, its
+// aliveness plus relatively stable information — application service name,
+// partition ID, machine configuration — and consumers query the directory
+// with regular expressions over service name and partition list
+// (lookup_service in Fig. 9). Dynamic load information is explicitly out of
+// scope of the membership protocol itself.
+package membership
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// NodeID identifies a cluster node. It equals the node's topology.HostID;
+// the paper uses the IP address. Leader election picks the lowest ID.
+type NodeID int32
+
+// NoNode is the invalid node ID.
+const NoNode NodeID = -1
+
+func (n NodeID) String() string { return fmt.Sprintf("n%d", int32(n)) }
+
+// KV is one attribute (machine or service configuration) published through
+// the membership service. Attributes are kept sorted by key so encodings
+// are deterministic.
+type KV struct {
+	Key   string
+	Value string
+}
+
+// ServiceDecl declares one service instance hosted on a node: the service
+// name, the data partitions it serves, and service-specific parameters
+// (such as the HTTP "Port" in the paper's example configuration).
+type ServiceDecl struct {
+	Name       string
+	Partitions []int32
+	Params     []KV
+}
+
+// Clone returns a deep copy.
+func (s ServiceDecl) Clone() ServiceDecl {
+	out := ServiceDecl{Name: s.Name}
+	out.Partitions = append([]int32(nil), s.Partitions...)
+	out.Params = append([]KV(nil), s.Params...)
+	return out
+}
+
+// MemberInfo is everything a node publishes about itself.
+type MemberInfo struct {
+	Node NodeID
+	// Incarnation increases each time the node's daemon restarts, so a
+	// rejoined node's fresh info supersedes stale entries.
+	Incarnation uint32
+	// Version increases on every update_value/delete_value call, so
+	// receivers can discard out-of-date information for a live node.
+	Version uint64
+	// Beat is the node's liveness counter, incremented with every
+	// heartbeat it sends. Relayed copies of this info are only considered
+	// fresh while the beat keeps advancing, so stale snapshots cannot keep
+	// a dead or partitioned node alive in remote directories.
+	Beat     uint64
+	Services []ServiceDecl
+	Attrs    []KV // machine configuration from /proc in the paper
+}
+
+// Clone returns a deep copy.
+func (m MemberInfo) Clone() MemberInfo {
+	out := m
+	out.Services = make([]ServiceDecl, len(m.Services))
+	for i, s := range m.Services {
+		out.Services[i] = s.Clone()
+	}
+	out.Attrs = append([]KV(nil), m.Attrs...)
+	return out
+}
+
+// Newer reports whether m supersedes o for the same node, comparing
+// (incarnation, version).
+func (m MemberInfo) Newer(o MemberInfo) bool {
+	if m.Incarnation != o.Incarnation {
+		return m.Incarnation > o.Incarnation
+	}
+	return m.Version > o.Version
+}
+
+// SetAttr sets (or replaces) an attribute, keeping Attrs sorted by key.
+func (m *MemberInfo) SetAttr(key, value string) {
+	m.Attrs = setKV(m.Attrs, key, value)
+}
+
+// DeleteAttr removes an attribute; it reports whether the key was present.
+func (m *MemberInfo) DeleteAttr(key string) bool {
+	var ok bool
+	m.Attrs, ok = deleteKV(m.Attrs, key)
+	return ok
+}
+
+// Attr returns the value for key and whether it exists.
+func (m *MemberInfo) Attr(key string) (string, bool) { return getKV(m.Attrs, key) }
+
+func setKV(kvs []KV, key, value string) []KV {
+	i := sort.Search(len(kvs), func(i int) bool { return kvs[i].Key >= key })
+	if i < len(kvs) && kvs[i].Key == key {
+		kvs[i].Value = value
+		return kvs
+	}
+	kvs = append(kvs, KV{})
+	copy(kvs[i+1:], kvs[i:])
+	kvs[i] = KV{Key: key, Value: value}
+	return kvs
+}
+
+func deleteKV(kvs []KV, key string) ([]KV, bool) {
+	i := sort.Search(len(kvs), func(i int) bool { return kvs[i].Key >= key })
+	if i < len(kvs) && kvs[i].Key == key {
+		return append(kvs[:i], kvs[i+1:]...), true
+	}
+	return kvs, false
+}
+
+func getKV(kvs []KV, key string) (string, bool) {
+	i := sort.Search(len(kvs), func(i int) bool { return kvs[i].Key >= key })
+	if i < len(kvs) && kvs[i].Key == key {
+		return kvs[i].Value, true
+	}
+	return "", false
+}
+
+// ParsePartitions parses the paper's partition list syntax: a
+// comma-separated list of numbers and inclusive ranges, e.g. "1-3" or
+// "0,2,5-7". Whitespace around items is ignored. An empty string yields an
+// empty list.
+func ParsePartitions(spec string) ([]int32, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	seen := map[int32]bool{}
+	var out []int32
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("membership: empty item in partition list %q", spec)
+		}
+		lo, hi := part, part
+		if i := strings.IndexByte(part, '-'); i > 0 {
+			lo, hi = strings.TrimSpace(part[:i]), strings.TrimSpace(part[i+1:])
+		}
+		l, err := strconv.ParseInt(lo, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("membership: bad partition %q in %q", lo, spec)
+		}
+		h, err := strconv.ParseInt(hi, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("membership: bad partition %q in %q", hi, spec)
+		}
+		if h < l {
+			return nil, fmt.Errorf("membership: inverted range %q in %q", part, spec)
+		}
+		for p := l; p <= h; p++ {
+			if !seen[int32(p)] {
+				seen[int32(p)] = true
+				out = append(out, int32(p))
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// FormatPartitions renders a partition list compactly using ranges, the
+// inverse of ParsePartitions.
+func FormatPartitions(parts []int32) string {
+	if len(parts) == 0 {
+		return ""
+	}
+	sorted := append([]int32(nil), parts...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var b strings.Builder
+	for i := 0; i < len(sorted); {
+		j := i
+		for j+1 < len(sorted) && sorted[j+1] == sorted[j]+1 {
+			j++
+		}
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		if j == i {
+			fmt.Fprintf(&b, "%d", sorted[i])
+		} else {
+			fmt.Fprintf(&b, "%d-%d", sorted[i], sorted[j])
+		}
+		i = j + 1
+	}
+	return b.String()
+}

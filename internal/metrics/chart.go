@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// sparkRunes are the eight block heights used by sparklines.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// RenderChart formats the figure as aligned per-series sparklines over a
+// shared y-scale, one row per series — a quick visual of the curve shapes
+// next to Render's exact table. width is the number of sample columns
+// (default 40 when <= 0).
+func (f *Figure) RenderChart(width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", f.Title)
+
+	// Shared scales across series.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+			minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return b.String() // empty figure
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	nameW := 0
+	for _, s := range f.Series {
+		if len(s.Name) > nameW {
+			nameW = len(s.Name)
+		}
+	}
+	for _, s := range f.Series {
+		if len(s.Points) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-*s ", nameW, s.Name)
+		for col := 0; col < width; col++ {
+			x := minX
+			if width > 1 {
+				x = minX + (maxX-minX)*float64(col)/float64(width-1)
+			}
+			y, ok := s.sampleAt(x)
+			if !ok {
+				b.WriteByte(' ')
+				continue
+			}
+			frac := (y - minY) / (maxY - minY)
+			idx := int(frac * float64(len(sparkRunes)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(sparkRunes) {
+				idx = len(sparkRunes) - 1
+			}
+			b.WriteRune(sparkRunes[idx])
+		}
+		first, last := s.Points[0].Y, s.Points[len(s.Points)-1].Y
+		fmt.Fprintf(&b, "  [%.4g → %.4g]\n", first, last)
+	}
+	fmt.Fprintf(&b, "%-*s x: %.4g → %.4g, y: %.4g → %.4g (%s)\n",
+		nameW, "", minX, maxX, minY, maxY, f.YLabel)
+	return b.String()
+}
+
+// sampleAt linearly interpolates the series at x; false outside its span.
+func (s *Series) sampleAt(x float64) (float64, bool) {
+	if len(s.Points) == 0 {
+		return 0, false
+	}
+	if len(s.Points) == 1 {
+		return s.Points[0].Y, x == s.Points[0].X
+	}
+	if x < s.Points[0].X || x > s.Points[len(s.Points)-1].X {
+		return 0, false
+	}
+	for i := 1; i < len(s.Points); i++ {
+		a, c := s.Points[i-1], s.Points[i]
+		if x > c.X {
+			continue
+		}
+		if c.X == a.X {
+			return c.Y, true
+		}
+		frac := (x - a.X) / (c.X - a.X)
+		return a.Y + frac*(c.Y-a.Y), true
+	}
+	return s.Points[len(s.Points)-1].Y, true
+}

@@ -1,0 +1,108 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSampleAtInterpolation(t *testing.T) {
+	s := &Series{Points: []Point{{0, 0}, {10, 100}}}
+	cases := []struct {
+		x    float64
+		want float64
+		ok   bool
+	}{
+		{0, 0, true},
+		{5, 50, true},
+		{10, 100, true},
+		{-1, 0, false},
+		{11, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := s.sampleAt(c.x)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("sampleAt(%v) = %v,%v want %v,%v", c.x, got, ok, c.want, c.ok)
+		}
+	}
+	// Single point.
+	one := &Series{Points: []Point{{3, 7}}}
+	if v, ok := one.sampleAt(3); !ok || v != 7 {
+		t.Error("single-point sample broken")
+	}
+	if _, ok := one.sampleAt(4); ok {
+		t.Error("single-point sample matched wrong x")
+	}
+	// Empty.
+	if _, ok := (&Series{}).sampleAt(0); ok {
+		t.Error("empty series sampled")
+	}
+}
+
+func TestRenderChartShape(t *testing.T) {
+	f := &Figure{Title: "T", YLabel: "units"}
+	up := f.AddSeries("rising")
+	flat := f.AddSeries("flat")
+	for i := 0; i <= 10; i++ {
+		up.Add(float64(i), float64(i*i))
+		flat.Add(float64(i), 10)
+	}
+	out := f.RenderChart(20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title + 2 series + scale
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "# T") {
+		t.Fatalf("missing title: %q", lines[0])
+	}
+	// Rising series: last sample rune taller than first.
+	row := []rune(lines[1])
+	var cells []rune
+	for _, r := range row {
+		for _, sr := range sparkRunes {
+			if r == sr {
+				cells = append(cells, r)
+				break
+			}
+		}
+	}
+	if len(cells) != 20 {
+		t.Fatalf("rising row has %d sample cells, want 20", len(cells))
+	}
+	rank := func(r rune) int {
+		for i, sr := range sparkRunes {
+			if r == sr {
+				return i
+			}
+		}
+		return -1
+	}
+	if rank(cells[len(cells)-1]) <= rank(cells[0]) {
+		t.Fatalf("rising series not rising: %q", string(cells))
+	}
+	if !strings.Contains(out, "units") {
+		t.Fatal("y label missing from scale line")
+	}
+	if !strings.Contains(out, "[0 → 100]") {
+		t.Fatalf("endpoints missing:\n%s", out)
+	}
+}
+
+func TestRenderChartEmpty(t *testing.T) {
+	f := &Figure{Title: "E"}
+	f.AddSeries("nothing")
+	out := f.RenderChart(10)
+	if !strings.HasPrefix(out, "# E") {
+		t.Fatal("empty chart lost title")
+	}
+}
+
+func TestRenderChartConstantY(t *testing.T) {
+	f := &Figure{Title: "C"}
+	s := f.AddSeries("k")
+	s.Add(0, 5)
+	s.Add(1, 5)
+	out := f.RenderChart(10)
+	if !strings.Contains(out, string(sparkRunes[0])) {
+		t.Fatalf("constant series should render at the baseline:\n%s", out)
+	}
+}

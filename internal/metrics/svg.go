@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// svgPalette holds the series stroke colors (repeating).
+var svgPalette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+// RenderSVG draws the figure as a standalone SVG line chart: axes with
+// tick labels, one polyline plus point markers per series, and a legend.
+// Stdlib-only; output is deterministic for a given figure.
+func (f *Figure) RenderSVG(width, height int) string {
+	if width <= 0 {
+		width = 640
+	}
+	if height <= 0 {
+		height = 400
+	}
+	const marginL, marginR, marginT, marginB = 64, 16, 40, 48
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := 0.0, math.Inf(-1) // y axis anchored at 0 like the paper's plots
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+			maxY = math.Max(maxY, p.Y)
+			minY = math.Min(minY, p.Y)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="20" font-family="sans-serif" font-size="14" font-weight="bold">%s</text>`+"\n",
+		marginL, xmlEscape(f.Title))
+	if math.IsInf(minX, 1) {
+		b.WriteString("</svg>\n")
+		return b.String()
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	px := func(x float64) float64 { return float64(marginL) + (x-minX)/(maxX-minX)*plotW }
+	py := func(y float64) float64 { return float64(marginT) + (1-(y-minY)/(maxY-minY))*plotH }
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, height-marginB)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, height-marginB, width-marginR, height-marginB)
+	// Ticks: 5 per axis.
+	for i := 0; i <= 4; i++ {
+		x := minX + (maxX-minX)*float64(i)/4
+		y := minY + (maxY-minY)*float64(i)/4
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="10" text-anchor="middle">%.4g</text>`+"\n",
+			px(x), height-marginB+16, x)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="10" text-anchor="end">%.4g</text>`+"\n",
+			marginL-6, py(y)+3, y)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#ddd"/>`+"\n",
+			px(x), marginT, px(x), height-marginB)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginL, py(y), width-marginR, py(y))
+	}
+	// Axis labels.
+	fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+		float64(marginL)+plotW/2, height-8, xmlEscape(f.XLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="middle" transform="rotate(-90 14 %.1f)">%s</text>`+"\n",
+		float64(marginT)+plotH/2, float64(marginT)+plotH/2, xmlEscape(f.YLabel))
+
+	// Series.
+	for si, s := range f.Series {
+		if len(s.Points) == 0 {
+			continue
+		}
+		color := svgPalette[si%len(svgPalette)]
+		var pts []string
+		for _, p := range s.Points {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(p.X), py(p.Y)))
+		}
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="2" points="%s"/>`+"\n",
+			color, strings.Join(pts, " "))
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n", px(p.X), py(p.Y), color)
+		}
+		// Legend row.
+		ly := marginT + 14 + si*16
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="12" height="3" fill="%s"/>`+"\n",
+			width-marginR-150, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			width-marginR-132, ly+5, xmlEscape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

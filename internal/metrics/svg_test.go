@@ -1,0 +1,78 @@
+package metrics
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func sampleFigure() *Figure {
+	f := &Figure{Title: "Bandwidth & stuff <x>", XLabel: "nodes", YLabel: "MB/s"}
+	a := f.AddSeries("All-to-all")
+	h := f.AddSeries("Hierarchical")
+	for i := 1; i <= 5; i++ {
+		a.Add(float64(i*20), float64(i*i))
+		h.Add(float64(i*20), float64(i))
+	}
+	return f
+}
+
+func TestRenderSVGWellFormed(t *testing.T) {
+	out := sampleFigure().RenderSVG(640, 400)
+	// Must be parseable XML.
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG not well-formed XML: %v", err)
+		}
+	}
+	for _, want := range []string{
+		"<svg", "polyline", "All-to-all", "Hierarchical",
+		"Bandwidth &amp; stuff &lt;x&gt;", "nodes", "MB/s",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	// One polyline per series, markers per point.
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Fatalf("polylines = %d, want 2", got)
+	}
+	if got := strings.Count(out, "<circle"); got != 10 {
+		t.Fatalf("markers = %d, want 10", got)
+	}
+}
+
+func TestRenderSVGDeterministic(t *testing.T) {
+	f := sampleFigure()
+	if f.RenderSVG(640, 400) != f.RenderSVG(640, 400) {
+		t.Fatal("SVG output not deterministic")
+	}
+}
+
+func TestRenderSVGEmptyAndDefaults(t *testing.T) {
+	f := &Figure{Title: "empty"}
+	f.AddSeries("nothing")
+	out := f.RenderSVG(0, 0) // defaults kick in
+	if !strings.Contains(out, "<svg") || !strings.Contains(out, "</svg>") {
+		t.Fatal("empty figure produced invalid SVG")
+	}
+	if strings.Contains(out, "polyline") {
+		t.Fatal("empty series drew a line")
+	}
+}
+
+func TestRenderSVGConstantSeries(t *testing.T) {
+	f := &Figure{Title: "const"}
+	s := f.AddSeries("k")
+	s.Add(1, 5)
+	s.Add(2, 5)
+	out := f.RenderSVG(300, 200)
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Fatal("degenerate scale produced NaN/Inf coordinates")
+	}
+}

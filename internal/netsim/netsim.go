@@ -1,0 +1,320 @@
+// Package netsim provides a simulated datagram network over a
+// topology.Topology and a sim.Engine.
+//
+// It models exactly what the membership protocols need from UDP/IP:
+//
+//   - TTL-scoped multicast: a packet sent on a channel with TTL t is
+//     delivered to every subscribed, live host whose router-hop distance
+//     from the sender is below t (see topology.MulticastScope), after the
+//     per-receiver path latency.
+//   - Unicast datagrams, which may cross WAN links.
+//   - Independent per-receiver packet loss with configurable probability.
+//   - Byte and packet accounting per endpoint, used by the bandwidth
+//     experiments.
+//
+// Delivery is best-effort and unordered, like UDP. All calls must be made
+// from the simulation goroutine.
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// ChannelID names a multicast channel. The hierarchical protocol derives
+// one channel per tree level from a base channel, mirroring the paper's
+// "only a base multicast channel needs to be specified".
+type ChannelID uint32
+
+// UDPOverhead is the per-packet header cost (IP + UDP) added to payload
+// length in all byte accounting, so measured bandwidth corresponds to wire
+// bandwidth rather than payload bandwidth.
+const UDPOverhead = 28
+
+// Packet is a datagram as seen by a receiver.
+type Packet struct {
+	Src     topology.HostID
+	Dst     topology.HostID // NoHost for multicast
+	Channel ChannelID       // 0 and Dst >= 0 means unicast
+	TTL     int
+	Payload []byte
+}
+
+// Multicast reports whether the packet was sent to a channel.
+func (p *Packet) Multicast() bool { return p.Dst == topology.NoHost }
+
+// WireSize is the accounted on-wire size of the packet.
+func (p *Packet) WireSize() int { return len(p.Payload) + UDPOverhead }
+
+// Handler receives delivered packets.
+type Handler func(pkt Packet)
+
+// Transport is the datagram surface the protocols are written against:
+// TTL-scoped multicast channels plus unicast. The simulated *Endpoint
+// implements it, and so does the real-UDP transport in internal/realnet,
+// which is how the same protocol state machines run both under virtual
+// time and on real sockets.
+type Transport interface {
+	// ID is the host identity on the network.
+	ID() topology.HostID
+	// SetHandler installs the delivery callback; HasHandler reports
+	// whether one is installed (layering: the membership daemon only
+	// claims an unowned endpoint).
+	SetHandler(h Handler)
+	HasHandler() bool
+	// SetUp brings the endpoint up or down; a down endpoint neither
+	// sends nor receives.
+	SetUp(up bool)
+	Up() bool
+	// Join/Leave manage multicast channel subscriptions.
+	Join(ch ChannelID)
+	Leave(ch ChannelID)
+	Joined(ch ChannelID) bool
+	// Multicast sends on a channel with a TTL scope; Unicast sends to one
+	// host and reports reachability (false on a known partition).
+	Multicast(ch ChannelID, ttl int, payload []byte)
+	Unicast(dst topology.HostID, payload []byte) bool
+}
+
+var _ Transport = (*Endpoint)(nil)
+
+// Stats counts traffic at one endpoint or aggregated over the network.
+type Stats struct {
+	PktsSent, PktsRecv   uint64
+	BytesSent, BytesRecv uint64
+	// MulticastCopies counts per-receiver delivered copies of multicast
+	// packets (each copy consumes receive bandwidth at its receiver).
+	MulticastCopies uint64
+	// Dropped counts deliveries suppressed by the loss model.
+	Dropped uint64
+}
+
+func (s *Stats) add(o Stats) {
+	s.PktsSent += o.PktsSent
+	s.PktsRecv += o.PktsRecv
+	s.BytesSent += o.BytesSent
+	s.BytesRecv += o.BytesRecv
+	s.MulticastCopies += o.MulticastCopies
+	s.Dropped += o.Dropped
+}
+
+// Network is the simulated datagram fabric.
+type Network struct {
+	eng    *sim.Engine
+	top    *topology.Topology
+	eps    []*Endpoint
+	loss   float64 // independent per-receiver drop probability
+	jitter float64 // relative latency jitter, causing reordering
+	dup    float64 // per-delivery duplication probability
+
+	wanBytes uint64 // bytes that crossed data centers (unicast only)
+}
+
+// New creates a network with one endpoint per host in the topology.
+func New(eng *sim.Engine, top *topology.Topology) *Network {
+	n := &Network{eng: eng, top: top}
+	n.eps = make([]*Endpoint, top.NumHosts())
+	for i := range n.eps {
+		n.eps[i] = &Endpoint{
+			net:  n,
+			id:   topology.HostID(i),
+			up:   true,
+			subs: make(map[ChannelID]bool),
+		}
+	}
+	return n
+}
+
+// Engine returns the simulation engine driving this network.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// Topology returns the underlying topology.
+func (n *Network) Topology() *topology.Topology { return n.top }
+
+// SetLossProbability sets the independent per-receiver drop probability in
+// [0, 1). Applies to both unicast and multicast deliveries.
+func (n *Network) SetLossProbability(p float64) {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("netsim: loss probability %v out of [0,1)", p))
+	}
+	n.loss = p
+}
+
+// SetLatencyJitter makes every delivery latency vary uniformly by ±frac
+// (relative), so packets from one sender can arrive out of order — the
+// reordering UDP permits and the protocols must tolerate.
+func (n *Network) SetLatencyJitter(frac float64) {
+	if frac < 0 || frac >= 1 {
+		panic(fmt.Sprintf("netsim: jitter %v out of [0,1)", frac))
+	}
+	n.jitter = frac
+}
+
+// SetDuplicateProbability makes each delivery additionally arrive a second
+// time with probability p — the duplication UDP permits; protocols must be
+// idempotent under it.
+func (n *Network) SetDuplicateProbability(p float64) {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("netsim: duplicate probability %v out of [0,1)", p))
+	}
+	n.dup = p
+}
+
+// Endpoint returns the endpoint of host h.
+func (n *Network) Endpoint(h topology.HostID) *Endpoint { return n.eps[h] }
+
+// TotalStats aggregates stats across all endpoints.
+func (n *Network) TotalStats() Stats {
+	var s Stats
+	for _, ep := range n.eps {
+		s.add(ep.stats)
+	}
+	return s
+}
+
+// WANBytes returns the number of bytes carried across data-center
+// boundaries so far (the quantity the proxy protocol minimizes).
+func (n *Network) WANBytes() uint64 { return n.wanBytes }
+
+// ResetStats zeroes every endpoint counter and the WAN byte counter; used
+// to discard warm-up traffic before a measurement window.
+func (n *Network) ResetStats() {
+	for _, ep := range n.eps {
+		ep.stats = Stats{}
+	}
+	n.wanBytes = 0
+}
+
+func (n *Network) dropped() bool {
+	return n.loss > 0 && n.eng.Rand().Float64() < n.loss
+}
+
+// Endpoint is one host's attachment to the network.
+type Endpoint struct {
+	net     *Network
+	id      topology.HostID
+	up      bool
+	subs    map[ChannelID]bool
+	handler Handler
+	stats   Stats
+	// filter, when set, can veto delivery of a packet to this endpoint;
+	// used by tests to inject targeted losses.
+	filter func(pkt Packet) bool
+}
+
+// ID returns the host ID.
+func (ep *Endpoint) ID() topology.HostID { return ep.id }
+
+// Stats returns a copy of this endpoint's counters.
+func (ep *Endpoint) Stats() Stats { return ep.stats }
+
+// SetHandler installs the packet delivery callback.
+func (ep *Endpoint) SetHandler(h Handler) { ep.handler = h }
+
+// HasHandler reports whether a delivery callback is installed.
+func (ep *Endpoint) HasHandler() bool { return ep.handler != nil }
+
+// SetFilter installs a delivery veto; a false return drops the packet.
+func (ep *Endpoint) SetFilter(f func(pkt Packet) bool) { ep.filter = f }
+
+// SetUp marks the endpoint up or down. A down endpoint neither sends nor
+// receives; this models killing the membership daemon.
+func (ep *Endpoint) SetUp(up bool) { ep.up = up }
+
+// Up reports whether the endpoint is up.
+func (ep *Endpoint) Up() bool { return ep.up }
+
+// Join subscribes the endpoint to a multicast channel.
+func (ep *Endpoint) Join(ch ChannelID) { ep.subs[ch] = true }
+
+// Leave unsubscribes from a channel.
+func (ep *Endpoint) Leave(ch ChannelID) { delete(ep.subs, ch) }
+
+// Joined reports whether the endpoint is subscribed to ch.
+func (ep *Endpoint) Joined(ch ChannelID) bool { return ep.subs[ch] }
+
+// Multicast sends payload on a channel with the given TTL. The payload is
+// not copied; callers must not reuse the backing array.
+func (ep *Endpoint) Multicast(ch ChannelID, ttl int, payload []byte) {
+	if !ep.up {
+		return
+	}
+	pkt := Packet{Src: ep.id, Dst: topology.NoHost, Channel: ch, TTL: ttl, Payload: payload}
+	ep.stats.PktsSent++
+	ep.stats.BytesSent += uint64(pkt.WireSize())
+	scope := ep.net.top.MulticastScope(ep.id, ttl)
+	for i, h := range scope.Hosts {
+		dst := ep.net.eps[h]
+		if !dst.subs[ch] {
+			continue
+		}
+		ep.deliver(dst, pkt, scope.Latency[i])
+	}
+}
+
+// Unicast sends payload to a specific host. Returns false if the
+// destination is unreachable (network partition) — like UDP, an unreachable
+// destination is otherwise silent.
+func (ep *Endpoint) Unicast(dst topology.HostID, payload []byte) bool {
+	if !ep.up {
+		return false
+	}
+	pkt := Packet{Src: ep.id, Dst: dst, Payload: payload}
+	ep.stats.PktsSent++
+	ep.stats.BytesSent += uint64(pkt.WireSize())
+	lat := ep.net.top.UnicastLatency(ep.id, dst)
+	if lat < 0 {
+		return false
+	}
+	if ep.net.top.HostDC(ep.id) != ep.net.top.HostDC(dst) {
+		ep.net.wanBytes += uint64(pkt.WireSize())
+	}
+	ep.deliver(ep.net.eps[dst], pkt, lat)
+	return true
+}
+
+func (ep *Endpoint) deliver(dst *Endpoint, pkt Packet, latency time.Duration) {
+	n := ep.net
+	if n.dup > 0 && n.eng.Rand().Float64() < n.dup {
+		// The duplicate takes its own (jittered) path.
+		extra := latency + time.Duration(n.eng.Rand().Int63n(int64(time.Millisecond)))
+		ep.deliverOnce(dst, pkt, extra)
+	}
+	ep.deliverOnce(dst, pkt, latency)
+}
+
+func (ep *Endpoint) deliverOnce(dst *Endpoint, pkt Packet, latency time.Duration) {
+	n := ep.net
+	if n.jitter > 0 && latency > 0 {
+		f := 1 + n.jitter*(2*n.eng.Rand().Float64()-1)
+		latency = time.Duration(float64(latency) * f)
+	}
+	n.eng.Schedule(latency, func() {
+		if !dst.up {
+			return
+		}
+		if pkt.Multicast() && !dst.subs[pkt.Channel] {
+			// Unsubscribed between send and delivery.
+			return
+		}
+		if n.dropped() {
+			dst.stats.Dropped++
+			return
+		}
+		if dst.filter != nil && !dst.filter(pkt) {
+			dst.stats.Dropped++
+			return
+		}
+		dst.stats.PktsRecv++
+		dst.stats.BytesRecv += uint64(pkt.WireSize())
+		if pkt.Multicast() {
+			dst.stats.MulticastCopies++
+		}
+		if dst.handler != nil {
+			dst.handler(pkt)
+		}
+	})
+}

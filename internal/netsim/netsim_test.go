@@ -1,0 +1,279 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func newNet(t *testing.T, top *topology.Topology) (*sim.Engine, *Network) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	return eng, New(eng, top)
+}
+
+func TestMulticastScopedByTTL(t *testing.T) {
+	eng, n := newNet(t, topology.Clustered(2, 3)) // hosts 0-2, 3-5
+	got := map[topology.HostID]int{}
+	for h := topology.HostID(0); h < 6; h++ {
+		h := h
+		ep := n.Endpoint(h)
+		ep.Join(7)
+		ep.SetHandler(func(pkt Packet) { got[h]++ })
+	}
+	n.Endpoint(0).Multicast(7, 1, []byte("hello"))
+	eng.RunAll()
+	if got[1] != 1 || got[2] != 1 {
+		t.Fatalf("same-switch hosts missed TTL1 multicast: %v", got)
+	}
+	if got[3] != 0 || got[4] != 0 || got[5] != 0 {
+		t.Fatalf("TTL1 multicast leaked across router: %v", got)
+	}
+	if got[0] != 0 {
+		t.Fatalf("sender received own multicast: %v", got)
+	}
+	n.Endpoint(0).Multicast(7, 2, []byte("hello"))
+	eng.RunAll()
+	for h := topology.HostID(1); h < 6; h++ {
+		want := 2
+		if h >= 3 {
+			want = 1
+		}
+		if got[h] != want {
+			t.Fatalf("after TTL2: got[%d] = %d, want %d (%v)", h, got[h], want, got)
+		}
+	}
+}
+
+func TestMulticastRequiresSubscription(t *testing.T) {
+	eng, n := newNet(t, topology.FlatLAN(3))
+	recv := 0
+	n.Endpoint(1).SetHandler(func(pkt Packet) { recv++ })
+	n.Endpoint(2).Join(9)
+	n.Endpoint(2).SetHandler(func(pkt Packet) { recv += 100 })
+	n.Endpoint(0).Multicast(9, 1, []byte("x"))
+	eng.RunAll()
+	if recv != 100 {
+		t.Fatalf("recv = %d, want only subscribed host (100)", recv)
+	}
+	n.Endpoint(2).Leave(9)
+	n.Endpoint(0).Multicast(9, 1, []byte("x"))
+	eng.RunAll()
+	if recv != 100 {
+		t.Fatalf("recv = %d after Leave, want 100", recv)
+	}
+}
+
+func TestUnicastLatencyAndDelivery(t *testing.T) {
+	eng, n := newNet(t, topology.Clustered(2, 2))
+	var at time.Duration = -1
+	n.Endpoint(3).SetHandler(func(pkt Packet) {
+		at = eng.Now()
+		if pkt.Src != 0 || pkt.Dst != 3 || pkt.Multicast() {
+			t.Errorf("bad packet metadata: %+v", pkt)
+		}
+	})
+	if !n.Endpoint(0).Unicast(3, []byte("ping")) {
+		t.Fatal("Unicast returned false on connected hosts")
+	}
+	eng.RunAll()
+	want := n.Topology().UnicastLatency(0, 3)
+	if at != want {
+		t.Fatalf("delivered at %v, want %v", at, want)
+	}
+}
+
+func TestDownEndpointNeitherSendsNorReceives(t *testing.T) {
+	eng, n := newNet(t, topology.FlatLAN(3))
+	recv := 0
+	for _, h := range []topology.HostID{0, 1, 2} {
+		n.Endpoint(h).Join(1)
+		n.Endpoint(h).SetHandler(func(pkt Packet) { recv++ })
+	}
+	n.Endpoint(1).SetUp(false)
+	n.Endpoint(0).Multicast(1, 1, []byte("x"))
+	eng.RunAll()
+	if recv != 1 {
+		t.Fatalf("recv = %d, want 1 (only host 2)", recv)
+	}
+	n.Endpoint(1).Multicast(1, 1, []byte("x"))
+	eng.RunAll()
+	if recv != 1 {
+		t.Fatalf("down endpoint sent a packet; recv = %d", recv)
+	}
+	if !n.Endpoint(1).Unicast(0, []byte("x")) == false {
+		// Unicast from a down endpoint must report false.
+		t.Fatal("Unicast from down endpoint returned true")
+	}
+}
+
+func TestDownBetweenSendAndDelivery(t *testing.T) {
+	eng, n := newNet(t, topology.FlatLAN(2))
+	recv := 0
+	n.Endpoint(1).Join(1)
+	n.Endpoint(1).SetHandler(func(pkt Packet) { recv++ })
+	n.Endpoint(0).Multicast(1, 1, []byte("x"))
+	n.Endpoint(1).SetUp(false) // goes down before the packet lands
+	eng.RunAll()
+	if recv != 0 {
+		t.Fatalf("packet delivered to endpoint that went down in flight")
+	}
+}
+
+func TestLossModel(t *testing.T) {
+	eng, n := newNet(t, topology.FlatLAN(2))
+	n.SetLossProbability(0.5)
+	recv := 0
+	n.Endpoint(1).Join(1)
+	n.Endpoint(1).SetHandler(func(pkt Packet) { recv++ })
+	const total = 2000
+	for i := 0; i < total; i++ {
+		n.Endpoint(0).Multicast(1, 1, []byte("x"))
+	}
+	eng.RunAll()
+	if recv < total/3 || recv > total*2/3 {
+		t.Fatalf("recv = %d of %d with p=0.5; loss model broken", recv, total)
+	}
+	st := n.Endpoint(1).Stats()
+	if st.Dropped != uint64(total-recv) {
+		t.Fatalf("Dropped = %d, want %d", st.Dropped, total-recv)
+	}
+}
+
+func TestFilterVeto(t *testing.T) {
+	eng, n := newNet(t, topology.FlatLAN(2))
+	recv := 0
+	n.Endpoint(1).Join(1)
+	n.Endpoint(1).SetHandler(func(pkt Packet) { recv++ })
+	n.Endpoint(1).SetFilter(func(pkt Packet) bool { return string(pkt.Payload) != "drop" })
+	n.Endpoint(0).Multicast(1, 1, []byte("drop"))
+	n.Endpoint(0).Multicast(1, 1, []byte("keep"))
+	eng.RunAll()
+	if recv != 1 {
+		t.Fatalf("recv = %d, want 1", recv)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	eng, n := newNet(t, topology.FlatLAN(3))
+	for _, h := range []topology.HostID{0, 1, 2} {
+		n.Endpoint(h).Join(1)
+	}
+	payload := make([]byte, 100)
+	n.Endpoint(0).Multicast(1, 1, payload)
+	eng.RunAll()
+	s0 := n.Endpoint(0).Stats()
+	if s0.PktsSent != 1 || s0.BytesSent != 128 {
+		t.Fatalf("sender stats = %+v, want 1 pkt / 128 B", s0)
+	}
+	s1 := n.Endpoint(1).Stats()
+	if s1.PktsRecv != 1 || s1.BytesRecv != 128 || s1.MulticastCopies != 1 {
+		t.Fatalf("receiver stats = %+v", s1)
+	}
+	tot := n.TotalStats()
+	if tot.PktsSent != 1 || tot.PktsRecv != 2 || tot.BytesRecv != 256 {
+		t.Fatalf("total stats = %+v", tot)
+	}
+	n.ResetStats()
+	if got := n.TotalStats(); got != (Stats{}) {
+		t.Fatalf("stats after reset = %+v", got)
+	}
+}
+
+func TestWANByteAccounting(t *testing.T) {
+	eng, n := newNet(t, topology.MultiDC(2, 1, 2)) // hosts 0,1 DC0; 2,3 DC1
+	n.Endpoint(2).SetHandler(func(pkt Packet) {})
+	n.Endpoint(0).Unicast(2, make([]byte, 72)) // 100 on wire
+	n.Endpoint(0).Unicast(1, make([]byte, 72)) // intra-DC
+	eng.RunAll()
+	if n.WANBytes() != 100 {
+		t.Fatalf("WANBytes = %d, want 100", n.WANBytes())
+	}
+}
+
+func TestLatencyJitterReorders(t *testing.T) {
+	eng, n := newNet(t, topology.Clustered(2, 2))
+	n.SetLatencyJitter(0.9)
+	var order []int
+	n.Endpoint(3).SetHandler(func(pkt Packet) {
+		order = append(order, int(pkt.Payload[0]))
+	})
+	for i := 0; i < 200; i++ {
+		n.Endpoint(0).Unicast(3, []byte{byte(i)})
+	}
+	eng.RunAll()
+	if len(order) != 200 {
+		t.Fatalf("delivered %d of 200", len(order))
+	}
+	reordered := false
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			reordered = true
+			break
+		}
+	}
+	if !reordered {
+		t.Fatal("90%% jitter produced no reordering")
+	}
+}
+
+func TestDuplicateDelivery(t *testing.T) {
+	eng, n := newNet(t, topology.FlatLAN(2))
+	n.SetDuplicateProbability(0.5)
+	recv := 0
+	n.Endpoint(1).Join(1)
+	n.Endpoint(1).SetHandler(func(pkt Packet) { recv++ })
+	const total = 1000
+	for i := 0; i < total; i++ {
+		n.Endpoint(0).Multicast(1, 1, []byte("x"))
+	}
+	eng.RunAll()
+	if recv < total+total/3 || recv > total+total*2/3 {
+		t.Fatalf("recv = %d for %d sends at p_dup=0.5", recv, total)
+	}
+}
+
+func TestJitterValidation(t *testing.T) {
+	_, n := newNet(t, topology.FlatLAN(2))
+	for _, bad := range []float64{-0.1, 1.0, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("jitter %v accepted", bad)
+				}
+			}()
+			n.SetLatencyJitter(bad)
+		}()
+	}
+}
+
+func TestUnicastAcrossPartitionFails(t *testing.T) {
+	_, n := newNet(t, topology.Clustered(2, 2))
+	sw0, _ := n.Topology().FindDevice("sw0")
+	n.Topology().FailDevice(sw0.ID)
+	if n.Endpoint(0).Unicast(3, []byte("x")) {
+		t.Fatal("Unicast across partition returned true")
+	}
+}
+
+func TestMulticastAfterPartition(t *testing.T) {
+	eng, n := newNet(t, topology.Clustered(2, 2))
+	recv := map[topology.HostID]int{}
+	for h := topology.HostID(0); h < 4; h++ {
+		h := h
+		n.Endpoint(h).Join(1)
+		n.Endpoint(h).SetHandler(func(pkt Packet) { recv[h]++ })
+	}
+	core, _ := n.Topology().FindDevice("core")
+	n.Topology().FailDevice(core.ID)
+	n.Endpoint(0).Multicast(1, 2, []byte("x"))
+	eng.RunAll()
+	if recv[1] != 1 {
+		t.Fatal("same-switch delivery broken by core failure")
+	}
+	if recv[2] != 0 || recv[3] != 0 {
+		t.Fatalf("multicast crossed failed core router: %v", recv)
+	}
+}

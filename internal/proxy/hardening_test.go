@@ -1,0 +1,144 @@
+package proxy
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// TestChunkLossRecoveredByNextSummary drops one chunk of a multi-chunk
+// summary; the assembly must not install a torn summary, and the next
+// periodic full summary repairs the view.
+func TestChunkLossRecoveredByNextSummary(t *testing.T) {
+	f := newDCFixture(t, 2, 2, 3, 1)
+	for _, p := range f.proxies {
+		p.cfg.MaxEntriesPerChunk = 2
+	}
+	for i := 0; i < 6; i++ {
+		f.runtimes[8].Register(fmt.Sprintf("Svc%d", i), "0", time.Millisecond,
+			func(p int32, b []byte) ([]byte, error) { return nil, nil })
+	}
+	// Drop exactly one ProxySummary chunk arriving at the DC0 proxy.
+	dc0proxy := f.top.HostsInDC(0)[0]
+	dropped := 0
+	f.net.Endpoint(dc0proxy).SetFilter(func(pkt netsim.Packet) bool {
+		if dropped > 0 {
+			return true
+		}
+		if m, err := wire.Decode(pkt.Payload); err == nil {
+			if ps, ok := m.(*wire.ProxySummary); ok && ps.NChunks > 1 && ps.Chunk == 1 {
+				dropped++
+				return false
+			}
+		}
+		return true
+	})
+	f.startAll()
+	f.run(60 * time.Second)
+	if dropped != 1 {
+		t.Fatalf("filter dropped %d chunks, want 1", dropped)
+	}
+	l0 := f.leaderOf(0)
+	if l0 == nil {
+		t.Fatal("no DC0 leader")
+	}
+	for i := 0; i < 6; i++ {
+		if _, ok := l0.RemoteSummary(1, fmt.Sprintf("Svc%d", i)); !ok {
+			t.Fatalf("Svc%d missing after chunk loss + repair window", i)
+		}
+	}
+}
+
+// TestWANFlap partitions the WAN, lets summaries expire, heals it, and
+// expects the remote view and cross-DC invocation to come back.
+func TestWANFlap(t *testing.T) {
+	f := newDCFixture(t, 2, 2, 3, 2)
+	f.runtimes[9].Register("Retriever", "0", time.Millisecond,
+		func(p int32, b []byte) ([]byte, error) { return []byte("ok"), nil })
+	f.startAll()
+	f.run(25 * time.Second)
+	c0, _ := f.top.FindDevice("dc0-core")
+	c1, _ := f.top.FindDevice("dc1-core")
+	for flap := 0; flap < 2; flap++ {
+		f.top.FailLink(c0.ID, c1.ID)
+		f.run(30 * time.Second)
+		l0 := f.leaderOf(0)
+		if _, ok := l0.RemoteSummary(1, "Retriever"); ok {
+			t.Fatalf("flap %d: remote summary survived the partition", flap)
+		}
+		f.top.RepairLink(c0.ID, c1.ID)
+		f.run(30 * time.Second)
+		if _, ok := l0.RemoteSummary(1, "Retriever"); !ok {
+			t.Fatalf("flap %d: remote summary did not return after heal", flap)
+		}
+	}
+	var gotErr error
+	f.runtimes[3].Invoke("Retriever", 0, nil, func(b []byte, err error) { gotErr = err })
+	f.run(2 * time.Second)
+	if gotErr != nil {
+		t.Fatalf("post-flap invocation failed: %v", gotErr)
+	}
+}
+
+// TestStaleSummarySequenceIgnored feeds an old-sequence update after a
+// newer one; the newer state must win.
+func TestStaleSummarySequenceIgnored(t *testing.T) {
+	f := newDCFixture(t, 2, 1, 3, 1)
+	f.startAll()
+	f.run(15 * time.Second)
+	l0 := f.leaderOf(0)
+	if l0 == nil {
+		t.Fatal("no leader")
+	}
+	l0.onUpdate(netsim.Packet{Src: 99, Dst: 0}, &wire.ProxyUpdate{
+		DC: 1, Seq: 100, Upserts: []wire.SummaryEntry{{Service: "New", Nodes: 2}},
+	})
+	l0.onUpdate(netsim.Packet{Src: 99, Dst: 0}, &wire.ProxyUpdate{
+		DC: 1, Seq: 50, Removes: []string{"New"},
+	})
+	if _, ok := l0.RemoteSummary(1, "New"); !ok {
+		t.Fatal("stale-sequence removal was applied")
+	}
+}
+
+// TestUnknownDCIgnored ensures packets claiming an unconfigured data
+// center are dropped without effect.
+func TestUnknownDCIgnored(t *testing.T) {
+	f := newDCFixture(t, 2, 1, 3, 1)
+	f.startAll()
+	f.run(15 * time.Second)
+	l0 := f.leaderOf(0)
+	l0.onSummary(netsim.Packet{Src: 99, Dst: 0}, &wire.ProxySummary{
+		DC: 7, Seq: 1, NChunks: 1, Entries: []wire.SummaryEntry{{Service: "X", Nodes: 1}},
+	})
+	if _, ok := l0.RemoteSummary(7, "X"); ok {
+		t.Fatal("summary for unknown DC stored")
+	}
+}
+
+// TestProxyStopReleasesRelayDuties stops a proxy and verifies it no longer
+// intercepts service packets (the runtime reverts to normal handling).
+func TestProxyStopReleasesRelayDuties(t *testing.T) {
+	f := newDCFixture(t, 2, 1, 3, 2)
+	f.startAll()
+	f.run(15 * time.Second)
+	var target *Proxy
+	for _, p := range f.proxies {
+		if p.cfg.DC == 0 {
+			target = p
+			break
+		}
+	}
+	target.Stop()
+	f.run(10 * time.Second)
+	if target.IsLeader() {
+		t.Fatal("stopped proxy still claims leadership")
+	}
+	// The DC still has exactly one leader (the other proxy).
+	if f.leaderOf(0) == nil {
+		t.Fatal("no replacement proxy leader")
+	}
+}

@@ -1,0 +1,412 @@
+// Package proxy implements the paper's membership proxy protocol for
+// clusters spanning multiple data centers (§3.2).
+//
+// Each data center runs several proxies for availability. The proxies form
+// their own membership group on a reserved multicast channel and elect a
+// leader; all proxies share one external virtual IP, which the current
+// leader holds (IP failover), so remote data centers always address a
+// stable endpoint. The leader periodically sends the local data center's
+// membership *summary* — per-service availability, far smaller than full
+// machine details — to the other data centers' proxy leaders over unicast
+// (multicast is unavailable across a VPN/Internet), chunking large
+// summaries, and sends incremental update messages immediately when a
+// local status change alters the summary. Received remote summaries are
+// relayed to the local proxy group so a newly promoted leader is warm.
+//
+// Proxies also relay service invocations: a node that cannot find a
+// service locally sends the request to its local proxy, which forwards it
+// to a data center whose summary advertises the service; the remote proxy
+// dispatches to a backend and the reply retraces the path (Figure 6).
+package proxy
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/membership"
+	"repro/internal/netsim"
+	"repro/internal/service"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// VIPTable models the per-data-center external virtual IP: remote peers
+// resolve a data center's proxy address through it, and a newly promoted
+// leader takes the address over. In a real deployment this is gratuitous
+// ARP / IP takeover; here it is the single source of truth the simulation
+// shares.
+type VIPTable struct {
+	addr map[int]topology.HostID
+}
+
+// NewVIPTable returns an empty table.
+func NewVIPTable() *VIPTable {
+	return &VIPTable{addr: make(map[int]topology.HostID)}
+}
+
+// Set assigns data center dc's external address to host h (IP takeover).
+func (v *VIPTable) Set(dc int, h topology.HostID) { v.addr[dc] = h }
+
+// Get resolves data center dc's external address.
+func (v *VIPTable) Get(dc int) (topology.HostID, bool) {
+	h, ok := v.addr[dc]
+	return h, ok
+}
+
+// Config parametrizes a proxy.
+type Config struct {
+	// DC is the data center this proxy serves.
+	DC int
+	// RemoteDCs lists the other data centers to exchange summaries with.
+	RemoteDCs []int
+	// ProxyChannel is the reserved multicast channel for the proxy group.
+	ProxyChannel netsim.ChannelID
+	// ProxyTTL must cover the local data center.
+	ProxyTTL int
+	// HeartbeatInterval paces proxy-group heartbeats and the summary
+	// recomputation; MaxLoss consecutive misses declare a proxy dead.
+	HeartbeatInterval time.Duration
+	MaxLoss           int
+	// SummaryEvery sends a full summary heartbeat to remote data centers
+	// every this many heartbeat intervals (incremental updates go out
+	// immediately when the summary changes).
+	SummaryEvery int
+	// SummaryTimeout expires a remote data center's summary when no
+	// heartbeat arrives (e.g. WAN partition or remote cluster death).
+	SummaryTimeout time.Duration
+	// MaxEntriesPerChunk splits large summaries into multiple packets
+	// ("if the size of the membership summary is too big, the summary is
+	// broken into multiple heartbeat packets").
+	MaxEntriesPerChunk int
+}
+
+// DefaultConfig returns the experiment defaults.
+func DefaultConfig(dc int, remotes []int) Config {
+	return Config{
+		DC:                 dc,
+		RemoteDCs:          remotes,
+		ProxyChannel:       1000,
+		ProxyTTL:           8,
+		HeartbeatInterval:  time.Second,
+		MaxLoss:            5,
+		SummaryEvery:       5,
+		SummaryTimeout:     15 * time.Second,
+		MaxEntriesPerChunk: 64,
+	}
+}
+
+// remoteDC is the tracked state of one remote data center.
+type remoteDC struct {
+	entries   map[string]wire.SummaryEntry
+	seq       uint64
+	lastHeard time.Duration
+	// pending chunk assembly for the in-flight summary sequence.
+	chunkSeq     uint64
+	chunkGot     int
+	chunkTotal   int
+	chunkEntries map[string]wire.SummaryEntry
+}
+
+// peerState tracks a proxy-group mate.
+type peerState struct {
+	lastHeard time.Duration
+	leader    bool
+}
+
+// forwarded tracks one relayed cross-DC request.
+type forwarded struct {
+	origSrc   topology.HostID
+	origReqID uint64
+	expiry    *sim.Timer
+}
+
+// Proxy is one membership proxy daemon. It is layered over a service
+// runtime (whose membership node makes the proxy a full member of the
+// local cluster, collecting the local membership view).
+type Proxy struct {
+	cfg Config
+	eng *sim.Engine
+	ep  netsim.Transport
+	rt  *service.Runtime
+	vip *VIPTable
+
+	running  bool
+	isLeader bool
+	hbTicker *sim.Ticker
+	tick     int
+	peers    map[membership.NodeID]*peerState
+
+	summary    map[string]wire.SummaryEntry // local DC summary (as last computed)
+	summarySeq uint64
+	remote     map[int]*remoteDC
+
+	fwd map[uint64]*forwarded
+}
+
+// New creates a proxy over a service runtime. Call Start after the
+// runtime's membership node is started.
+func New(cfg Config, eng *sim.Engine, ep netsim.Transport, rt *service.Runtime, vip *VIPTable) *Proxy {
+	p := &Proxy{
+		cfg:     cfg,
+		eng:     eng,
+		ep:      ep,
+		rt:      rt,
+		vip:     vip,
+		peers:   make(map[membership.NodeID]*peerState),
+		summary: make(map[string]wire.SummaryEntry),
+		remote:  make(map[int]*remoteDC),
+		fwd:     make(map[uint64]*forwarded),
+	}
+	for _, dc := range cfg.RemoteDCs {
+		p.remote[dc] = &remoteDC{entries: make(map[string]wire.SummaryEntry)}
+	}
+	return p
+}
+
+// ID returns the proxy's node identity.
+func (p *Proxy) ID() membership.NodeID { return p.rt.Node().ID() }
+
+// IsLeader reports whether this proxy currently leads the local group and
+// holds the virtual IP.
+func (p *Proxy) IsLeader() bool { return p.isLeader }
+
+// RemoteSummary returns the believed availability of a service in remote
+// data center dc.
+func (p *Proxy) RemoteSummary(dc int, svc string) (wire.SummaryEntry, bool) {
+	r, ok := p.remote[dc]
+	if !ok {
+		return wire.SummaryEntry{}, false
+	}
+	e, ok := r.entries[svc]
+	return e, ok
+}
+
+// Start joins the proxy group.
+func (p *Proxy) Start() {
+	if p.running {
+		return
+	}
+	p.running = true
+	p.rt.SetRelayHandler(p.handle)
+	p.ep.Join(p.cfg.ProxyChannel)
+	jitter := time.Duration(p.eng.Rand().Int63n(int64(p.cfg.HeartbeatInterval / 4)))
+	p.hbTicker = sim.NewTicker(p.eng, jitter, p.cfg.HeartbeatInterval, p.beat)
+}
+
+// Stop kills the proxy daemon (the underlying membership node keeps
+// running unless stopped separately).
+func (p *Proxy) Stop() {
+	if !p.running {
+		return
+	}
+	p.running = false
+	p.hbTicker.Stop()
+	p.ep.Leave(p.cfg.ProxyChannel)
+	p.rt.SetRelayHandler(nil)
+	if p.isLeader {
+		p.isLeader = false
+	}
+}
+
+// beat is the proxy's periodic duty cycle: group heartbeat, liveness
+// tracking, election, summary maintenance.
+func (p *Proxy) beat() {
+	if !p.running {
+		return
+	}
+	now := p.eng.Now()
+	dead := time.Duration(p.cfg.MaxLoss) * p.cfg.HeartbeatInterval
+
+	// Expire silent proxy mates.
+	for id, ps := range p.peers {
+		if now-ps.lastHeard > dead {
+			delete(p.peers, id)
+		}
+	}
+	// Election: lowest live proxy ID leads; on takeover, grab the VIP.
+	lowest := p.ID()
+	leaderVisible := false
+	for id, ps := range p.peers {
+		if id < lowest {
+			lowest = id
+		}
+		if ps.leader {
+			leaderVisible = true
+		}
+	}
+	wasLeader := p.isLeader
+	if p.isLeader {
+		for id, ps := range p.peers {
+			if ps.leader && id < p.ID() {
+				p.isLeader = false // a lower-ID leader is visible; abdicate
+			}
+		}
+	} else if !leaderVisible && lowest == p.ID() {
+		p.isLeader = true
+	}
+	if p.isLeader && !wasLeader {
+		p.vip.Set(p.cfg.DC, p.ep.ID())
+	}
+
+	// Group heartbeat on the reserved channel (Level 255 marks the proxy
+	// realm so cluster membership ignores it by channel anyway).
+	hb := &wire.Heartbeat{
+		Info:   membership.MemberInfo{Node: p.ID()},
+		Level:  255,
+		Leader: p.isLeader,
+		Backup: membership.NoNode,
+		Seq:    uint64(p.tick),
+	}
+	p.ep.Multicast(p.cfg.ProxyChannel, p.cfg.ProxyTTL, wire.Encode(hb))
+	p.tick++
+
+	if p.isLeader {
+		p.leaderDuties(now)
+	}
+
+	// Expire remote data centers that went silent.
+	for _, r := range p.remote {
+		if r.lastHeard > 0 && now-r.lastHeard > p.cfg.SummaryTimeout {
+			r.entries = make(map[string]wire.SummaryEntry)
+			r.lastHeard = 0
+		}
+	}
+}
+
+// leaderDuties recomputes the local summary, pushes incremental updates on
+// change, and sends periodic full summaries.
+func (p *Proxy) leaderDuties(now time.Duration) {
+	fresh := p.computeSummary()
+	upserts, removes := diffSummaries(p.summary, fresh)
+	p.summary = fresh
+	if len(upserts) > 0 || len(removes) > 0 {
+		p.summarySeq++
+		msg := &wire.ProxyUpdate{DC: uint16(p.cfg.DC), Seq: p.summarySeq, Upserts: upserts, Removes: removes}
+		payload := wire.Encode(msg)
+		for _, dc := range p.cfg.RemoteDCs {
+			if addr, ok := p.vip.Get(dc); ok {
+				p.ep.Unicast(addr, payload)
+			}
+		}
+	}
+	if p.tick%p.cfg.SummaryEvery == 0 {
+		p.sendFullSummary()
+	}
+}
+
+// sendFullSummary transmits the entire local summary, chunked, to every
+// remote data center.
+func (p *Proxy) sendFullSummary() {
+	entries := make([]wire.SummaryEntry, 0, len(p.summary))
+	keys := make([]string, 0, len(p.summary))
+	for k := range p.summary {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		entries = append(entries, p.summary[k])
+	}
+	p.summarySeq++
+	chunkSize := p.cfg.MaxEntriesPerChunk
+	if chunkSize < 1 {
+		chunkSize = 1
+	}
+	nChunks := (len(entries) + chunkSize - 1) / chunkSize
+	if nChunks == 0 {
+		nChunks = 1
+	}
+	for c := 0; c < nChunks; c++ {
+		lo := c * chunkSize
+		hi := lo + chunkSize
+		if hi > len(entries) {
+			hi = len(entries)
+		}
+		msg := &wire.ProxySummary{
+			DC:      uint16(p.cfg.DC),
+			Seq:     p.summarySeq,
+			Chunk:   uint16(c),
+			NChunks: uint16(nChunks),
+			Entries: entries[lo:hi],
+		}
+		payload := wire.Encode(msg)
+		for _, dc := range p.cfg.RemoteDCs {
+			if addr, ok := p.vip.Get(dc); ok {
+				p.ep.Unicast(addr, payload)
+			}
+		}
+	}
+}
+
+// computeSummary aggregates the local cluster directory into per-service
+// availability.
+func (p *Proxy) computeSummary() map[string]wire.SummaryEntry {
+	out := make(map[string]wire.SummaryEntry)
+	dir := p.rt.Node().Directory()
+	for _, id := range dir.Nodes() {
+		e := dir.Get(id)
+		for _, svc := range e.Info.Services {
+			s := out[svc.Name]
+			s.Service = svc.Name
+			s.Nodes++
+			s.Partitions = unionParts(s.Partitions, svc.Partitions)
+			out[svc.Name] = s
+		}
+	}
+	return out
+}
+
+func unionParts(a, b []int32) []int32 {
+	seen := make(map[int32]bool, len(a)+len(b))
+	for _, p := range a {
+		seen[p] = true
+	}
+	for _, p := range b {
+		seen[p] = true
+	}
+	out := make([]int32, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// diffSummaries computes the incremental update from old to new.
+func diffSummaries(old, fresh map[string]wire.SummaryEntry) (upserts []wire.SummaryEntry, removes []string) {
+	keys := make([]string, 0, len(fresh))
+	for k := range fresh {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		nw := fresh[k]
+		ol, ok := old[k]
+		if !ok || !summaryEqual(ol, nw) {
+			upserts = append(upserts, nw)
+		}
+	}
+	oldKeys := make([]string, 0, len(old))
+	for k := range old {
+		oldKeys = append(oldKeys, k)
+	}
+	sort.Strings(oldKeys)
+	for _, k := range oldKeys {
+		if _, ok := fresh[k]; !ok {
+			removes = append(removes, k)
+		}
+	}
+	return upserts, removes
+}
+
+func summaryEqual(a, b wire.SummaryEntry) bool {
+	if a.Service != b.Service || a.Nodes != b.Nodes || len(a.Partitions) != len(b.Partitions) {
+		return false
+	}
+	for i := range a.Partitions {
+		if a.Partitions[i] != b.Partitions[i] {
+			return false
+		}
+	}
+	return true
+}

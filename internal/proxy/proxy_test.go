@@ -1,0 +1,299 @@
+package proxy
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/service"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// dcFixture is a multi-data-center cluster: every host runs membership and
+// a service runtime; designated hosts additionally run proxies.
+type dcFixture struct {
+	eng      *sim.Engine
+	net      *netsim.Network
+	top      *topology.Topology
+	nodes    []*core.Node
+	runtimes []*service.Runtime
+	proxies  map[topology.HostID]*Proxy
+	vip      *VIPTable
+}
+
+// newDCFixture builds MultiDC(dcs, groups, perGroup) with proxiesPerDC
+// proxies on the first hosts of each data center.
+func newDCFixture(t *testing.T, dcs, groups, perGroup, proxiesPerDC int) *dcFixture {
+	t.Helper()
+	top := topology.MultiDC(dcs, groups, perGroup)
+	eng := sim.NewEngine(23)
+	net := netsim.New(eng, top)
+	f := &dcFixture{
+		eng: eng, net: net, top: top,
+		proxies: make(map[topology.HostID]*Proxy),
+		vip:     NewVIPTable(),
+	}
+	mcfg := core.DefaultConfig()
+	mcfg.MaxTTL = top.Diameter()
+	for h := 0; h < top.NumHosts(); h++ {
+		hid := topology.HostID(h)
+		ep := net.Endpoint(hid)
+		node := core.NewNode(mcfg, ep)
+		scfg := service.DefaultConfig()
+		dc := top.HostDC(hid)
+		scfg.ProxyAddr = func() (topology.HostID, bool) { return f.vip.Get(dc) }
+		rt := service.NewRuntime(scfg, eng, ep, node)
+		f.nodes = append(f.nodes, node)
+		f.runtimes = append(f.runtimes, rt)
+	}
+	for dc := 0; dc < dcs; dc++ {
+		var remotes []int
+		for o := 0; o < dcs; o++ {
+			if o != dc {
+				remotes = append(remotes, o)
+			}
+		}
+		hosts := top.HostsInDC(dc)
+		for i := 0; i < proxiesPerDC && i < len(hosts); i++ {
+			h := hosts[i]
+			pcfg := DefaultConfig(dc, remotes)
+			pcfg.ProxyTTL = top.Diameter()
+			p := New(pcfg, eng, net.Endpoint(h), f.runtimes[h], f.vip)
+			f.proxies[h] = p
+		}
+	}
+	return f
+}
+
+func (f *dcFixture) startAll() {
+	for _, n := range f.nodes {
+		n.Start(f.eng)
+	}
+	for _, p := range f.proxies {
+		p.Start()
+	}
+}
+
+func (f *dcFixture) run(d time.Duration) { f.eng.Run(f.eng.Now() + d) }
+
+func (f *dcFixture) leaderOf(dc int) *Proxy {
+	for _, p := range f.proxies {
+		if p.cfg.DC == dc && p.IsLeader() {
+			return p
+		}
+	}
+	return nil
+}
+
+func TestProxyLeaderElectionAndVIP(t *testing.T) {
+	f := newDCFixture(t, 2, 2, 3, 2) // 12 hosts; proxies at 0,1 (DC0) and 6,7 (DC1)
+	f.startAll()
+	f.run(15 * time.Second)
+	for dc := 0; dc < 2; dc++ {
+		leaders := 0
+		for _, p := range f.proxies {
+			if p.cfg.DC == dc && p.IsLeader() {
+				leaders++
+			}
+		}
+		if leaders != 1 {
+			t.Fatalf("DC%d has %d proxy leaders, want 1", dc, leaders)
+		}
+		addr, ok := f.vip.Get(dc)
+		if !ok {
+			t.Fatalf("DC%d VIP unset", dc)
+		}
+		if !f.proxies[addr].IsLeader() {
+			t.Fatalf("DC%d VIP points at a non-leader", dc)
+		}
+	}
+}
+
+func TestSummaryPropagation(t *testing.T) {
+	f := newDCFixture(t, 2, 2, 3, 2)
+	// Register a service on a non-proxy node in DC1 (hosts 6-11).
+	f.runtimes[9].Register("Retriever", "0-2", time.Millisecond,
+		func(p int32, b []byte) ([]byte, error) { return []byte("ok"), nil })
+	f.startAll()
+	f.run(25 * time.Second)
+	l0 := f.leaderOf(0)
+	if l0 == nil {
+		t.Fatal("no DC0 leader")
+	}
+	e, ok := l0.RemoteSummary(1, "Retriever")
+	if !ok {
+		t.Fatal("DC0 leader has no summary for Retriever in DC1")
+	}
+	if e.Nodes != 1 || len(e.Partitions) != 3 {
+		t.Fatalf("summary = %+v", e)
+	}
+	// Backup proxies are warm too (relayed through the proxy channel).
+	for h, p := range f.proxies {
+		if p.cfg.DC == 0 && !p.IsLeader() {
+			if _, ok := p.RemoteSummary(1, "Retriever"); !ok {
+				t.Fatalf("backup proxy %v not warm", h)
+			}
+		}
+	}
+}
+
+func TestSummaryRemovalPropagates(t *testing.T) {
+	f := newDCFixture(t, 2, 2, 3, 2)
+	f.runtimes[9].Register("Retriever", "0", time.Millisecond,
+		func(p int32, b []byte) ([]byte, error) { return []byte("ok"), nil })
+	f.startAll()
+	f.run(25 * time.Second)
+	l0 := f.leaderOf(0)
+	if _, ok := l0.RemoteSummary(1, "Retriever"); !ok {
+		t.Fatal("summary never arrived")
+	}
+	f.nodes[9].Stop() // the only Retriever instance dies
+	f.run(25 * time.Second)
+	if _, ok := l0.RemoteSummary(1, "Retriever"); ok {
+		t.Fatal("dead service still advertised across DCs")
+	}
+}
+
+func TestCrossDCInvocation(t *testing.T) {
+	f := newDCFixture(t, 2, 2, 3, 2)
+	f.runtimes[9].Register("Retriever", "0-2", time.Millisecond,
+		func(p int32, b []byte) ([]byte, error) { return []byte(fmt.Sprintf("dc1/p%d:%s", p, b)), nil })
+	f.startAll()
+	f.run(25 * time.Second)
+
+	// A DC0 node (host 3, not a proxy) invokes the service that exists
+	// only in DC1: the request must travel node->proxy->remote proxy->
+	// backend and back (Figure 6), costing at least 2 WAN round trips'
+	// worth of one-way latencies.
+	start := f.eng.Now()
+	var got []byte
+	var gotErr error
+	var at time.Duration
+	f.runtimes[3].Invoke("Retriever", 2, []byte("q"), func(b []byte, err error) {
+		got, gotErr, at = b, err, f.eng.Now()
+	})
+	f.run(3 * time.Second)
+	if gotErr != nil {
+		t.Fatal(gotErr)
+	}
+	if string(got) != "dc1/p2:q" {
+		t.Fatalf("reply = %q", got)
+	}
+	rtt := at - start
+	if rtt < 2*topology.DefaultWANLatency {
+		t.Fatalf("cross-DC response took %v, faster than one WAN round trip %v", rtt, 2*topology.DefaultWANLatency)
+	}
+	if f.net.WANBytes() == 0 {
+		t.Fatal("no WAN bytes accounted")
+	}
+}
+
+func TestCrossDCRejectionWhenNowhere(t *testing.T) {
+	f := newDCFixture(t, 2, 2, 3, 2)
+	f.startAll()
+	f.run(20 * time.Second)
+	var gotErr error
+	f.runtimes[3].Invoke("Ghost", 0, nil, func(b []byte, err error) { gotErr = err })
+	f.run(2 * time.Second)
+	if !errors.Is(gotErr, service.ErrRejected) {
+		t.Fatalf("err = %v, want ErrRejected (proxy rejects unknown service)", gotErr)
+	}
+}
+
+func TestProxyLeaderFailover(t *testing.T) {
+	f := newDCFixture(t, 2, 2, 3, 2)
+	f.runtimes[9].Register("Retriever", "0", time.Millisecond,
+		func(p int32, b []byte) ([]byte, error) { return []byte("ok"), nil })
+	f.startAll()
+	f.run(25 * time.Second)
+	old := f.leaderOf(0)
+	if old == nil {
+		t.Fatal("no DC0 leader")
+	}
+	oldAddr, _ := f.vip.Get(0)
+
+	// Kill the leader proxy daemon AND its membership daemon (the host
+	// dies).
+	f.nodes[oldAddr].Stop()
+	old.Stop()
+	f.run(20 * time.Second)
+
+	nw := f.leaderOf(0)
+	if nw == nil {
+		t.Fatal("no new DC0 leader elected")
+	}
+	if nw == old {
+		t.Fatal("dead leader still leads")
+	}
+	addr, _ := f.vip.Get(0)
+	if addr == oldAddr {
+		t.Fatal("VIP did not move")
+	}
+	// Cross-DC invocation works through the new leader.
+	var gotErr error
+	f.runtimes[3].Invoke("Retriever", 0, nil, func(b []byte, err error) { gotErr = err })
+	f.run(3 * time.Second)
+	if gotErr != nil {
+		t.Fatalf("post-failover invocation failed: %v", gotErr)
+	}
+}
+
+func TestSummaryChunking(t *testing.T) {
+	f := newDCFixture(t, 2, 2, 3, 1)
+	// Shrink chunks and register many services in DC1.
+	for _, p := range f.proxies {
+		p.cfg.MaxEntriesPerChunk = 3
+	}
+	for i := 0; i < 10; i++ {
+		f.runtimes[8].Register(fmt.Sprintf("Svc%02d", i), "0", time.Millisecond,
+			func(p int32, b []byte) ([]byte, error) { return nil, nil })
+	}
+	f.startAll()
+	f.run(30 * time.Second)
+	l0 := f.leaderOf(0)
+	for i := 0; i < 10; i++ {
+		if _, ok := l0.RemoteSummary(1, fmt.Sprintf("Svc%02d", i)); !ok {
+			t.Fatalf("Svc%02d missing from chunked summary", i)
+		}
+	}
+}
+
+func TestRemoteDCTimeout(t *testing.T) {
+	f := newDCFixture(t, 2, 2, 3, 1)
+	f.runtimes[8].Register("Retriever", "0", time.Millisecond,
+		func(p int32, b []byte) ([]byte, error) { return nil, nil })
+	f.startAll()
+	f.run(25 * time.Second)
+	l0 := f.leaderOf(0)
+	if _, ok := l0.RemoteSummary(1, "Retriever"); !ok {
+		t.Fatal("summary never arrived")
+	}
+	// Cut the WAN link.
+	c0, _ := f.top.FindDevice("dc0-core")
+	c1, _ := f.top.FindDevice("dc1-core")
+	f.top.FailLink(c0.ID, c1.ID)
+	f.run(30 * time.Second)
+	if _, ok := l0.RemoteSummary(1, "Retriever"); ok {
+		t.Fatal("remote summary survived WAN partition past its timeout")
+	}
+}
+
+func TestThreeDataCenters(t *testing.T) {
+	f := newDCFixture(t, 3, 1, 3, 1) // 9 hosts, 3 DCs
+	f.runtimes[7].Register("Doc", "0", time.Millisecond,
+		func(p int32, b []byte) ([]byte, error) { return []byte("dc2"), nil })
+	f.startAll()
+	f.run(30 * time.Second)
+	// DC0 node invokes a service hosted only in DC2.
+	var got []byte
+	var gotErr error
+	f.runtimes[1].Invoke("Doc", 0, nil, func(b []byte, err error) { got, gotErr = b, err })
+	f.run(3 * time.Second)
+	if gotErr != nil || string(got) != "dc2" {
+		t.Fatalf("got %q, %v", got, gotErr)
+	}
+}

@@ -1,0 +1,190 @@
+package proxy
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// handle intercepts proxy-realm packets before the service runtime's
+// default processing; returning true consumes the packet.
+func (p *Proxy) handle(pkt netsim.Packet, msg wire.Message) bool {
+	if !p.running {
+		return false
+	}
+	switch m := msg.(type) {
+	case *wire.Heartbeat:
+		if pkt.Multicast() && pkt.Channel == p.cfg.ProxyChannel {
+			p.onGroupHeartbeat(m)
+			return true
+		}
+		return false
+	case *wire.ProxySummary:
+		p.onSummary(pkt, m)
+		return true
+	case *wire.ProxyUpdate:
+		p.onUpdate(pkt, m)
+		return true
+	case *wire.ServiceRequest:
+		if m.Hops >= 1 {
+			p.forward(pkt.Src, m)
+			return true
+		}
+		return false
+	case *wire.ServiceReply:
+		if f, ok := p.fwd[m.ReqID]; ok {
+			delete(p.fwd, m.ReqID)
+			f.expiry.Stop()
+			reply := &wire.ServiceReply{ReqID: f.origReqID, OK: m.OK, Payload: m.Payload}
+			p.ep.Unicast(f.origSrc, wire.Encode(reply))
+			return true
+		}
+		return false
+	}
+	return false
+}
+
+// onGroupHeartbeat tracks proxy-group mates and resolves leader conflicts.
+func (p *Proxy) onGroupHeartbeat(hb *wire.Heartbeat) {
+	from := hb.Info.Node
+	if from == p.ID() {
+		return
+	}
+	ps, ok := p.peers[from]
+	if !ok {
+		ps = &peerState{}
+		p.peers[from] = ps
+	}
+	ps.lastHeard = p.eng.Now()
+	ps.leader = hb.Leader
+	if hb.Leader && p.isLeader && from < p.ID() {
+		p.isLeader = false
+	}
+}
+
+// onSummary assembles a (possibly chunked) full summary from a remote data
+// center and, at the leader, relays it to the local proxy group.
+func (p *Proxy) onSummary(pkt netsim.Packet, m *wire.ProxySummary) {
+	r, ok := p.remote[int(m.DC)]
+	if !ok {
+		return
+	}
+	now := p.eng.Now()
+	r.lastHeard = now
+	if m.Seq < r.chunkSeq || m.Seq <= r.seq {
+		return // stale sequence
+	}
+	if m.Seq != r.chunkSeq {
+		r.chunkSeq = m.Seq
+		r.chunkGot = 0
+		r.chunkTotal = int(m.NChunks)
+		r.chunkEntries = make(map[string]wire.SummaryEntry)
+	}
+	for _, e := range m.Entries {
+		r.chunkEntries[e.Service] = e
+	}
+	r.chunkGot++
+	if r.chunkGot >= r.chunkTotal {
+		r.entries = r.chunkEntries
+		r.seq = m.Seq
+		r.chunkEntries = make(map[string]wire.SummaryEntry)
+	}
+	// A unicast arrival is fresh from the remote leader: relay it to the
+	// local proxy group so backups stay warm ("it relays the packet to the
+	// local proxy group through the group's multicast channel").
+	if !pkt.Multicast() && p.isLeader {
+		p.ep.Multicast(p.cfg.ProxyChannel, p.cfg.ProxyTTL, pkt.Payload)
+	}
+}
+
+// onUpdate applies an incremental cross-DC change.
+func (p *Proxy) onUpdate(pkt netsim.Packet, m *wire.ProxyUpdate) {
+	r, ok := p.remote[int(m.DC)]
+	if !ok {
+		return
+	}
+	now := p.eng.Now()
+	r.lastHeard = now
+	if m.Seq <= r.seq {
+		return
+	}
+	r.seq = m.Seq
+	for _, e := range m.Upserts {
+		r.entries[e.Service] = e
+	}
+	for _, svc := range m.Removes {
+		delete(r.entries, svc)
+	}
+	if !pkt.Multicast() && p.isLeader {
+		p.ep.Multicast(p.cfg.ProxyChannel, p.cfg.ProxyTTL, pkt.Payload)
+	}
+}
+
+// forward implements the Figure 6 request path.
+func (p *Proxy) forward(src topology.HostID, req *wire.ServiceRequest) {
+	switch req.Hops {
+	case 1:
+		// Step 2: a local node could not find the service; look it up in
+		// the remote summaries and forward to a data center that has it.
+		dc, ok := p.pickRemoteDC(req.Service, req.Partition)
+		if !ok {
+			p.ep.Unicast(src, wire.Encode(&wire.ServiceReply{ReqID: req.ReqID, OK: false}))
+			return
+		}
+		addr, ok := p.vip.Get(dc)
+		if !ok {
+			p.ep.Unicast(src, wire.Encode(&wire.ServiceReply{ReqID: req.ReqID, OK: false}))
+			return
+		}
+		fwdID := p.rt.AllocReqID()
+		f := &forwarded{origSrc: src, origReqID: req.ReqID}
+		f.expiry = p.eng.Schedule(10*time.Second, func() { delete(p.fwd, fwdID) })
+		p.fwd[fwdID] = f
+		out := &wire.ServiceRequest{
+			ReqID:     fwdID,
+			From:      p.ID(),
+			Service:   req.Service,
+			Partition: req.Partition,
+			Hops:      2,
+			Payload:   req.Payload,
+		}
+		p.ep.Unicast(addr, wire.Encode(out))
+	default:
+		// Step 3: we are the remote proxy; dispatch to a local backend via
+		// the normal invocation path (random polling load balancing) and
+		// relay the result back (steps 4-5).
+		reqID := req.ReqID
+		p.rt.Invoke(req.Service, req.Partition, req.Payload, func(out []byte, err error) {
+			reply := &wire.ServiceReply{ReqID: reqID, OK: err == nil, Payload: out}
+			p.ep.Unicast(src, wire.Encode(reply))
+		})
+	}
+}
+
+// pickRemoteDC chooses a data center whose summary advertises the service
+// (and partition when specified), lowest DC index first for determinism.
+func (p *Proxy) pickRemoteDC(svc string, partition int32) (int, bool) {
+	dcs := make([]int, 0, len(p.remote))
+	for dc := range p.remote {
+		dcs = append(dcs, dc)
+	}
+	sort.Ints(dcs)
+	for _, dc := range dcs {
+		e, ok := p.remote[dc].entries[svc]
+		if !ok {
+			continue
+		}
+		if partition < 0 {
+			return dc, true
+		}
+		for _, q := range e.Partitions {
+			if q == partition {
+				return dc, true
+			}
+		}
+	}
+	return 0, false
+}

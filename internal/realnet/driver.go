@@ -1,0 +1,120 @@
+package realnet
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Driver advances a sim.Engine against the wall clock and serializes all
+// protocol execution onto one goroutine: injected closures (packet
+// deliveries from endpoint read loops) and due engine events (protocol
+// timers) run interleaved, exactly as the single-threaded simulation does,
+// so the protocol code needs no locks in either world.
+type Driver struct {
+	eng     *sim.Engine
+	inject  chan func()
+	stop    chan struct{}
+	donewg  sync.WaitGroup
+	started sync.Once
+
+	// tick bounds the timer latency: due events fire within one tick of
+	// their virtual deadline.
+	tick time.Duration
+}
+
+// NewDriver wraps an engine. tick is the polling granularity for timers
+// (heartbeat intervals should be >= a few ticks); 1ms if zero.
+func NewDriver(eng *sim.Engine, tick time.Duration) *Driver {
+	if tick <= 0 {
+		tick = time.Millisecond
+	}
+	return &Driver{
+		eng:    eng,
+		inject: make(chan func(), 4096),
+		stop:   make(chan struct{}),
+		tick:   tick,
+	}
+}
+
+// Engine returns the wrapped engine. Only touch it from closures passed to
+// Inject/Call, or before Start.
+func (d *Driver) Engine() *sim.Engine { return d.eng }
+
+// Start begins real-time execution; it is idempotent.
+func (d *Driver) Start() {
+	d.started.Do(func() {
+		d.donewg.Add(1)
+		go d.loop()
+	})
+}
+
+// Stop halts execution and waits for the loop to exit.
+func (d *Driver) Stop() {
+	select {
+	case <-d.stop:
+		return
+	default:
+	}
+	close(d.stop)
+	d.donewg.Wait()
+}
+
+// Inject schedules fn to run on the driver goroutine as soon as possible.
+// Safe from any goroutine. After Stop, injections are dropped.
+func (d *Driver) Inject(fn func()) {
+	select {
+	case d.inject <- fn:
+	case <-d.stop:
+	}
+}
+
+// Call runs fn on the driver goroutine and waits for it — the way tests
+// and applications query protocol state without racing the loop.
+func (d *Driver) Call(fn func()) {
+	done := make(chan struct{})
+	d.Inject(func() {
+		fn()
+		close(done)
+	})
+	select {
+	case <-done:
+	case <-d.stop:
+	}
+}
+
+func (d *Driver) loop() {
+	defer d.donewg.Done()
+	start := time.Now()
+	timer := time.NewTimer(d.tick)
+	defer timer.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case fn := <-d.inject:
+			d.eng.Run(time.Since(start))
+			fn()
+		case <-timer.C:
+			d.eng.Run(time.Since(start))
+		}
+		// Drain any backlog of injections before sleeping again.
+		for {
+			select {
+			case fn := <-d.inject:
+				fn()
+				continue
+			default:
+			}
+			break
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(d.tick)
+	}
+}

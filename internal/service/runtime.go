@@ -1,0 +1,452 @@
+// Package service is the Neptune-like clustering middleware layered on the
+// membership service: location-transparent service invocation, partitioned
+// and replicated service instances, and random-polling load balancing.
+//
+// Each node runs a Runtime that couples the node's membership daemon
+// (core.Node) with application service handlers. A consumer addresses work
+// by (service name, partition ID); the runtime looks the pair up in the
+// local yellow-page directory, picks a replica by polling a few random
+// candidates for their load, and sends the request. When no local replica
+// exists and a membership proxy is configured, the request is forwarded to
+// the proxy for cross-data-center invocation (§3.2 of the paper).
+package service
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/loadinfo"
+	"repro/internal/membership"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// Handler processes one application request on a provider.
+type Handler func(partition int32, payload []byte) ([]byte, error)
+
+// Errors returned through invocation callbacks.
+var (
+	// ErrUnavailable means no replica for the (service, partition) exists
+	// in any reachable directory.
+	ErrUnavailable = errors.New("service: no available provider")
+	// ErrTimeout means the provider (or proxy chain) did not reply in time.
+	ErrTimeout = errors.New("service: request timed out")
+	// ErrRejected means a proxy rejected the request (no data center hosts
+	// the service).
+	ErrRejected = errors.New("service: rejected by proxy")
+)
+
+// Config parametrizes the runtime.
+type Config struct {
+	// PollSize is the number of random candidate replicas polled for load
+	// before dispatch (random polling load balancing; 2 is the classic
+	// power-of-two-choices and the paper's cited scheme).
+	PollSize int
+	// PollTimeout bounds the wait for load-poll replies.
+	PollTimeout time.Duration
+	// RequestTimeout bounds one invocation end to end.
+	RequestTimeout time.Duration
+	// ProxyAddr, if non-nil, resolves the local data center's membership
+	// proxy address for requests that cannot be served locally.
+	ProxyAddr func() (topology.HostID, bool)
+	// EnableLoadPush turns on the interest-based load dissemination
+	// protocol (§6.1): providers push load reports to recent consumers,
+	// and invocations use fresh cached loads instead of synchronous
+	// polling when available.
+	EnableLoadPush bool
+	// LoadPush parametrizes the push protocol when enabled.
+	LoadPush loadinfo.Config
+}
+
+// DefaultConfig returns sensible experiment defaults.
+func DefaultConfig() Config {
+	return Config{
+		PollSize:       2,
+		PollTimeout:    20 * time.Millisecond,
+		RequestTimeout: 2 * time.Second,
+	}
+}
+
+// instance is one registered local service implementation.
+type instance struct {
+	decl    membership.ServiceDecl
+	handler Handler
+	// serviceTime is the simulated per-request processing time.
+	serviceTime time.Duration
+}
+
+// call is one outstanding outbound request.
+type call struct {
+	cb      func([]byte, error)
+	timeout *sim.Timer
+}
+
+// pendingPoll aggregates load-poll replies for one invocation.
+type pendingPoll struct {
+	candidates  []membership.NodeID
+	replies     map[membership.NodeID]uint32
+	done        bool
+	decideEarly func()
+}
+
+// Runtime couples an endpoint's membership daemon with service dispatch.
+type Runtime struct {
+	cfg   Config
+	eng   *sim.Engine
+	ep    netsim.Transport
+	node  *core.Node
+	insts map[string]*instance
+
+	// The node is one server: requests for all local instances share one
+	// FIFO queue, so load on one service is visible to consumers of
+	// another — a node busy indexing is a bad choice for doc lookups too.
+	busyUntil time.Duration
+	queued    int
+
+	nextReq uint64
+	calls   map[uint64]*call
+	polls   map[uint64]*pendingPoll
+
+	// relay maps a forwarded request ID to where the reply must go
+	// (used by proxies built on this runtime).
+	relayHandler func(pkt netsim.Packet, msg wire.Message) bool
+
+	// interest-based load dissemination (nil unless enabled).
+	reporter  *loadinfo.Reporter
+	loadCache *loadinfo.Cache
+}
+
+// NewRuntime wires a runtime over a started-or-not membership node. It
+// takes over the endpoint handler; membership packets are delegated to the
+// node.
+func NewRuntime(cfg Config, eng *sim.Engine, ep netsim.Transport, node *core.Node) *Runtime {
+	if cfg.PollSize < 1 {
+		cfg.PollSize = 1
+	}
+	r := &Runtime{
+		cfg:   cfg,
+		eng:   eng,
+		ep:    ep,
+		node:  node,
+		insts: make(map[string]*instance),
+		calls: make(map[uint64]*call),
+		polls: make(map[uint64]*pendingPoll),
+	}
+	ep.SetHandler(r.dispatch)
+	if cfg.EnableLoadPush {
+		lp := cfg.LoadPush
+		if lp.ReportInterval <= 0 {
+			lp = loadinfo.DefaultConfig()
+		}
+		r.reporter = loadinfo.NewReporter(lp, eng, ep, r.Load)
+		r.reporter.Start()
+		r.loadCache = loadinfo.NewCache(eng, 4*lp.ReportInterval)
+	}
+	return r
+}
+
+// LoadCache exposes the consumer-side load cache when load push is
+// enabled (nil otherwise); tests and the ablation harness inspect it.
+func (r *Runtime) LoadCache() *loadinfo.Cache { return r.loadCache }
+
+// Reporter exposes the provider-side reporter when load push is enabled.
+func (r *Runtime) Reporter() *loadinfo.Reporter { return r.reporter }
+
+// Node returns the underlying membership node.
+func (r *Runtime) Node() *core.Node { return r.node }
+
+// AllocReqID hands out a request ID from the runtime's space, so layered
+// protocols (proxies) that correlate replies on the same endpoint never
+// collide with the runtime's own outstanding calls.
+func (r *Runtime) AllocReqID() uint64 {
+	r.nextReq++
+	return r.nextReq
+}
+
+// SetRelayHandler installs a hook that sees service packets before the
+// default handling; returning true consumes the packet. Membership proxies
+// use it to implement request forwarding.
+func (r *Runtime) SetRelayHandler(h func(pkt netsim.Packet, msg wire.Message) bool) {
+	r.relayHandler = h
+}
+
+// Register publishes a local service implementation through the membership
+// service and installs its handler. serviceTime is the simulated processing
+// time per request.
+func (r *Runtime) Register(name, partitions string, serviceTime time.Duration, h Handler, params ...membership.KV) error {
+	parts, err := membership.ParsePartitions(partitions)
+	if err != nil {
+		return err
+	}
+	if err := r.node.RegisterService(name, partitions, params...); err != nil {
+		return err
+	}
+	r.insts[name] = &instance{
+		decl:        membership.ServiceDecl{Name: name, Partitions: parts},
+		handler:     h,
+		serviceTime: serviceTime,
+	}
+	return nil
+}
+
+// Load returns the node's instantaneous queue length (the value served to
+// load polls and pushed in load reports).
+func (r *Runtime) Load() uint32 { return uint32(r.queued) }
+
+// dispatch demultiplexes endpoint packets between the service layer and the
+// membership daemon.
+func (r *Runtime) dispatch(pkt netsim.Packet) {
+	msg, err := wire.Decode(pkt.Payload)
+	if err != nil {
+		return
+	}
+	if r.relayHandler != nil && r.relayHandler(pkt, msg) {
+		return
+	}
+	switch m := msg.(type) {
+	case *wire.ServiceRequest:
+		r.serve(pkt.Src, m)
+	case *wire.ServiceReply:
+		r.complete(m)
+	case *wire.LoadPoll:
+		r.ep.Unicast(pkt.Src, wire.Encode(&wire.LoadReply{Token: m.Token, Load: r.Load()}))
+	case *wire.LoadReply:
+		r.pollReply(pkt.Src, m)
+	case *wire.LoadReport:
+		if r.loadCache != nil {
+			r.loadCache.Absorb(m)
+		}
+	default:
+		r.node.Receive(pkt)
+	}
+}
+
+// serve runs a request against the local instance and replies.
+func (r *Runtime) serve(from topology.HostID, req *wire.ServiceRequest) {
+	if r.reporter != nil {
+		r.reporter.NoteConsumer(membership.NodeID(from))
+	}
+	inst, ok := r.insts[req.Service]
+	if !ok || !r.hasPartition(inst, req.Partition) {
+		r.ep.Unicast(from, wire.Encode(&wire.ServiceReply{ReqID: req.ReqID, OK: false}))
+		return
+	}
+	// Single-server FIFO queue per node: the request completes one service
+	// time after the previously queued request (of any service) finishes.
+	now := r.eng.Now()
+	start := now
+	if r.busyUntil > start {
+		start = r.busyUntil
+	}
+	r.busyUntil = start + inst.serviceTime
+	r.queued++
+	r.eng.Schedule(r.busyUntil-now, func() {
+		r.queued--
+		out, err := inst.handler(req.Partition, req.Payload)
+		reply := &wire.ServiceReply{ReqID: req.ReqID, OK: err == nil, Payload: out}
+		r.ep.Unicast(from, wire.Encode(reply))
+	})
+}
+
+func (r *Runtime) hasPartition(inst *instance, p int32) bool {
+	if len(inst.decl.Partitions) == 0 && p < 0 {
+		return true
+	}
+	for _, q := range inst.decl.Partitions {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Invoke performs one location-transparent invocation. The callback runs on
+// the simulation goroutine exactly once.
+func (r *Runtime) Invoke(serviceName string, partition int32, payload []byte, cb func([]byte, error)) {
+	candidates := r.lookupCandidates(serviceName, partition)
+	if len(candidates) == 0 {
+		if r.cfg.ProxyAddr != nil {
+			if proxy, ok := r.cfg.ProxyAddr(); ok {
+				r.sendRequest(proxy, serviceName, partition, payload, 1, cb)
+				return
+			}
+		}
+		r.eng.Schedule(0, func() { cb(nil, ErrUnavailable) })
+		return
+	}
+	if len(candidates) == 1 || r.cfg.PollSize < 2 {
+		r.sendRequest(topology.HostID(candidates[0]), serviceName, partition, payload, 0, cb)
+		return
+	}
+	// Pushed load cache: if we hold fresh samples for at least two
+	// candidates, dispatch to the least loaded of them without the poll
+	// round trip (§6.1's interest-based dissemination).
+	if r.loadCache != nil {
+		bestLoad := ^uint32(0)
+		var ties []membership.NodeID
+		fresh := 0
+		for _, c := range candidates {
+			if s, ok := r.loadCache.Get(c); ok {
+				fresh++
+				switch {
+				case s.Load < bestLoad:
+					bestLoad = s.Load
+					ties = ties[:0]
+					ties = append(ties, c)
+				case s.Load == bestLoad:
+					ties = append(ties, c)
+				}
+			}
+		}
+		if fresh >= 2 {
+			best := ties[r.eng.Rand().Intn(len(ties))]
+			r.sendRequest(topology.HostID(best), serviceName, partition, payload, 0, cb)
+			return
+		}
+	}
+	// Random polling: poll up to PollSize random candidates, dispatch to
+	// the least loaded of those that replied (or a random one on timeout).
+	rng := r.eng.Rand()
+	rng.Shuffle(len(candidates), func(i, j int) {
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	})
+	polled := candidates
+	if len(polled) > r.cfg.PollSize {
+		polled = polled[:r.cfg.PollSize]
+	}
+	r.nextReq++
+	token := r.nextReq
+	pp := &pendingPoll{candidates: polled, replies: make(map[membership.NodeID]uint32)}
+	r.polls[token] = pp
+	for _, c := range polled {
+		r.ep.Unicast(topology.HostID(c), wire.Encode(&wire.LoadPoll{From: r.node.ID(), Token: token}))
+	}
+	decide := func() {
+		if pp.done {
+			return
+		}
+		pp.done = true
+		delete(r.polls, token)
+		bestLoad := ^uint32(0)
+		var ties []membership.NodeID
+		for _, c := range pp.candidates {
+			l, ok := pp.replies[c]
+			if !ok {
+				continue
+			}
+			switch {
+			case l < bestLoad:
+				bestLoad = l
+				ties = ties[:0]
+				ties = append(ties, c)
+			case l == bestLoad:
+				ties = append(ties, c)
+			}
+		}
+		best := pp.candidates[0] // no replies at all: random pick stands
+		if len(ties) > 0 {
+			best = ties[r.eng.Rand().Intn(len(ties))]
+		}
+		r.sendRequest(topology.HostID(best), serviceName, partition, payload, 0, cb)
+	}
+	pp.decideEarly = decide
+	r.eng.Schedule(r.cfg.PollTimeout, decide)
+}
+
+// InvokeNode sends the request to one specific provider, bypassing lookup
+// and load balancing. Useful for client-driven replication; the callback
+// still sees ErrTimeout/ErrRejected like a normal invocation.
+func (r *Runtime) InvokeNode(n membership.NodeID, serviceName string, partition int32, payload []byte, cb func([]byte, error)) {
+	r.sendRequest(topology.HostID(n), serviceName, partition, payload, 0, cb)
+}
+
+// pollReply records a load sample; once all polled candidates answered the
+// decision fires early.
+func (r *Runtime) pollReply(from topology.HostID, m *wire.LoadReply) {
+	pp, ok := r.polls[m.Token]
+	if !ok || pp.done {
+		return
+	}
+	pp.replies[membership.NodeID(from)] = m.Load
+	if len(pp.replies) == len(pp.candidates) && pp.decideEarly != nil {
+		pp.decideEarly()
+	}
+}
+
+// lookupCandidates returns the nodes hosting (service, partition) per the
+// local directory, excluding ourselves unless we host it (self-invocation
+// is allowed and common for symmetric designs).
+func (r *Runtime) lookupCandidates(serviceName string, partition int32) []membership.NodeID {
+	spec := "*"
+	if partition >= 0 {
+		spec = fmt.Sprintf("%d", partition)
+	}
+	matches, err := r.node.Directory().Lookup(regexpQuote(serviceName), spec)
+	if err != nil {
+		return nil
+	}
+	var out []membership.NodeID
+	for _, m := range matches {
+		out = append(out, m.Node)
+	}
+	return out
+}
+
+// regexpQuote escapes a literal service name for the directory's
+// regexp-based lookup.
+func regexpQuote(s string) string {
+	var out []byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch c {
+		case '.', '+', '*', '?', '(', ')', '[', ']', '{', '}', '^', '$', '|', '\\':
+			out = append(out, '\\')
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}
+
+// sendRequest transmits one ServiceRequest and arms the reply timeout.
+func (r *Runtime) sendRequest(dst topology.HostID, serviceName string, partition int32, payload []byte, hops uint8, cb func([]byte, error)) {
+	r.nextReq++
+	id := r.nextReq
+	c := &call{cb: cb}
+	r.calls[id] = c
+	c.timeout = r.eng.Schedule(r.cfg.RequestTimeout, func() {
+		delete(r.calls, id)
+		cb(nil, ErrTimeout)
+	})
+	req := &wire.ServiceRequest{
+		ReqID:     id,
+		From:      r.node.ID(),
+		Service:   serviceName,
+		Partition: partition,
+		Hops:      hops,
+		Payload:   payload,
+	}
+	if !r.ep.Unicast(dst, wire.Encode(req)) {
+		c.timeout.Stop()
+		delete(r.calls, id)
+		r.eng.Schedule(0, func() { cb(nil, ErrUnavailable) })
+	}
+}
+
+// complete resolves an outstanding call.
+func (r *Runtime) complete(m *wire.ServiceReply) {
+	c, ok := r.calls[m.ReqID]
+	if !ok {
+		return
+	}
+	delete(r.calls, m.ReqID)
+	c.timeout.Stop()
+	if !m.OK {
+		c.cb(nil, ErrRejected)
+		return
+	}
+	c.cb(m.Payload, nil)
+}

@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkScheduleStep measures raw event throughput with a warm queue,
+// the simulator's fundamental cost (every packet delivery and timer is one
+// event).
+func BenchmarkScheduleStep(b *testing.B) {
+	e := NewEngine(1)
+	for i := 0; i < 1024; i++ {
+		e.Schedule(time.Duration(i)*time.Microsecond, func() {})
+	}
+	nop := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(time.Millisecond, nop)
+		e.Step()
+	}
+}
+
+// BenchmarkTickerTick measures the steady-state cost of periodic timers
+// (heartbeats are tickers).
+func BenchmarkTickerTick(b *testing.B) {
+	e := NewEngine(1)
+	fired := 0
+	NewTicker(e, 0, time.Millisecond, func() { fired++ })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+	if fired == 0 {
+		b.Fatal("ticker never fired")
+	}
+}
+
+// BenchmarkTimerStop measures cancel cost (every protocol request arms a
+// timeout it usually cancels).
+func BenchmarkTimerStop(b *testing.B) {
+	e := NewEngine(1)
+	nop := func() {}
+	for i := 0; i < b.N; i++ {
+		t := e.Schedule(time.Hour, nop)
+		t.Stop()
+		if i%1024 == 0 {
+			// Drain tombstones so the heap does not grow unboundedly.
+			e.Run(e.Now())
+		}
+	}
+}

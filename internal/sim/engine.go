@@ -1,0 +1,191 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock and a priority queue of scheduled
+// events. All protocol code in this repository runs single-threaded on top
+// of one engine instance, which makes every experiment exactly reproducible
+// for a given RNG seed. Parallelism is obtained across engine instances
+// (parameter sweeps run one engine per goroutine), never within one.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Event is a scheduled callback. The zero Event is invalid.
+type Event struct {
+	at   time.Duration
+	seq  uint64 // tie-break so equal-time events fire in schedule order
+	fn   func()
+	idx  int // heap index, -1 when not queued
+	dead bool
+}
+
+// Timer is a handle to a scheduled event that can be stopped or rescheduled.
+type Timer struct {
+	ev *Event
+	e  *Engine
+}
+
+// Stop cancels the timer. It is safe to call on an already-fired or
+// already-stopped timer; it reports whether the timer was still pending.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.dead || t.ev.idx < 0 {
+		return false
+	}
+	t.ev.dead = true
+	return true
+}
+
+// Pending reports whether the timer has not yet fired or been stopped.
+func (t *Timer) Pending() bool {
+	return t != nil && t.ev != nil && !t.ev.dead && t.ev.idx >= 0
+}
+
+// eventQueue implements heap.Interface ordered by (at, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.idx = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. It is not safe for concurrent use;
+// one goroutine drives it via Run/Step and all callbacks execute on that
+// goroutine.
+type Engine struct {
+	now     time.Duration
+	queue   eventQueue
+	nextSeq uint64
+	rng     *rand.Rand
+	steps   uint64
+	stopped bool
+}
+
+// NewEngine returns an engine whose clock starts at zero and whose random
+// source is seeded with seed, so identical schedules replay identically.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Steps returns the number of events executed so far.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// Schedule runs fn after delay of virtual time and returns a cancellable
+// timer. A negative delay is treated as zero (fn runs at the current time,
+// after already-queued events for that instant).
+func (e *Engine) Schedule(delay time.Duration, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: Schedule with nil fn")
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	ev := &Event{at: e.now + delay, seq: e.nextSeq, fn: fn, idx: -1}
+	e.nextSeq++
+	heap.Push(&e.queue, ev)
+	return &Timer{ev: ev, e: e}
+}
+
+// ScheduleAt runs fn at absolute virtual time at. Times in the past are
+// clamped to now.
+func (e *Engine) ScheduleAt(at time.Duration, fn func()) *Timer {
+	return e.Schedule(at-e.now, fn)
+}
+
+// Step executes the next pending event, advancing the clock to its time.
+// It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.dead {
+			continue
+		}
+		if ev.at < e.now {
+			panic(fmt.Sprintf("sim: time went backwards: %v < %v", ev.at, e.now))
+		}
+		e.now = ev.at
+		e.steps++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or the clock passes until.
+// Events scheduled exactly at until are executed. The clock is left at
+// min(until, time of last event); if the queue drains early the clock still
+// advances to until so subsequent Schedule calls are relative to it.
+func (e *Engine) Run(until time.Duration) {
+	e.stopped = false
+	for !e.stopped {
+		if len(e.queue) == 0 {
+			break
+		}
+		// Peek.
+		next := e.queue[0]
+		if next.dead {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if next.at > until {
+			break
+		}
+		e.Step()
+	}
+	if e.now < until {
+		e.now = until
+	}
+}
+
+// RunAll executes events until the queue is empty. Use with care: protocols
+// with periodic timers never drain; prefer Run.
+func (e *Engine) RunAll() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// Stop makes the innermost Run/RunAll return after the current event.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending returns the number of live queued events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.queue {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,268 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.Schedule(30*time.Millisecond, func() { got = append(got, 3) })
+	e.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	e.Schedule(20*time.Millisecond, func() { got = append(got, 2) })
+	e.RunAll()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30*time.Millisecond {
+		t.Fatalf("Now = %v, want 30ms", e.Now())
+	}
+}
+
+func TestEqualTimeFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, func() { got = append(got, i) })
+	}
+	e.RunAll()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("equal-time events out of order: %v", got)
+		}
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(time.Second, func() {})
+	e.Run(time.Second)
+	fired := false
+	e.Schedule(-5*time.Second, func() { fired = true })
+	e.RunAll()
+	if !fired {
+		t.Fatal("negative-delay event did not fire")
+	}
+	if e.Now() != time.Second {
+		t.Fatalf("clock moved backwards: %v", e.Now())
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	tm := e.Schedule(time.Second, func() { fired = true })
+	if !tm.Pending() {
+		t.Fatal("timer should be pending")
+	}
+	if !tm.Stop() {
+		t.Fatal("Stop should report true for pending timer")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop should report false")
+	}
+	e.RunAll()
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestRunUntilBoundary(t *testing.T) {
+	e := NewEngine(1)
+	var fired []time.Duration
+	for _, d := range []time.Duration{time.Second, 2 * time.Second, 3 * time.Second} {
+		d := d
+		e.Schedule(d, func() { fired = append(fired, d) })
+	}
+	e.Run(2 * time.Second)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events, want 2 (inclusive boundary)", len(fired))
+	}
+	if e.Now() != 2*time.Second {
+		t.Fatalf("Now = %v, want 2s", e.Now())
+	}
+	e.Run(10 * time.Second)
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events, want 3", len(fired))
+	}
+	if e.Now() != 10*time.Second {
+		t.Fatalf("clock should advance to until even after drain; got %v", e.Now())
+	}
+}
+
+func TestStopInsideEvent(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	e.Schedule(1*time.Second, func() { count++; e.Stop() })
+	e.Schedule(2*time.Second, func() { count++ })
+	e.RunAll()
+	if count != 1 {
+		t.Fatalf("count = %d, want 1 (Stop should halt loop)", count)
+	}
+	e.RunAll() // resumes
+	if count != 2 {
+		t.Fatalf("count = %d, want 2 after resume", count)
+	}
+}
+
+func TestScheduleAt(t *testing.T) {
+	e := NewEngine(1)
+	var at time.Duration
+	e.ScheduleAt(5*time.Second, func() { at = e.Now() })
+	e.RunAll()
+	if at != 5*time.Second {
+		t.Fatalf("fired at %v, want 5s", at)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine(1)
+	depth := 0
+	var rec func()
+	rec = func() {
+		depth++
+		if depth < 100 {
+			e.Schedule(time.Millisecond, rec)
+		}
+	}
+	e.Schedule(0, rec)
+	e.RunAll()
+	if depth != 100 {
+		t.Fatalf("depth = %d, want 100", depth)
+	}
+	if e.Now() != 99*time.Millisecond {
+		t.Fatalf("Now = %v, want 99ms", e.Now())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []time.Duration {
+		e := NewEngine(42)
+		var fired []time.Duration
+		for i := 0; i < 50; i++ {
+			d := time.Duration(e.Rand().Int63n(int64(time.Second)))
+			e.Schedule(d, func() { fired = append(fired, e.Now()) })
+		}
+		e.RunAll()
+		return fired
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("different lengths across identical seeds")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPending(t *testing.T) {
+	e := NewEngine(1)
+	t1 := e.Schedule(time.Second, func() {})
+	e.Schedule(2*time.Second, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	t1.Stop()
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d after stop, want 1", e.Pending())
+	}
+}
+
+func TestTickerBasic(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	tk := NewTicker(e, 0, time.Second, func() { count++ })
+	e.Run(10 * time.Second)
+	// Fires at 0,1,...,10 inclusive = 11 times.
+	if count != 11 {
+		t.Fatalf("ticks = %d, want 11", count)
+	}
+	tk.Stop()
+	e.Run(20 * time.Second)
+	if count != 11 {
+		t.Fatalf("ticker fired after Stop: %d", count)
+	}
+	if !tk.Stopped() {
+		t.Fatal("Stopped() = false after Stop")
+	}
+}
+
+func TestTickerStopFromCallback(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	var tk *Ticker
+	tk = NewTicker(e, 0, time.Second, func() {
+		count++
+		if count == 3 {
+			tk.Stop()
+		}
+	})
+	e.Run(time.Minute)
+	if count != 3 {
+		t.Fatalf("ticks = %d, want 3", count)
+	}
+}
+
+func TestJitteredTickerPhase(t *testing.T) {
+	e := NewEngine(7)
+	var first time.Duration = -1
+	NewJitteredTicker(e, time.Second, func() {
+		if first < 0 {
+			first = e.Now()
+		}
+	})
+	e.Run(5 * time.Second)
+	if first < 0 || first >= time.Second {
+		t.Fatalf("first firing at %v, want in [0, 1s)", first)
+	}
+}
+
+func TestTickerSetPeriod(t *testing.T) {
+	e := NewEngine(1)
+	var times []time.Duration
+	tk := NewTicker(e, 0, time.Second, func() { times = append(times, e.Now()) })
+	e.Run(2 * time.Second) // fires at 0, 1, 2
+	tk.SetPeriod(5 * time.Second)
+	e.Run(12 * time.Second) // next already queued at 3, then 8 with the new period
+	want := []time.Duration{0, time.Second, 2 * time.Second, 3 * time.Second, 8 * time.Second}
+	if len(times) != len(want) {
+		t.Fatalf("times = %v, want %v", times, want)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("times = %v, want %v", times, want)
+		}
+	}
+}
+
+// Property: for any set of non-negative delays, events fire in sorted order
+// and the clock never decreases.
+func TestPropertyMonotonicClock(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine(3)
+		var fired []time.Duration
+		for _, d := range delays {
+			e.Schedule(time.Duration(d)*time.Millisecond, func() {
+				fired = append(fired, e.Now())
+			})
+		}
+		e.RunAll()
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(delays)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,62 @@
+package sim
+
+import "time"
+
+// Ticker repeatedly invokes a callback at a fixed virtual-time period,
+// optionally with a random phase so that simulated nodes do not fire in
+// lockstep. Stop is idempotent.
+type Ticker struct {
+	e      *Engine
+	period time.Duration
+	fn     func()
+	timer  *Timer
+	stop   bool
+}
+
+// NewTicker schedules fn every period, with the first firing after an
+// initial delay. A common pattern is a random initial phase in [0, period).
+func NewTicker(e *Engine, initial, period time.Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	t := &Ticker{e: e, period: period, fn: fn}
+	t.timer = e.Schedule(initial, t.tick)
+	return t
+}
+
+// NewJitteredTicker is NewTicker with the initial delay drawn uniformly from
+// [0, period) using the engine RNG.
+func NewJitteredTicker(e *Engine, period time.Duration, fn func()) *Ticker {
+	initial := time.Duration(e.Rand().Int63n(int64(period)))
+	return NewTicker(e, initial, period, fn)
+}
+
+func (t *Ticker) tick() {
+	if t.stop {
+		return
+	}
+	t.fn()
+	if t.stop { // fn may have stopped us
+		return
+	}
+	t.timer = t.e.Schedule(t.period, t.tick)
+}
+
+// Stop cancels future firings.
+func (t *Ticker) Stop() {
+	t.stop = true
+	if t.timer != nil {
+		t.timer.Stop()
+	}
+}
+
+// Stopped reports whether Stop has been called.
+func (t *Ticker) Stopped() bool { return t.stop }
+
+// SetPeriod changes the period used after the already-scheduled next firing.
+func (t *Ticker) SetPeriod(p time.Duration) {
+	if p <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	t.period = p
+}

@@ -1,0 +1,442 @@
+// Package topology models the physical network layout of a service cluster:
+// hosts, layer-2 switches, layer-3 routers, links, and data centers.
+//
+// The membership protocol in this repository forms groups using IP TTL
+// scoping, so the one quantity the rest of the system needs from a topology
+// is: "which hosts does a multicast packet sent by host h with TTL t reach?"
+// Routers decrement the TTL and drop packets that reach zero; layer-2
+// switches forward without touching it. A packet with TTL t therefore
+// crosses at most t-1 routers, and we define the distance between two hosts
+// as the minimum TTL required to reach one from the other
+// (routers on the best path + 1).
+//
+// WAN links connect data centers. Multicast never crosses a WAN link, which
+// is the property the paper's membership proxy protocol depends on.
+package topology
+
+import (
+	"fmt"
+	"time"
+)
+
+// Kind classifies a network device.
+type Kind uint8
+
+const (
+	// KindHost is an end host running a membership daemon.
+	KindHost Kind = iota
+	// KindSwitch is a layer-2 device: forwards multicast without
+	// decrementing TTL.
+	KindSwitch
+	// KindRouter is a layer-3 device: decrements TTL and drops packets
+	// whose TTL reaches zero.
+	KindRouter
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindHost:
+		return "host"
+	case KindSwitch:
+		return "switch"
+	case KindRouter:
+		return "router"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// DeviceID identifies any device in a Topology.
+type DeviceID int32
+
+// HostID identifies a host. Host IDs are dense (0..NumHosts-1) and double as
+// the protocol-level node identity: the paper elects the member with the
+// lowest ID (e.g. IP address) as group leader, and we use HostID order the
+// same way.
+type HostID int32
+
+// NoHost is returned by lookups that find no host.
+const NoHost HostID = -1
+
+// Device is one node of the physical network graph.
+type Device struct {
+	ID   DeviceID
+	Kind Kind
+	Name string
+	// DC is the data-center index the device belongs to.
+	DC int
+	// Host is the dense host index if Kind == KindHost, else -1.
+	Host HostID
+}
+
+// Link is an undirected edge between two devices.
+type Link struct {
+	A, B    DeviceID
+	Latency time.Duration
+	// WAN marks an inter-data-center link; multicast will not traverse it.
+	WAN bool
+}
+
+// Topology is an immutable-after-build network graph plus cached host
+// distance information. Build one with a Builder; the zero value is empty.
+type Topology struct {
+	devices []Device
+	links   []Link
+	adj     [][]halfEdge // adjacency by device
+	hosts   []DeviceID   // host index -> device id
+	numDC   int
+
+	// failed devices (switch/router outages) and failed links invalidate
+	// cached scopes.
+	failed      map[DeviceID]bool
+	failedLinks map[linkKey]bool
+	epoch       uint64
+
+	scopeCache map[scopeKey]*Scope
+	distCache  map[HostID]*distRow
+	uniCache   map[HostID]*uniRow
+}
+
+type uniRow struct {
+	epoch   uint64
+	latency []time.Duration // per host; -1 disconnected
+}
+
+type halfEdge struct {
+	from    DeviceID
+	to      DeviceID
+	latency time.Duration
+	wan     bool
+}
+
+// linkKey normalizes an undirected device pair.
+type linkKey struct{ lo, hi DeviceID }
+
+func mkLinkKey(a, b DeviceID) linkKey {
+	if a > b {
+		a, b = b, a
+	}
+	return linkKey{a, b}
+}
+
+type scopeKey struct {
+	src   HostID
+	ttl   int
+	epoch uint64
+}
+
+type distRow struct {
+	epoch   uint64
+	minTTL  []int16         // per host, routers+1; -1 unreachable
+	latency []time.Duration // per host, latency along a min-latency path
+}
+
+// Scope is the receiver set of a (source, TTL) multicast, excluding the
+// source itself.
+type Scope struct {
+	Hosts   []HostID
+	Latency []time.Duration // parallel to Hosts: source->host delivery latency
+}
+
+// NumHosts returns the number of hosts.
+func (t *Topology) NumHosts() int { return len(t.hosts) }
+
+// NumDevices returns the number of devices of all kinds.
+func (t *Topology) NumDevices() int { return len(t.devices) }
+
+// NumDataCenters returns the number of data centers (at least 1 for a
+// non-empty topology).
+func (t *Topology) NumDataCenters() int { return t.numDC }
+
+// Device returns the device record for id.
+func (t *Topology) Device(id DeviceID) Device { return t.devices[id] }
+
+// HostDevice returns the device record backing host h.
+func (t *Topology) HostDevice(h HostID) Device { return t.devices[t.hosts[h]] }
+
+// HostDC returns the data center of host h.
+func (t *Topology) HostDC(h HostID) int { return t.devices[t.hosts[h]].DC }
+
+// HostsInDC returns the hosts located in data center dc, in ID order.
+func (t *Topology) HostsInDC(dc int) []HostID {
+	var out []HostID
+	for h, dev := range t.hosts {
+		if t.devices[dev].DC == dc {
+			out = append(out, HostID(h))
+		}
+	}
+	return out
+}
+
+// Links returns a copy of the link list.
+func (t *Topology) Links() []Link {
+	out := make([]Link, len(t.links))
+	copy(out, t.links)
+	return out
+}
+
+// FindDevice returns the first device with the given name, or false.
+func (t *Topology) FindDevice(name string) (Device, bool) {
+	for _, d := range t.devices {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Device{}, false
+}
+
+// FailDevice marks a non-host device as failed: packets no longer traverse
+// it. Failing a host device is allowed but normally host failures are
+// modelled at the protocol layer (the daemon stops), not here.
+func (t *Topology) FailDevice(id DeviceID) {
+	if t.failed == nil {
+		t.failed = make(map[DeviceID]bool)
+	}
+	if !t.failed[id] {
+		t.failed[id] = true
+		t.epoch++
+	}
+}
+
+// RepairDevice clears a failure set by FailDevice.
+func (t *Topology) RepairDevice(id DeviceID) {
+	if t.failed[id] {
+		delete(t.failed, id)
+		t.epoch++
+	}
+}
+
+// Failed reports whether the device is currently failed.
+func (t *Topology) Failed(id DeviceID) bool { return t.failed[id] }
+
+// FailLink cuts the link between two devices (e.g. a group switch's uplink,
+// partitioning the group from the rest of the cluster while leaving the
+// group internally connected).
+func (t *Topology) FailLink(a, b DeviceID) {
+	if t.failedLinks == nil {
+		t.failedLinks = make(map[linkKey]bool)
+	}
+	k := mkLinkKey(a, b)
+	if !t.failedLinks[k] {
+		t.failedLinks[k] = true
+		t.epoch++
+	}
+}
+
+// RepairLink restores a link cut by FailLink.
+func (t *Topology) RepairLink(a, b DeviceID) {
+	k := mkLinkKey(a, b)
+	if t.failedLinks[k] {
+		delete(t.failedLinks, k)
+		t.epoch++
+	}
+}
+
+func (t *Topology) linkFailed(a, b DeviceID) bool {
+	if len(t.failedLinks) == 0 {
+		return false
+	}
+	return t.failedLinks[mkLinkKey(a, b)]
+}
+
+// Epoch increases whenever the failure set changes; cached scope/distance
+// results are keyed on it.
+func (t *Topology) Epoch() uint64 { return t.epoch }
+
+// distances computes, from host src, the minimum-TTL (router count + 1) and
+// an associated latency to every host, using a Dijkstra-like search ordered
+// lexicographically by (routers crossed, latency). Multicast never crosses
+// WAN links, so WAN edges are excluded here; unicast latency uses
+// UnicastLatency instead.
+func (t *Topology) distances(src HostID) *distRow {
+	if row, ok := t.distCache[src]; ok && row.epoch == t.epoch {
+		return row
+	}
+	n := len(t.devices)
+	const inf = int32(1 << 30)
+	routers := make([]int32, n)
+	lat := make([]time.Duration, n)
+	for i := range routers {
+		routers[i] = inf
+	}
+	start := t.hosts[src]
+	if t.failed[start] {
+		// Source failed: empty row.
+		row := &distRow{epoch: t.epoch, minTTL: make([]int16, len(t.hosts)), latency: make([]time.Duration, len(t.hosts))}
+		for i := range row.minTTL {
+			row.minTTL[i] = -1
+		}
+		t.distCache[src] = row
+		return row
+	}
+	routers[start] = 0
+	lat[start] = 0
+	// 0-1 BFS on router count with latency as a secondary relaxation.
+	// Deque of device ids; entering a router costs 1, anything else 0.
+	deque := make([]DeviceID, 0, n)
+	deque = append(deque, start)
+	inQueue := make([]bool, n)
+	inQueue[start] = true
+	for len(deque) > 0 {
+		d := deque[0]
+		deque = deque[1:]
+		inQueue[d] = false
+		for _, e := range t.adj[d] {
+			if e.wan || t.failed[e.to] || t.linkFailed(e.from, e.to) {
+				continue
+			}
+			cost := int32(0)
+			if t.devices[e.to].Kind == KindRouter {
+				cost = 1
+			}
+			nr := routers[d] + cost
+			nl := lat[d] + e.latency
+			if nr < routers[e.to] || (nr == routers[e.to] && nl < lat[e.to]) {
+				routers[e.to] = nr
+				lat[e.to] = nl
+				if !inQueue[e.to] {
+					if cost == 0 {
+						deque = append([]DeviceID{e.to}, deque...)
+					} else {
+						deque = append(deque, e.to)
+					}
+					inQueue[e.to] = true
+				}
+			}
+		}
+	}
+	row := &distRow{
+		epoch:   t.epoch,
+		minTTL:  make([]int16, len(t.hosts)),
+		latency: make([]time.Duration, len(t.hosts)),
+	}
+	for h, dev := range t.hosts {
+		if routers[dev] >= inf || t.failed[dev] {
+			row.minTTL[h] = -1
+			continue
+		}
+		row.minTTL[h] = int16(routers[dev]) + 1
+		row.latency[h] = lat[dev]
+	}
+	if t.distCache == nil {
+		t.distCache = make(map[HostID]*distRow)
+	}
+	t.distCache[src] = row
+	return row
+}
+
+// MinTTL returns the smallest TTL with which a multicast from a reaches b,
+// or -1 if unreachable without crossing a WAN link. MinTTL(a, a) is 1 by
+// convention (a node always receives on its own segment).
+func (t *Topology) MinTTL(a, b HostID) int {
+	return int(t.distances(a).minTTL[b])
+}
+
+// MulticastLatency returns the delivery latency from a to b along the path
+// used for multicast distance, or -1 if unreachable.
+func (t *Topology) MulticastLatency(a, b HostID) time.Duration {
+	row := t.distances(a)
+	if row.minTTL[b] < 0 {
+		return -1
+	}
+	return row.latency[b]
+}
+
+// MulticastScope returns the hosts (other than src) that receive a multicast
+// sent by src with the given TTL, with per-receiver latencies. The result is
+// cached until the failure epoch changes; callers must not mutate it.
+func (t *Topology) MulticastScope(src HostID, ttl int) *Scope {
+	key := scopeKey{src, ttl, t.epoch}
+	if s, ok := t.scopeCache[key]; ok {
+		return s
+	}
+	row := t.distances(src)
+	s := &Scope{}
+	for h := range t.hosts {
+		hid := HostID(h)
+		if hid == src {
+			continue
+		}
+		if d := row.minTTL[h]; d > 0 && int(d) <= ttl {
+			s.Hosts = append(s.Hosts, hid)
+			s.Latency = append(s.Latency, row.latency[h])
+		}
+	}
+	if t.scopeCache == nil {
+		t.scopeCache = make(map[scopeKey]*Scope)
+	}
+	t.scopeCache[key] = s
+	return s
+}
+
+// UnicastLatency returns the latency of a unicast datagram from a to b,
+// allowed to cross WAN links, or -1 if disconnected. The per-source
+// single-source shortest-path result is cached until the failure epoch
+// changes, since unicast sends are on the protocols' hot path.
+func (t *Topology) UnicastLatency(a, b HostID) time.Duration {
+	if row, ok := t.uniCache[a]; ok && row.epoch == t.epoch {
+		return row.latency[b]
+	}
+	n := len(t.devices)
+	const inf = time.Duration(1<<62 - 1)
+	dist := make([]time.Duration, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = inf
+	}
+	start := t.hosts[a]
+	if !t.failed[start] {
+		dist[start] = 0
+		for {
+			best := DeviceID(-1)
+			bestD := inf
+			for i := 0; i < n; i++ {
+				if !done[i] && dist[i] < bestD {
+					best, bestD = DeviceID(i), dist[i]
+				}
+			}
+			if best < 0 {
+				break
+			}
+			done[best] = true
+			for _, e := range t.adj[best] {
+				if t.failed[e.to] || t.linkFailed(e.from, e.to) {
+					continue
+				}
+				if nd := dist[best] + e.latency; nd < dist[e.to] {
+					dist[e.to] = nd
+				}
+			}
+		}
+	}
+	row := &uniRow{epoch: t.epoch, latency: make([]time.Duration, len(t.hosts))}
+	for h, dev := range t.hosts {
+		if dist[dev] >= inf || t.failed[dev] {
+			row.latency[h] = -1
+		} else {
+			row.latency[h] = dist[dev]
+		}
+	}
+	if t.uniCache == nil {
+		t.uniCache = make(map[HostID]*uniRow)
+	}
+	t.uniCache[a] = row
+	return row.latency[b]
+}
+
+// Diameter returns the maximum finite MinTTL over all host pairs: the
+// smallest MaxTTL that lets the membership tree cover the whole cluster.
+func (t *Topology) Diameter() int {
+	max := 0
+	for a := 0; a < len(t.hosts); a++ {
+		row := t.distances(HostID(a))
+		for b := 0; b < len(t.hosts); b++ {
+			if a == b {
+				continue
+			}
+			if d := int(row.minTTL[b]); d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}

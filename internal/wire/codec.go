@@ -1,0 +1,169 @@
+// Package wire defines the versioned binary encoding of every packet the
+// membership protocols exchange: heartbeats, membership updates, bootstrap
+// and synchronization transfers, gossip digests, proxy summaries, and the
+// service-invocation envelope.
+//
+// The format is hand-rolled over encoding/binary (no gob/json) so packet
+// sizes are deterministic and comparable with the paper's measured
+// 228-byte membership heartbeats. All integers are little-endian; strings
+// and slices carry uint16/uint32 length prefixes. Decoding is strict:
+// trailing bytes, truncation, or an unknown version yield an error, never a
+// panic.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Version is the wire format version carried in every packet header.
+const Version = 1
+
+// Magic identifies TAMP packets.
+const Magic = 0x544D // "TM"
+
+// ErrTruncated is returned when a packet ends before its declared content.
+var ErrTruncated = errors.New("wire: truncated packet")
+
+// ErrTrailing is returned when decodable content is followed by junk.
+var ErrTrailing = errors.New("wire: trailing bytes")
+
+// maxSliceLen bounds decoded slice lengths as a defence against corrupt or
+// hostile length prefixes.
+const maxSliceLen = 1 << 20
+
+// writer is an append-only encoder.
+type writer struct {
+	buf []byte
+}
+
+func (w *writer) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *writer) u16(v uint16) { w.buf = binary.LittleEndian.AppendUint16(w.buf, v) }
+func (w *writer) u32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *writer) u64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *writer) i32(v int32)  { w.u32(uint32(v)) }
+func (w *writer) i64(v int64)  { w.u64(uint64(v)) }
+func (w *writer) bool(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+func (w *writer) str(s string) {
+	if len(s) > math.MaxUint16 {
+		s = s[:math.MaxUint16]
+	}
+	w.u16(uint16(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// reader is a sticky-error decoder.
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.buf) {
+		r.fail(ErrTruncated)
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *reader) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (r *reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *reader) i32() int32 { return int32(r.u32()) }
+func (r *reader) i64() int64 { return int64(r.u64()) }
+
+func (r *reader) bool() bool {
+	switch r.u8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.fail(errors.New("wire: invalid bool"))
+		return false
+	}
+}
+
+func (r *reader) str() string {
+	n := int(r.u16())
+	b := r.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// sliceLen reads and bounds a slice length prefix.
+func (r *reader) sliceLen() int {
+	n := int(r.u32())
+	if n > maxSliceLen {
+		r.fail(fmt.Errorf("wire: slice length %d exceeds limit", n))
+		return 0
+	}
+	// A non-empty slice needs at least one byte per element; cheap sanity
+	// bound against hostile prefixes.
+	if r.err == nil && n > len(r.buf)-r.off {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	return n
+}
+
+func (r *reader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.buf) {
+		return ErrTrailing
+	}
+	return nil
+}

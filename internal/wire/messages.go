@@ -1,0 +1,777 @@
+package wire
+
+import (
+	"fmt"
+
+	"repro/internal/membership"
+)
+
+// Type tags each packet.
+type Type uint8
+
+// Packet types.
+const (
+	TInvalid Type = iota
+	// THeartbeat is the periodic per-group liveness announcement.
+	THeartbeat
+	// TUpdate carries membership change notifications plus piggybacked
+	// recent updates for loss recovery.
+	TUpdate
+	// TBootstrapRequest asks a group leader for its directory.
+	TBootstrapRequest
+	// TDirectory is a full membership snapshot (bootstrap or sync reply).
+	TDirectory
+	// TSyncRequest asks a peer to resend its directory after an
+	// unrecoverable update loss.
+	TSyncRequest
+	// TGossip is the gossip baseline's view exchange.
+	TGossip
+	// TProxySummary is the cross-data-center membership summary heartbeat.
+	TProxySummary
+	// TProxyUpdate is the incremental cross-data-center change message.
+	TProxyUpdate
+	// TServiceRequest / TServiceReply envelope application requests, used
+	// for cross-data-center invocation through proxies.
+	TServiceRequest
+	TServiceReply
+	// TLoadPoll / TLoadReply implement random-polling load balancing.
+	TLoadPoll
+	TLoadReply
+	// TLoadReport is the pushed load dissemination of the interest-based
+	// protocol layered above the membership service (§6.1: "propagate
+	// load information only to interested nodes which have recently
+	// seeked the service").
+	TLoadReport
+	// TDirQuery / TDirMatches are the daemon/client IPC of the membership
+	// client library (§5): separate client processes query the daemon's
+	// yellow page (the paper used a shared memory segment; this
+	// implementation serves the same lookups over a local socket).
+	TDirQuery
+	TDirMatches
+)
+
+func (t Type) String() string {
+	names := [...]string{"invalid", "heartbeat", "update", "bootstrapreq", "directory",
+		"syncreq", "gossip", "proxysummary", "proxyupdate", "svcreq", "svcreply",
+		"loadpoll", "loadreply", "loadreport", "dirquery", "dirmatches"}
+	if int(t) < len(names) {
+		return names[t]
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+// Message is implemented by every packet body.
+type Message interface {
+	wireType() Type
+	enc(w *writer)
+}
+
+// Encode serializes a message with the packet header.
+func Encode(m Message) []byte {
+	w := &writer{buf: make([]byte, 0, 256)}
+	w.u16(Magic)
+	w.u8(Version)
+	w.u8(uint8(m.wireType()))
+	m.enc(w)
+	return w.buf
+}
+
+// Decode parses a packet produced by Encode.
+func Decode(b []byte) (Message, error) {
+	r := &reader{buf: b}
+	if r.u16() != Magic {
+		return nil, fmt.Errorf("wire: bad magic")
+	}
+	if v := r.u8(); v != Version {
+		return nil, fmt.Errorf("wire: unsupported version %d", v)
+	}
+	t := Type(r.u8())
+	if r.err != nil {
+		return nil, r.err
+	}
+	var m Message
+	switch t {
+	case THeartbeat:
+		m = decHeartbeat(r)
+	case TUpdate:
+		m = decUpdateMsg(r)
+	case TBootstrapRequest:
+		m = decBootstrapRequest(r)
+	case TDirectory:
+		m = decDirectoryMsg(r)
+	case TSyncRequest:
+		m = decSyncRequest(r)
+	case TGossip:
+		m = decGossip(r)
+	case TProxySummary:
+		m = decProxySummary(r)
+	case TProxyUpdate:
+		m = decProxyUpdate(r)
+	case TServiceRequest:
+		m = decServiceRequest(r)
+	case TServiceReply:
+		m = decServiceReply(r)
+	case TLoadPoll:
+		m = decLoadPoll(r)
+	case TLoadReply:
+		m = decLoadReply(r)
+	case TLoadReport:
+		m = decLoadReport(r)
+	case TDirQuery:
+		m = decDirQuery(r)
+	case TDirMatches:
+		m = decDirMatches(r)
+	default:
+		return nil, fmt.Errorf("wire: unknown packet type %d", uint8(t))
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ---- shared sub-encodings ----
+
+func encKVs(w *writer, kvs []membership.KV) {
+	w.u32(uint32(len(kvs)))
+	for _, kv := range kvs {
+		w.str(kv.Key)
+		w.str(kv.Value)
+	}
+}
+
+func decKVs(r *reader) []membership.KV {
+	n := r.sliceLen()
+	if n == 0 {
+		return nil
+	}
+	out := make([]membership.KV, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		k := r.str()
+		v := r.str()
+		out = append(out, membership.KV{Key: k, Value: v})
+	}
+	return out
+}
+
+func encInfo(w *writer, m membership.MemberInfo) {
+	w.i32(int32(m.Node))
+	w.u32(m.Incarnation)
+	w.u64(m.Version)
+	w.u64(m.Beat)
+	w.u32(uint32(len(m.Services)))
+	for _, s := range m.Services {
+		w.str(s.Name)
+		w.u32(uint32(len(s.Partitions)))
+		for _, p := range s.Partitions {
+			w.i32(p)
+		}
+		encKVs(w, s.Params)
+	}
+	encKVs(w, m.Attrs)
+}
+
+func decInfo(r *reader) membership.MemberInfo {
+	var m membership.MemberInfo
+	m.Node = membership.NodeID(r.i32())
+	m.Incarnation = r.u32()
+	m.Version = r.u64()
+	m.Beat = r.u64()
+	ns := r.sliceLen()
+	if ns > 0 {
+		m.Services = make([]membership.ServiceDecl, 0, ns)
+	}
+	for i := 0; i < ns && r.err == nil; i++ {
+		var s membership.ServiceDecl
+		s.Name = r.str()
+		np := r.sliceLen()
+		if np > 0 {
+			s.Partitions = make([]int32, 0, np)
+		}
+		for j := 0; j < np && r.err == nil; j++ {
+			s.Partitions = append(s.Partitions, r.i32())
+		}
+		s.Params = decKVs(r)
+		m.Services = append(m.Services, s)
+	}
+	m.Attrs = decKVs(r)
+	return m
+}
+
+func encInfos(w *writer, infos []membership.MemberInfo) {
+	w.u32(uint32(len(infos)))
+	for _, m := range infos {
+		encInfo(w, m)
+	}
+}
+
+func decInfos(r *reader) []membership.MemberInfo {
+	n := r.sliceLen()
+	if n == 0 {
+		return nil
+	}
+	out := make([]membership.MemberInfo, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		out = append(out, decInfo(r))
+	}
+	return out
+}
+
+// ---- heartbeat ----
+
+// Heartbeat is the periodic announcement multicast within one membership
+// group. Leader marks the sender as the group leader at this level (the
+// "special flag" new nodes look for during bootstrap); Backup is the
+// leader-designated backup, or NoNode.
+type Heartbeat struct {
+	Info   membership.MemberInfo
+	Level  uint8
+	Leader bool
+	Backup membership.NodeID
+	Seq    uint64
+	// Pad inflates the packet to emulate configured heartbeat sizes (the
+	// paper measures 228-byte and 1024-byte heartbeats); receivers ignore
+	// the content.
+	Pad uint16
+}
+
+func (*Heartbeat) wireType() Type { return THeartbeat }
+
+func (h *Heartbeat) enc(w *writer) {
+	encInfo(w, h.Info)
+	w.u8(h.Level)
+	w.bool(h.Leader)
+	w.i32(int32(h.Backup))
+	w.u64(h.Seq)
+	w.u16(h.Pad)
+	for i := 0; i < int(h.Pad); i++ {
+		w.u8(0)
+	}
+}
+
+func decHeartbeat(r *reader) *Heartbeat {
+	h := &Heartbeat{}
+	h.Info = decInfo(r)
+	h.Level = r.u8()
+	h.Leader = r.bool()
+	h.Backup = membership.NodeID(r.i32())
+	h.Seq = r.u64()
+	h.Pad = r.u16()
+	r.take(int(h.Pad))
+	return h
+}
+
+// ---- updates ----
+
+// UpdateKind classifies a membership change.
+type UpdateKind uint8
+
+const (
+	// UJoin announces a newly discovered node.
+	UJoin UpdateKind = iota + 1
+	// ULeave announces a detected failure or departure.
+	ULeave
+	// UChange announces new info for a live node.
+	UChange
+	// UDepart is a graceful departure announced by the departing node
+	// itself: authoritative, so receivers remove the node even while its
+	// final heartbeats are still fresh.
+	UDepart
+)
+
+func (k UpdateKind) String() string {
+	switch k {
+	case UJoin:
+		return "join"
+	case ULeave:
+		return "leave"
+	case UChange:
+		return "change"
+	case UDepart:
+		return "depart"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// UpdateID uniquely identifies one membership change event, so relaying is
+// idempotent and loop-free.
+type UpdateID struct {
+	Origin  membership.NodeID // the detector that generated the update
+	Counter uint32
+}
+
+// Update is one membership change.
+type Update struct {
+	ID      UpdateID
+	Kind    UpdateKind
+	Subject membership.NodeID
+	Info    membership.MemberInfo // valid for UJoin/UChange
+}
+
+// UpdateMsg carries the newest update plus up to the last piggybackDepth
+// previous updates from the same sender (paper §3.1.2, Message Loss
+// Detection: "we let an update message piggyback last three updates").
+// Seq is the per-sender update stream sequence number of Updates[0];
+// Updates[i] has sequence Seq-i.
+type UpdateMsg struct {
+	Sender  membership.NodeID
+	Seq     uint64
+	Updates []Update
+}
+
+func (*UpdateMsg) wireType() Type { return TUpdate }
+
+func (u *UpdateMsg) enc(w *writer) {
+	w.i32(int32(u.Sender))
+	w.u64(u.Seq)
+	w.u32(uint32(len(u.Updates)))
+	for _, up := range u.Updates {
+		w.i32(int32(up.ID.Origin))
+		w.u32(up.ID.Counter)
+		w.u8(uint8(up.Kind))
+		w.i32(int32(up.Subject))
+		hasInfo := up.Kind == UJoin || up.Kind == UChange
+		w.bool(hasInfo)
+		if hasInfo {
+			encInfo(w, up.Info)
+		}
+	}
+}
+
+func decUpdateMsg(r *reader) *UpdateMsg {
+	u := &UpdateMsg{}
+	u.Sender = membership.NodeID(r.i32())
+	u.Seq = r.u64()
+	n := r.sliceLen()
+	for i := 0; i < n && r.err == nil; i++ {
+		var up Update
+		up.ID.Origin = membership.NodeID(r.i32())
+		up.ID.Counter = r.u32()
+		up.Kind = UpdateKind(r.u8())
+		up.Subject = membership.NodeID(r.i32())
+		if r.bool() {
+			up.Info = decInfo(r)
+		}
+		u.Updates = append(u.Updates, up)
+	}
+	return u
+}
+
+// ---- bootstrap / sync ----
+
+// BootstrapRequest asks a group leader for its full directory when a node
+// joins a group.
+type BootstrapRequest struct {
+	From  membership.NodeID
+	Level uint8
+}
+
+func (*BootstrapRequest) wireType() Type { return TBootstrapRequest }
+
+func (b *BootstrapRequest) enc(w *writer) {
+	w.i32(int32(b.From))
+	w.u8(b.Level)
+}
+
+func decBootstrapRequest(r *reader) *BootstrapRequest {
+	return &BootstrapRequest{From: membership.NodeID(r.i32()), Level: r.u8()}
+}
+
+// DirectoryMsg is a full membership snapshot: the reply to a bootstrap or
+// sync request, and also the leader's unsolicited exchange with a newly
+// joined node ("the group leader also asks the new node for the membership
+// information that it is aware of").
+type DirectoryMsg struct {
+	From membership.NodeID
+	// Ask requests the receiver to send its own snapshot back (used for
+	// the bidirectional bootstrap exchange).
+	Ask   bool
+	Infos []membership.MemberInfo
+}
+
+func (*DirectoryMsg) wireType() Type { return TDirectory }
+
+func (d *DirectoryMsg) enc(w *writer) {
+	w.i32(int32(d.From))
+	w.bool(d.Ask)
+	encInfos(w, d.Infos)
+}
+
+func decDirectoryMsg(r *reader) *DirectoryMsg {
+	d := &DirectoryMsg{}
+	d.From = membership.NodeID(r.i32())
+	d.Ask = r.bool()
+	d.Infos = decInfos(r)
+	return d
+}
+
+// SyncRequest asks the sender of lost updates for a full directory.
+type SyncRequest struct {
+	From membership.NodeID
+}
+
+func (*SyncRequest) wireType() Type { return TSyncRequest }
+
+func (s *SyncRequest) enc(w *writer) { w.i32(int32(s.From)) }
+
+func decSyncRequest(r *reader) *SyncRequest {
+	return &SyncRequest{From: membership.NodeID(r.i32())}
+}
+
+// ---- gossip ----
+
+// GossipEntry pairs a member's info with its heartbeat counter.
+type GossipEntry struct {
+	Counter uint64
+	Info    membership.MemberInfo
+}
+
+// Gossip is the gossip baseline's message: the sender's entire local view
+// with per-member heartbeat counters (van Renesse et al.), which is why the
+// gossip scheme's message size grows with cluster size. Pad appends inert
+// bytes so experiments can equalize the per-member record size across
+// schemes (the paper measures 228 bytes per member for all three).
+type Gossip struct {
+	From    membership.NodeID
+	Entries []GossipEntry
+	Pad     uint32
+}
+
+func (*Gossip) wireType() Type { return TGossip }
+
+func (g *Gossip) enc(w *writer) {
+	w.i32(int32(g.From))
+	w.u32(uint32(len(g.Entries)))
+	for _, e := range g.Entries {
+		w.u64(e.Counter)
+		encInfo(w, e.Info)
+	}
+	w.u32(g.Pad)
+	for i := uint32(0); i < g.Pad; i++ {
+		w.u8(0)
+	}
+}
+
+func decGossip(r *reader) *Gossip {
+	g := &Gossip{From: membership.NodeID(r.i32())}
+	n := r.sliceLen()
+	for i := 0; i < n && r.err == nil; i++ {
+		var e GossipEntry
+		e.Counter = r.u64()
+		e.Info = decInfo(r)
+		g.Entries = append(g.Entries, e)
+	}
+	g.Pad = r.u32()
+	r.take(int(g.Pad))
+	return g
+}
+
+// ---- proxy ----
+
+// SummaryEntry is one service's availability in a data center: the paper's
+// membership summary "only has the availability of service information,
+// which is much smaller" than full machine details.
+type SummaryEntry struct {
+	Service    string
+	Partitions []int32
+	// Nodes is how many nodes serve this (service, partition set) — enough
+	// for remote sides to know the service exists and roughly its capacity.
+	Nodes int32
+}
+
+// ProxySummary is the cross-data-center heartbeat carrying (a chunk of) the
+// sending data center's membership summary.
+type ProxySummary struct {
+	DC      uint16
+	Seq     uint64
+	Chunk   uint16
+	NChunks uint16
+	Entries []SummaryEntry
+}
+
+func (*ProxySummary) wireType() Type { return TProxySummary }
+
+func encSummaryEntries(w *writer, entries []SummaryEntry) {
+	w.u32(uint32(len(entries)))
+	for _, e := range entries {
+		w.str(e.Service)
+		w.u32(uint32(len(e.Partitions)))
+		for _, p := range e.Partitions {
+			w.i32(p)
+		}
+		w.i32(e.Nodes)
+	}
+}
+
+func decSummaryEntries(r *reader) []SummaryEntry {
+	n := r.sliceLen()
+	if n == 0 {
+		return nil
+	}
+	out := make([]SummaryEntry, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		var e SummaryEntry
+		e.Service = r.str()
+		np := r.sliceLen()
+		for j := 0; j < np && r.err == nil; j++ {
+			e.Partitions = append(e.Partitions, r.i32())
+		}
+		e.Nodes = r.i32()
+		out = append(out, e)
+	}
+	return out
+}
+
+func (p *ProxySummary) enc(w *writer) {
+	w.u16(p.DC)
+	w.u64(p.Seq)
+	w.u16(p.Chunk)
+	w.u16(p.NChunks)
+	encSummaryEntries(w, p.Entries)
+}
+
+func decProxySummary(r *reader) *ProxySummary {
+	p := &ProxySummary{}
+	p.DC = r.u16()
+	p.Seq = r.u64()
+	p.Chunk = r.u16()
+	p.NChunks = r.u16()
+	p.Entries = decSummaryEntries(r)
+	return p
+}
+
+// ProxyUpdate is the incremental cross-data-center change notification sent
+// when a local status change alters the membership summary.
+type ProxyUpdate struct {
+	DC      uint16
+	Seq     uint64
+	Upserts []SummaryEntry
+	Removes []string // service names no longer available
+}
+
+func (*ProxyUpdate) wireType() Type { return TProxyUpdate }
+
+func (p *ProxyUpdate) enc(w *writer) {
+	w.u16(p.DC)
+	w.u64(p.Seq)
+	encSummaryEntries(w, p.Upserts)
+	w.u32(uint32(len(p.Removes)))
+	for _, s := range p.Removes {
+		w.str(s)
+	}
+}
+
+func decProxyUpdate(r *reader) *ProxyUpdate {
+	p := &ProxyUpdate{}
+	p.DC = r.u16()
+	p.Seq = r.u64()
+	p.Upserts = decSummaryEntries(r)
+	n := r.sliceLen()
+	for i := 0; i < n && r.err == nil; i++ {
+		p.Removes = append(p.Removes, r.str())
+	}
+	return p
+}
+
+// ---- service invocation ----
+
+// ServiceRequest envelopes one application request, possibly relayed
+// through proxies across data centers (Hops counts proxy relays to prevent
+// forwarding loops).
+type ServiceRequest struct {
+	ReqID     uint64
+	From      membership.NodeID
+	Service   string
+	Partition int32
+	Hops      uint8
+	Payload   []byte
+}
+
+func (*ServiceRequest) wireType() Type { return TServiceRequest }
+
+func (s *ServiceRequest) enc(w *writer) {
+	w.u64(s.ReqID)
+	w.i32(int32(s.From))
+	w.str(s.Service)
+	w.i32(s.Partition)
+	w.u8(s.Hops)
+	w.u32(uint32(len(s.Payload)))
+	w.buf = append(w.buf, s.Payload...)
+}
+
+func decServiceRequest(r *reader) *ServiceRequest {
+	s := &ServiceRequest{}
+	s.ReqID = r.u64()
+	s.From = membership.NodeID(r.i32())
+	s.Service = r.str()
+	s.Partition = r.i32()
+	s.Hops = r.u8()
+	n := r.sliceLen()
+	if b := r.take(n); b != nil {
+		s.Payload = append([]byte(nil), b...)
+	}
+	return s
+}
+
+// ServiceReply carries the result of a ServiceRequest back along the same
+// path.
+type ServiceReply struct {
+	ReqID   uint64
+	OK      bool
+	Payload []byte
+}
+
+func (*ServiceReply) wireType() Type { return TServiceReply }
+
+func (s *ServiceReply) enc(w *writer) {
+	w.u64(s.ReqID)
+	w.bool(s.OK)
+	w.u32(uint32(len(s.Payload)))
+	w.buf = append(w.buf, s.Payload...)
+}
+
+func decServiceReply(r *reader) *ServiceReply {
+	s := &ServiceReply{}
+	s.ReqID = r.u64()
+	s.OK = r.bool()
+	n := r.sliceLen()
+	if b := r.take(n); b != nil {
+		s.Payload = append([]byte(nil), b...)
+	}
+	return s
+}
+
+// ---- load polling ----
+
+// LoadPoll asks a provider for its instantaneous load (random polling load
+// balancing, Shen et al., which the paper layers above the membership
+// service).
+type LoadPoll struct {
+	From  membership.NodeID
+	Token uint64
+}
+
+func (*LoadPoll) wireType() Type { return TLoadPoll }
+
+func (l *LoadPoll) enc(w *writer) {
+	w.i32(int32(l.From))
+	w.u64(l.Token)
+}
+
+func decLoadPoll(r *reader) *LoadPoll {
+	return &LoadPoll{From: membership.NodeID(r.i32()), Token: r.u64()}
+}
+
+// LoadReply returns the provider's queue length.
+type LoadReply struct {
+	Token uint64
+	Load  uint32
+}
+
+func (*LoadReply) wireType() Type { return TLoadReply }
+
+func (l *LoadReply) enc(w *writer) {
+	w.u64(l.Token)
+	w.u32(l.Load)
+}
+
+func decLoadReply(r *reader) *LoadReply {
+	return &LoadReply{Token: r.u64(), Load: r.u32()}
+}
+
+// LoadReport is an unsolicited load sample pushed by a provider to the
+// consumers that recently used it. Seq orders reports from one provider so
+// reordered datagrams cannot regress the consumer's cache.
+type LoadReport struct {
+	From membership.NodeID
+	Seq  uint64
+	Load uint32
+}
+
+func (*LoadReport) wireType() Type { return TLoadReport }
+
+func (l *LoadReport) enc(w *writer) {
+	w.i32(int32(l.From))
+	w.u64(l.Seq)
+	w.u32(l.Load)
+}
+
+func decLoadReport(r *reader) *LoadReport {
+	return &LoadReport{From: membership.NodeID(r.i32()), Seq: r.u64(), Load: r.u32()}
+}
+
+// ---- directory IPC (daemon/client split of §5) ----
+
+// DirQuery is a client's lookup_service request to the local membership
+// daemon.
+type DirQuery struct {
+	// Service is an anchored regular expression over service names.
+	Service string
+	// Partition is "*" or a partition list spec.
+	Partition string
+}
+
+func (*DirQuery) wireType() Type { return TDirQuery }
+
+func (q *DirQuery) enc(w *writer) {
+	w.str(q.Service)
+	w.str(q.Partition)
+}
+
+func decDirQuery(r *reader) *DirQuery {
+	return &DirQuery{Service: r.str(), Partition: r.str()}
+}
+
+// DirMatch is one matched machine in a DirMatches reply.
+type DirMatch struct {
+	Node       membership.NodeID
+	Service    string
+	Partitions []int32
+	Params     []membership.KV
+	Attrs      []membership.KV
+}
+
+// DirMatches is the daemon's reply to a DirQuery.
+type DirMatches struct {
+	OK      bool
+	Error   string
+	Matches []DirMatch
+}
+
+func (*DirMatches) wireType() Type { return TDirMatches }
+
+func (m *DirMatches) enc(w *writer) {
+	w.bool(m.OK)
+	w.str(m.Error)
+	w.u32(uint32(len(m.Matches)))
+	for _, dm := range m.Matches {
+		w.i32(int32(dm.Node))
+		w.str(dm.Service)
+		w.u32(uint32(len(dm.Partitions)))
+		for _, p := range dm.Partitions {
+			w.i32(p)
+		}
+		encKVs(w, dm.Params)
+		encKVs(w, dm.Attrs)
+	}
+}
+
+func decDirMatches(r *reader) *DirMatches {
+	m := &DirMatches{}
+	m.OK = r.bool()
+	m.Error = r.str()
+	n := r.sliceLen()
+	for i := 0; i < n && r.err == nil; i++ {
+		var dm DirMatch
+		dm.Node = membership.NodeID(r.i32())
+		dm.Service = r.str()
+		np := r.sliceLen()
+		for j := 0; j < np && r.err == nil; j++ {
+			dm.Partitions = append(dm.Partitions, r.i32())
+		}
+		dm.Params = decKVs(r)
+		dm.Attrs = decKVs(r)
+		m.Matches = append(m.Matches, dm)
+	}
+	return m
+}

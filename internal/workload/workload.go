@@ -1,0 +1,104 @@
+// Package workload provides request arrival processes for driving service
+// experiments: deterministic (paced), Poisson (memoryless, like
+// independent Internet users), and on/off bursts (flash-crowd shaped). All
+// generators draw from the simulation engine's RNG, so runs are exactly
+// reproducible per seed.
+package workload
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Arrivals schedules a callback per generated request until Stop or the
+// end time passes.
+type Arrivals struct {
+	eng     *sim.Engine
+	next    func() time.Duration // draw the next interarrival gap
+	fire    func(i int)
+	until   time.Duration
+	stopped bool
+	count   int
+}
+
+// Stop halts generation.
+func (a *Arrivals) Stop() { a.stopped = true }
+
+// Count returns how many requests have been generated so far.
+func (a *Arrivals) Count() int { return a.count }
+
+func (a *Arrivals) schedule() {
+	if a.stopped {
+		return
+	}
+	gap := a.next()
+	a.eng.Schedule(gap, func() {
+		if a.stopped || a.eng.Now() > a.until {
+			return
+		}
+		i := a.count
+		a.count++
+		a.fire(i)
+		a.schedule()
+	})
+}
+
+func start(eng *sim.Engine, duration time.Duration, next func() time.Duration, fire func(int)) *Arrivals {
+	a := &Arrivals{eng: eng, next: next, fire: fire, until: eng.Now() + duration}
+	a.schedule()
+	return a
+}
+
+// Deterministic fires every interval exactly.
+func Deterministic(eng *sim.Engine, interval, duration time.Duration, fire func(i int)) *Arrivals {
+	if interval <= 0 {
+		panic("workload: interval must be positive")
+	}
+	return start(eng, duration, func() time.Duration { return interval }, fire)
+}
+
+// Poisson fires with exponentially distributed interarrival times at the
+// given mean rate (requests per second).
+func Poisson(eng *sim.Engine, ratePerSec float64, duration time.Duration, fire func(i int)) *Arrivals {
+	if ratePerSec <= 0 {
+		panic("workload: rate must be positive")
+	}
+	next := func() time.Duration {
+		u := eng.Rand().Float64()
+		if u <= 0 {
+			u = math.SmallestNonzeroFloat64
+		}
+		gap := -math.Log(u) / ratePerSec
+		return time.Duration(gap * float64(time.Second))
+	}
+	return start(eng, duration, next, fire)
+}
+
+// Burst alternates busy periods (Poisson at burstRate) and idle periods:
+// busyFor seconds of traffic, idleFor seconds of silence, repeated — a
+// flash-crowd shape.
+func Burst(eng *sim.Engine, burstRate float64, busyFor, idleFor, duration time.Duration, fire func(i int)) *Arrivals {
+	if burstRate <= 0 || busyFor <= 0 || idleFor < 0 {
+		panic("workload: invalid burst parameters")
+	}
+	cycle := busyFor + idleFor
+	epoch := eng.Now()
+	next := func() time.Duration {
+		// Draw a Poisson gap, then skip any idle window it lands in.
+		u := eng.Rand().Float64()
+		if u <= 0 {
+			u = math.SmallestNonzeroFloat64
+		}
+		gap := time.Duration(-math.Log(u) / burstRate * float64(time.Second))
+		at := eng.Now() + gap
+		phase := (at - epoch) % cycle
+		if phase >= busyFor {
+			// Falls into the idle window: defer to the next busy period.
+			gap += cycle - phase
+		}
+		return gap
+	}
+	return start(eng, duration, next, fire)
+}
