@@ -86,7 +86,7 @@ func BenchmarkSection4Analysis(b *testing.B) {
 // under loss, counting full-directory sync fallbacks.
 func BenchmarkAblationPiggyback(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		fig := harness.AblationPiggyback([]int{0, 1, 3, 6, 8}, 0.05, 11)
+		fig := harness.AblationPiggyback(harness.Sweep{}, []int{0, 1, 3, 6, 8}, 0.05, 11)
 		logOnce(b, i, fig)
 	}
 }
@@ -95,7 +95,7 @@ func BenchmarkAblationPiggyback(b *testing.B) {
 // per network) at fixed cluster size.
 func BenchmarkAblationGroupSize(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		fig := harness.AblationGroupSize(40, []int{5, 10, 20, 40}, 13)
+		fig := harness.AblationGroupSize(harness.Sweep{}, 40, []int{5, 10, 20, 40}, 13)
 		logOnce(b, i, fig)
 	}
 }
@@ -104,7 +104,7 @@ func BenchmarkAblationGroupSize(b *testing.B) {
 // (paper: 5 consecutive losses).
 func BenchmarkAblationMaxLoss(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		fig := harness.AblationMaxLoss([]int{2, 3, 5, 8}, 0.05, 17)
+		fig := harness.AblationMaxLoss(harness.Sweep{}, []int{2, 3, 5, 8}, 0.05, 17)
 		logOnce(b, i, fig)
 	}
 }
@@ -162,7 +162,7 @@ func BenchmarkDetectionDistribution(b *testing.B) {
 // convergence trade-off behind the paper's fanout-1 comparison).
 func BenchmarkAblationGossipFanout(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		fig := harness.AblationGossipFanout(40, []int{1, 2, 3, 5}, 7)
+		fig := harness.AblationGossipFanout(harness.Sweep{}, 40, []int{1, 2, 3, 5}, 7)
 		logOnce(b, i, fig)
 	}
 }

@@ -2,19 +2,31 @@
 // evaluation section (plus this repository's ablation studies) and prints
 // them as aligned text tables.
 //
+// Sweeps fan their independent runs (one per cluster size, ablation point,
+// or failure trial) across a worker pool; -workers bounds the fan-out and
+// the output is byte-identical for any worker count, because each run's
+// seed derives from the sweep seed and the run's key, never from
+// scheduling (see internal/harness.DeriveSeed).
+//
 // Usage:
 //
 //	tampbench -fig all
-//	tampbench -fig 11            # one figure: 2, 11, 12, 13, 14, 4x
-//	tampbench -fig abl-piggyback # ablations: abl-piggyback, abl-group, abl-maxloss
+//	tampbench -fig 11            # figures: 2, 11, 12, 13, 14, 4x, 4b
+//	tampbench -fig abl-piggyback # ablations: abl-piggyback, abl-group, abl-maxloss, abl-fanout
+//	tampbench -fig breakdown     # extra instrumentation: breakdown, detect-dist, accuracy
 //	tampbench -fig 11 -sizes 20,60,100 -pergroup 20 -seed 7 -loss 0.01
+//	tampbench -fig all -workers 8 -v            # parallel sweep with per-run progress
+//	tampbench -fig 11 -cpuprofile cpu.pprof     # profile the sweep hot spots
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -24,11 +36,15 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2, 11, 12, 13, 14, 4x, abl-piggyback, abl-group, abl-maxloss, accuracy, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 2, 11, 12, 13, 14, 4x, 4b, abl-piggyback, abl-group, abl-maxloss, abl-fanout, accuracy, breakdown, detect-dist, all")
 	sizes := flag.String("sizes", "20,40,60,80,100", "cluster sizes for figures 11-13")
 	perGroup := flag.Int("pergroup", 20, "nodes per network/membership group")
-	seed := flag.Int64("seed", 42, "simulation RNG seed")
+	seed := flag.Int64("seed", 42, "simulation RNG seed (per-run seeds derive from it)")
 	loss := flag.Float64("loss", 0, "injected packet loss probability")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel simulation runs per sweep (results are identical for any value)")
+	verbose := flag.Bool("v", false, "print one progress line per run (stderr) plus sweep totals")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole regeneration to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after regeneration to this file")
 	chart := flag.Bool("chart", false, "also render sparkline charts")
 	svgDir := flag.String("svg", "", "directory to write one SVG per figure (created if missing)")
 	flag.Parse()
@@ -38,11 +54,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tampbench:", err)
 		os.Exit(2)
 	}
+	var progress io.Writer
+	if *verbose {
+		progress = os.Stderr
+	}
+	sw := harness.Sweep{Workers: *workers, Progress: progress}
 	o := harness.DefaultOptions()
 	o.Sizes = sz
 	o.PerGroup = *perGroup
 	o.Seed = *seed
 	o.LossProb = *loss
+	o.Sweep = sw
 
 	runners := map[string]func() *metrics.Figure{
 		"2": func() *metrics.Figure {
@@ -61,17 +83,18 @@ func main() {
 		"4x": func() *metrics.Figure { return harness.Section4([]int{20, 100, 500, 1000, 4000}) },
 		"4b": func() *metrics.Figure { return harness.Section4FixedBandwidth([]int{20, 100, 500, 1000, 4000}) },
 		"abl-piggyback": func() *metrics.Figure {
-			return harness.AblationPiggyback([]int{0, 1, 3, 6, 8}, lossOr(*loss, 0.05), *seed)
+			return harness.AblationPiggyback(sw, []int{0, 1, 3, 6, 8}, lossOr(*loss, 0.05), *seed)
 		},
 		"abl-group": func() *metrics.Figure {
-			return harness.AblationGroupSize(40, []int{5, 10, 20, 40}, *seed)
+			return harness.AblationGroupSize(sw, 40, []int{5, 10, 20, 40}, *seed)
 		},
 		"abl-maxloss": func() *metrics.Figure {
-			return harness.AblationMaxLoss([]int{2, 3, 5, 8}, lossOr(*loss, 0.05), *seed)
+			return harness.AblationMaxLoss(sw, []int{2, 3, 5, 8}, lossOr(*loss, 0.05), *seed)
 		},
 		"accuracy": func() *metrics.Figure {
 			o := harness.DefaultAccuracyOptions()
 			o.Seed = *seed
+			o.Sweep = sw
 			return harness.Accuracy(o)
 		},
 		"breakdown": func() *metrics.Figure { return harness.BandwidthBreakdown(o) },
@@ -79,7 +102,7 @@ func main() {
 			return harness.DetectionDistribution(harness.Hierarchical, o, 60, 12)
 		},
 		"abl-fanout": func() *metrics.Figure {
-			return harness.AblationGossipFanout(40, []int{1, 2, 3, 5}, *seed)
+			return harness.AblationGossipFanout(sw, 40, []int{1, 2, 3, 5}, *seed)
 		},
 	}
 	order := []string{"2", "11", "12", "13", "14", "4x", "4b", "abl-piggyback", "abl-group",
@@ -101,6 +124,18 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tampbench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "tampbench:", err)
+			os.Exit(1)
+		}
+	}
+	code := 0
 	for _, name := range todo {
 		start := time.Now()
 		table := runners[name]()
@@ -112,12 +147,33 @@ func main() {
 			path := filepath.Join(*svgDir, "fig-"+name+".svg")
 			if err := os.WriteFile(path, []byte(table.RenderSVG(720, 440)), 0o644); err != nil {
 				fmt.Fprintln(os.Stderr, "tampbench:", err)
-				os.Exit(1)
+				code = 1
+				break
 			}
 			fmt.Printf("(svg: %s)\n", path)
 		}
-		fmt.Printf("(regenerated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		// Timing goes to stderr so stdout stays byte-identical across
+		// worker counts and machines.
+		fmt.Fprintf(os.Stderr, "(%s regenerated in %v)\n", name, time.Since(start).Round(time.Millisecond))
+		fmt.Println()
 	}
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tampbench:", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "tampbench:", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+	os.Exit(code)
 }
 
 func lossOr(v, def float64) float64 {

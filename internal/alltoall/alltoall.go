@@ -1,11 +1,3 @@
-// Package alltoall implements the paper's first baseline: every node
-// periodically multicasts its heartbeat to the entire cluster and builds
-// its yellow-page directory from everyone else's heartbeats.
-//
-// This is the scheme Neptune used for small clusters: it is fully
-// decentralized and gives the best fault isolation, but both the per-node
-// receive rate and the aggregate bandwidth grow with the square of the
-// cluster size (Figure 2), which is why it does not scale.
 package alltoall
 
 import (

@@ -1,0 +1,14 @@
+// Package alltoall implements the flat broadcast membership scheme the
+// paper compares against (#7 in DESIGN.md's system inventory).
+//
+// Every node multicasts a full heartbeat to the whole cluster on one
+// maximum-TTL channel every Interval, and marks a peer dead after
+// MissedBeats silent intervals (Config.DeadAfter). Detection is fast and
+// the implementation is trivial, but per-node receive bandwidth grows
+// linearly with cluster size — the scaling failure quantified in Figures
+// 11-13 and Section 4's analytic model.
+//
+// Node mirrors the surface of core.Node (ID, Directory, Start/Stop,
+// SetInfo, RegisterService, UpdateValue) so the experiment harness can
+// drive all three schemes through one Instance interface.
+package alltoall

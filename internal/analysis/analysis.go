@@ -1,20 +1,3 @@
-// Package analysis implements the closed-form scalability models of the
-// paper's Section 4 for the three membership schemes: failure detection
-// time, view convergence time, bandwidth consumption, and the combined
-// bandwidth-detection-time (BDP) and bandwidth-convergence-time (BCP)
-// products.
-//
-// Two regimes are modelled, as in the paper:
-//
-//   - Fixed bandwidth budget B: the heartbeat/gossip frequency adapts so
-//     the scheme consumes exactly B, and detection time scales as O(MN²/B)
-//     for all-to-all, O(MN² log N / B) for gossip, and O(MN/B) for the
-//     hierarchical scheme.
-//
-//   - Fixed frequency f (the experimental setup, 1 Hz): detection time is
-//     constant for all-to-all and hierarchical (K/f) and grows
-//     logarithmically for gossip, while bandwidth grows quadratically for
-//     all-to-all and gossip but linearly for the hierarchical scheme.
 package analysis
 
 import (

@@ -1,0 +1,19 @@
+// Package analysis implements the closed-form cost model of the paper's
+// Section 4, which compares the three membership schemes analytically
+// before the simulations do so empirically (#12 in DESIGN.md's system
+// inventory).
+//
+// Params carries the model inputs — cluster size n, group size g, record
+// size m, heartbeat interval, the hierarchical scheme's loss tolerance k
+// (MaxLoss), and the gossip fanout — with DefaultParams supplying the
+// paper's Table 1 constants. Each scheme has two entry points matching
+// the paper's two framings: *FixedFrequency (equal heartbeat rates —
+// compare bandwidth and detection time) and *FixedBandwidth (equal
+// per-node bandwidth budget — compare achievable detection time). Both
+// return a Metrics triple of detection time, convergence time, and
+// per-node bandwidth, which the harness renders as the Section 4 tables
+// and overlays against the simulated curves.
+//
+// TreeHeight and Groups expose the hierarchical scheme's derived
+// quantities (log_g n levels) that the text quotes.
+package analysis

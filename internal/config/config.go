@@ -1,27 +1,3 @@
-// Package config parses the membership service's configuration file format
-// from the paper (Figure 7):
-//
-//	*SYSTEM
-//	SHM_KEY = 999
-//	MAX_TTL = 4
-//	MCAST_ADDR = 239.255.0.2
-//	MCAST_PORT = 10050
-//	MCAST_FREQ = 1
-//	MAX_LOSS = 5
-//
-//	*SERVICE
-//	[HTTP]
-//	    PARTITION = 0
-//	    Port = 8080
-//	[Cache]
-//	    PARTITION = 2
-//
-// A "*SYSTEM" section holds global key/value parameters; a "*SERVICE"
-// section holds one [bracketed] block per hosted service, each with the
-// standard PARTITION parameter plus service-specific parameters. All nodes
-// can share the same file, which is the point of the design ("allows all
-// nodes to share the same configuration file to simplify the management
-// task").
 package config
 
 import (

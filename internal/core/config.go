@@ -1,18 +1,3 @@
-// Package core implements the paper's topology-adaptive hierarchical
-// membership protocol.
-//
-// Every node joins a level-0 multicast group scoped by TTL 1 (its own
-// layer-2 segment) and heartbeats there. Each group elects a leader (bully,
-// lowest ID) with a leader-designated backup; leaders of level-k groups
-// join the level-(k+1) channel with TTL k+2, forming a tree whose shape
-// adapts automatically to the network topology. Membership changes are
-// detected inside level-0 groups by heartbeat timeout and relayed across
-// the tree by the Update Protocol; joining nodes fetch the directory from
-// their group leader via the Bootstrap Protocol; stale relayed information
-// is garbage-collected by the Timeout Protocol, tied to the liveness of the
-// relaying leader; lost update packets are recovered by sequence numbers,
-// piggybacked recent updates, and full synchronization (Message Loss
-// Detection).
 package core
 
 import (

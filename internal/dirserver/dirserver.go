@@ -1,14 +1,3 @@
-// Package dirserver implements the daemon/client split of the paper's
-// membership client library (§5): the membership daemon publishes its
-// yellow-page directory, and client programs in other processes query it.
-//
-// The paper used a System V shared memory segment keyed by SHM_KEY; this
-// implementation serves the same lookup_service interface over a local
-// stream socket with length-prefixed wire packets, which is the portable
-// equivalent. The daemon side is push-based: the owner of the directory
-// (the simulation loop or realnet driver goroutine) publishes immutable
-// snapshots; queries are answered from the latest snapshot, so the
-// protocol code and the server never share mutable state.
 package dirserver
 
 import (

@@ -1,0 +1,16 @@
+// Package gossip implements the epidemic membership scheme the paper
+// compares against (#8 in DESIGN.md's system inventory), after van
+// Renesse's gossip-style failure detection service.
+//
+// Each round, every node unicasts its directory digest to Fanout peers
+// chosen uniformly at random; receivers merge by heartbeat counter. A
+// peer is declared failed after failTimeout without progress, where
+// FailTimeoutFor derives the timeout from cluster size and the target
+// mistake probability PMistake — the O(log n) detection-time growth
+// visible in Figure 12. Bandwidth per node is O(n) per round because
+// digests carry the full membership, which Figure 11 measures.
+//
+// Node mirrors the surface of core.Node (ID, Directory, Start/Stop,
+// SetInfo, UpdateValue) so the experiment harness can drive all three
+// schemes through one Instance interface.
+package gossip

@@ -1,20 +1,3 @@
-// Package gossip implements the paper's second baseline: a gossip-style
-// failure detection service after van Renesse, Minsky and Hayden.
-//
-// Every node maintains a list of known members with per-member heartbeat
-// counters. Each gossip interval it increments its own counter and sends
-// its entire list to a few randomly chosen members (unicast). Receivers
-// merge the list, adopting higher counters. A member whose counter has not
-// increased for Tfail is declared failed; it may not be re-added from
-// gossip carrying stale counters for another Tcleanup (handled with the
-// directory's tombstones), which bounds the probability of erroneous
-// re-addition.
-//
-// Because each message carries the full view, the message size grows with
-// the cluster, and the total bandwidth at a fixed gossip frequency grows
-// quadratically — while detection time grows with log N. These are the
-// behaviours the paper's Figures 11-13 measure against the hierarchical
-// scheme.
 package gossip
 
 import (

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/membership"
@@ -34,6 +35,7 @@ type AccuracyOptions struct {
 	ChurnEvery time.Duration // one kill (and one prior restart) per period
 	DownFor    time.Duration // how long a killed node stays down
 	LossProbs  []float64
+	Sweep      Sweep // worker-pool fan-out and progress output
 }
 
 // DefaultAccuracyOptions: 3x10 nodes, a kill every 15 s, 10 s downtime.
@@ -51,9 +53,9 @@ func DefaultAccuracyOptions() AccuracyOptions {
 }
 
 // accuracyRun measures one (scheme, loss) cell.
-func accuracyRun(scheme Scheme, o AccuracyOptions, loss float64) (completeness, accuracy float64) {
+func accuracyRun(scheme Scheme, o AccuracyOptions, loss float64, seed int64) (completeness, accuracy float64, rep metrics.RunReport) {
 	top := o.topology()
-	c := NewCluster(scheme, top, o.Seed)
+	c := NewCluster(scheme, top, seed)
 	c.Net.SetLossProbability(loss)
 	c.StartAll()
 	c.Run(o.WarmUp)
@@ -120,10 +122,11 @@ func accuracyRun(scheme Scheme, o AccuracyOptions, loss float64) (completeness, 
 		sample()
 	}
 	stopChurn = true
+	rep = c.Observe()
 	if samples == 0 {
-		return 0, 0
+		return 0, 0, rep
 	}
-	return 100 * complSum / float64(samples), 100 * accSum / float64(samples)
+	return 100 * complSum / float64(samples), 100 * accSum / float64(samples), rep
 }
 
 func (o AccuracyOptions) topology() *topology.Topology {
@@ -131,20 +134,34 @@ func (o AccuracyOptions) topology() *topology.Topology {
 }
 
 // Accuracy produces two figures' worth of series in one: completeness%
-// and accuracy% per scheme, versus injected loss probability.
+// and accuracy% per scheme, versus injected loss probability. The
+// scheme×loss cells run on o.Sweep's worker pool.
 func Accuracy(o AccuracyOptions) *metrics.Figure {
 	fig := &metrics.Figure{
 		Title:  "Membership completeness/accuracy under churn (kill+restart cycle, % over all samples)",
 		XLabel: "loss probability",
 		YLabel: "percent",
 	}
-	for _, scheme := range Schemes {
+	type cell struct{ compl, acc float64 }
+	results := make([][]cell, len(Schemes))
+	pool := NewPool(o.Sweep, o.Seed)
+	for si, scheme := range Schemes {
+		results[si] = make([]cell, len(o.LossProbs))
+		for pi, p := range o.LossProbs {
+			pool.Go(fmt.Sprintf("accuracy/%s/loss=%g", scheme, p), func(seed int64) metrics.RunReport {
+				cv, av, rep := accuracyRun(scheme, o, p, seed)
+				results[si][pi] = cell{compl: cv, acc: av}
+				return rep
+			})
+		}
+	}
+	pool.Wait()
+	for si, scheme := range Schemes {
 		compl := fig.AddSeries(scheme.String() + " compl%")
 		acc := fig.AddSeries(scheme.String() + " acc%")
-		for _, p := range o.LossProbs {
-			cv, av := accuracyRun(scheme, o, p)
-			compl.Add(p, cv)
-			acc.Add(p, av)
+		for pi, p := range o.LossProbs {
+			compl.Add(p, results[si][pi].compl)
+			acc.Add(p, results[si][pi].acc)
 		}
 	}
 	return fig

@@ -1,0 +1,26 @@
+// Package harness builds clusters running any of the three membership
+// schemes and reruns every experiment from the paper's evaluation section
+// (#14 in DESIGN.md's system inventory), emitting metrics.Figure tables
+// that the benchmarks and the tampbench command print.
+//
+// Cluster construction (harness.go) wires a topology, a netsim.Network,
+// and one protocol node per host behind the Instance interface, so each
+// experiment is written once and parameterized by Scheme (AllToAll,
+// Gossip, Hierarchical). The experiments live one per file: figures.go
+// (Figs. 2, 11-13 and the Section 4 analytic tables), fig14.go (request
+// routing under a failure), ablations.go (piggyback depth, group size,
+// MaxLoss, gossip fanout), accuracy.go (view completeness/accuracy under
+// churn), and breakdown.go (bandwidth by packet type, detection-time
+// distribution).
+//
+// The package also contains the parallel sweep engine (runner.go): a
+// Pool fans independent simulation runs out over a bounded set of worker
+// goroutines (Sweep.Workers, default GOMAXPROCS). Each run's seed is
+// derived as DeriveSeed(base, key) — base XOR an FNV-1a hash of the
+// run's stable key — and each result lands in a slot reserved at
+// submission, so output is byte-identical for any worker count,
+// including 1. Wait returns one metrics.RunReport per run (wall/virtual
+// time, event and packet counts, peak directory size), aggregated into a
+// metrics.SweepSummary for progress output; Cluster.Observe captures the
+// report at the end of a run.
+package harness

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/analysis"
@@ -22,6 +23,7 @@ type Options struct {
 	FailWait  time.Duration // post-kill observation window
 	LossProb  float64       // injected packet loss probability
 	GroupSize int           // alias of PerGroup for ablations
+	Sweep     Sweep         // worker-pool fan-out and progress output
 }
 
 // DefaultOptions mirrors §6.2: 20 nodes per network, sizes 20..100.
@@ -49,27 +51,39 @@ func (o Options) topologyFor(n int) *topology.Topology {
 
 // Figure11 reproduces "Bandwidth consumption": aggregate membership
 // bandwidth (MB/s, receive side) versus cluster size for the three
-// schemes.
+// schemes. The scheme×size cells are independent runs and execute on
+// o.Sweep's worker pool.
 func Figure11(o Options) *metrics.Figure {
 	fig := &metrics.Figure{
 		Title:  "Figure 11: Bandwidth consumption (aggregate, MB/s)",
 		XLabel: "nodes",
 		YLabel: "MB/s received cluster-wide",
 	}
-	for _, scheme := range Schemes {
+	results := make([][]float64, len(Schemes))
+	p := NewPool(o.Sweep, o.Seed)
+	for si, scheme := range Schemes {
+		results[si] = make([]float64, len(o.Sizes))
+		for ni, n := range o.Sizes {
+			p.Go(fmt.Sprintf("fig11/%s/n=%d", scheme, n), func(seed int64) metrics.RunReport {
+				c := NewCluster(scheme, o.topologyFor(n), seed)
+				if o.LossProb > 0 {
+					c.Net.SetLossProbability(o.LossProb)
+				}
+				c.StartAll()
+				c.Run(o.WarmUp)
+				c.Net.ResetStats()
+				c.Run(o.Window)
+				bytes := c.Net.TotalStats().BytesRecv
+				results[si][ni] = float64(bytes) / o.Window.Seconds() / (1 << 20)
+				return c.Observe()
+			})
+		}
+	}
+	p.Wait()
+	for si, scheme := range Schemes {
 		s := fig.AddSeries(scheme.String())
-		for _, n := range o.Sizes {
-			c := NewCluster(scheme, o.topologyFor(n), o.Seed)
-			if o.LossProb > 0 {
-				c.Net.SetLossProbability(o.LossProb)
-			}
-			c.StartAll()
-			c.Run(o.WarmUp)
-			c.Net.ResetStats()
-			c.Run(o.Window)
-			bytes := c.Net.TotalStats().BytesRecv
-			mbps := float64(bytes) / o.Window.Seconds() / (1 << 20)
-			s.Add(float64(n), mbps)
+		for ni, n := range o.Sizes {
+			s.Add(float64(n), results[si][ni])
 		}
 	}
 	return fig
@@ -77,8 +91,8 @@ func Figure11(o Options) *metrics.Figure {
 
 // failureExperiment runs one kill-and-observe pass and returns detection
 // and convergence times.
-func failureExperiment(scheme Scheme, o Options, n int) (det, conv time.Duration, ok bool) {
-	c := NewCluster(scheme, o.topologyFor(n), o.Seed)
+func failureExperiment(scheme Scheme, o Options, n int, seed int64) (det, conv time.Duration, rep metrics.RunReport, ok bool) {
+	c := NewCluster(scheme, o.topologyFor(n), seed)
 	if o.LossProb > 0 {
 		c.Net.SetLossProbability(o.LossProb)
 	}
@@ -103,11 +117,36 @@ func failureExperiment(scheme Scheme, o Options, n int) (det, conv time.Duration
 	victim.Stop()
 	c.Run(o.FailWait)
 	if rec.Count() != len(c.Nodes)-1 {
-		return 0, 0, false
+		return 0, 0, c.Observe(), false
 	}
 	det, _ = rec.DetectionTime()
 	conv, _ = rec.ConvergenceTime()
-	return det, conv, true
+	return det, conv, c.Observe(), true
+}
+
+// failureCell is the result slot of one parallel failure run.
+type failureCell struct {
+	det, conv time.Duration
+	ok        bool
+}
+
+// failureSweep runs the scheme×size failure experiments of Figures 12/13
+// on the worker pool; prefix distinguishes the two figures' seed streams.
+func failureSweep(o Options, prefix string) [][]failureCell {
+	results := make([][]failureCell, len(Schemes))
+	p := NewPool(o.Sweep, o.Seed)
+	for si, scheme := range Schemes {
+		results[si] = make([]failureCell, len(o.Sizes))
+		for ni, n := range o.Sizes {
+			p.Go(fmt.Sprintf("%s/%s/n=%d", prefix, scheme, n), func(seed int64) metrics.RunReport {
+				det, conv, rep, ok := failureExperiment(scheme, o, n, seed)
+				results[si][ni] = failureCell{det: det, conv: conv, ok: ok}
+				return rep
+			})
+		}
+	}
+	p.Wait()
+	return results
 }
 
 // Figure12 reproduces "Failure detection time" versus cluster size.
@@ -117,12 +156,12 @@ func Figure12(o Options) *metrics.Figure {
 		XLabel: "nodes",
 		YLabel: "seconds",
 	}
-	for _, scheme := range Schemes {
+	results := failureSweep(o, "fig12")
+	for si, scheme := range Schemes {
 		s := fig.AddSeries(scheme.String())
-		for _, n := range o.Sizes {
-			det, _, ok := failureExperiment(scheme, o, n)
-			if ok {
-				s.Add(float64(n), det.Seconds())
+		for ni, n := range o.Sizes {
+			if results[si][ni].ok {
+				s.Add(float64(n), results[si][ni].det.Seconds())
 			}
 		}
 	}
@@ -136,12 +175,12 @@ func Figure13(o Options) *metrics.Figure {
 		XLabel: "nodes",
 		YLabel: "seconds",
 	}
-	for _, scheme := range Schemes {
+	results := failureSweep(o, "fig13")
+	for si, scheme := range Schemes {
 		s := fig.AddSeries(scheme.String())
-		for _, n := range o.Sizes {
-			_, conv, ok := failureExperiment(scheme, o, n)
-			if ok {
-				s.Add(float64(n), conv.Seconds())
+		for ni, n := range o.Sizes {
+			if results[si][ni].ok {
+				s.Add(float64(n), results[si][ni].conv.Seconds())
 			}
 		}
 	}

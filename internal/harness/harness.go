@@ -1,7 +1,3 @@
-// Package harness builds clusters running any of the three membership
-// schemes and reruns every experiment from the paper's evaluation section,
-// emitting metrics.Figure tables that the benchmarks and the tampbench
-// command print.
 package harness
 
 import (

@@ -1,0 +1,170 @@
+package harness
+
+// This file is the parallel sweep engine: every figure in this package is a
+// set of completely independent simulation runs (one per cluster size,
+// ablation point, or failure trial), so regenerating a figure fans the runs
+// out over a worker pool instead of looping in one goroutine.
+//
+// Determinism is preserved by construction:
+//
+//   - Each run's RNG seed is derived from the sweep's base seed and the
+//     run's stable key (DeriveSeed), never from worker identity or
+//     submission timing, so a run computes the same result no matter which
+//     worker executes it or in what order.
+//   - Each run writes its result into a slot reserved at submission time,
+//     and the figure's series are assembled serially after Wait, so the
+//     rendered table is byte-identical for any worker count.
+//
+// TestSweepDeterminism pins both properties.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/membership"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Sweep configures how a figure's independent runs are executed.
+// The zero value (all workers, no progress output) is ready to use.
+type Sweep struct {
+	// Workers is the fan-out; 0 or negative means runtime.GOMAXPROCS(0).
+	// The worker count never affects results, only wall time.
+	Workers int
+	// Progress, when non-nil, receives one metrics.RunReport line as each
+	// run finishes plus a sweep summary at the end. Completion order is
+	// scheduling-dependent, so progress output belongs on stderr, never in
+	// the figure itself.
+	Progress io.Writer
+}
+
+func (s Sweep) workerCount(tasks int) int {
+	w := s.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > tasks {
+		w = tasks
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// DeriveSeed maps a sweep's base seed and a run's stable key to the run's
+// RNG seed: base ⊕ FNV-1a64(key). Distinct runs of one sweep get distinct,
+// reproducible seeds regardless of execution order, which is what makes
+// parallel sweep output byte-identical to serial output.
+func DeriveSeed(base int64, key string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return base ^ int64(h.Sum64())
+}
+
+// RunFunc executes one simulation run with its derived seed and returns the
+// run's observability counters (Key, Seed, and Wall are filled in by the
+// pool).
+type RunFunc func(seed int64) metrics.RunReport
+
+type poolTask struct {
+	key string
+	fn  RunFunc
+}
+
+// Pool collects independent runs and executes them across a worker pool.
+// Submit every run with Go, then call Wait exactly once. A Pool is not
+// reusable after Wait.
+type Pool struct {
+	sw    Sweep
+	base  int64
+	tasks []poolTask
+	mu    sync.Mutex // serializes Progress writes
+}
+
+// NewPool returns an empty pool whose runs derive their seeds from base.
+func NewPool(sw Sweep, base int64) *Pool {
+	return &Pool{sw: sw, base: base}
+}
+
+// Go queues one run. Keys must be unique within the pool and stable across
+// processes: they name the run in progress output and determine its seed.
+func (p *Pool) Go(key string, fn RunFunc) {
+	p.tasks = append(p.tasks, poolTask{key: key, fn: fn})
+}
+
+// Wait executes every queued run and returns their reports in submission
+// order. Result data produced by the run closures is visible to the caller
+// when Wait returns.
+func (p *Pool) Wait() []metrics.RunReport {
+	reports := make([]metrics.RunReport, len(p.tasks))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := p.sw.workerCount(len(p.tasks)); w > 0; w-- {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				t := p.tasks[i]
+				seed := DeriveSeed(p.base, t.key)
+				start := time.Now()
+				rep := t.fn(seed)
+				rep.Key = t.key
+				rep.Seed = seed
+				rep.Wall = time.Since(start)
+				reports[i] = rep
+				if p.sw.Progress != nil {
+					p.mu.Lock()
+					fmt.Fprintln(p.sw.Progress, rep.String())
+					p.mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range p.tasks {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	if p.sw.Progress != nil && len(p.tasks) > 1 {
+		fmt.Fprintln(p.sw.Progress, metrics.Summarize(reports).String())
+	}
+	p.tasks = nil
+	return reports
+}
+
+// hasDirectory is the slice-element constraint for observe: every protocol
+// node type exposes its membership directory.
+type hasDirectory interface {
+	Directory() *membership.Directory
+}
+
+// observe builds a run's counters from its engine, network, and nodes at
+// the end of the run. Pool.Wait fills in the identity and wall-time fields.
+func observe[N hasDirectory](eng *sim.Engine, net *netsim.Network, nodes []N) metrics.RunReport {
+	st := net.TotalStats()
+	r := metrics.RunReport{
+		Virtual:        eng.Now(),
+		Events:         eng.Steps(),
+		PktsDelivered:  st.PktsRecv,
+		PktsDropped:    st.Dropped,
+		BytesDelivered: st.BytesRecv,
+	}
+	for _, n := range nodes {
+		if l := n.Directory().Len(); l > r.PeakDirSize {
+			r.PeakDirSize = l
+		}
+	}
+	return r
+}
+
+// Observe reports the cluster's run counters; see observe.
+func (c *Cluster) Observe() metrics.RunReport {
+	return observe(c.Eng, c.Net, c.Nodes)
+}

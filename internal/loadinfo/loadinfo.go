@@ -1,16 +1,3 @@
-// Package loadinfo implements the load-information dissemination protocol
-// the paper layers above the membership service (§6.1): "an external
-// protocol can be built on the top of our membership protocol to propagate
-// load information. For example, the protocol can propagate load
-// information only to interested nodes which have recently seeked the
-// service from the service node."
-//
-// A provider runs a Reporter: every consumer that sends it a request is
-// remembered as interested for an interest window; while interested, the
-// consumer receives periodic unsolicited load reports over unicast. A
-// consumer runs a Cache that absorbs the reports; the service runtime
-// consults the cache before falling back to synchronous random polling,
-// trading a little push traffic for the poll round trip on the hot path.
 package loadinfo
 
 import (

@@ -1,14 +1,3 @@
-// Package membership defines the data model shared by every membership
-// protocol in this repository: node identities, the per-node service
-// description carried in heartbeats, and the yellow-page Directory each
-// node maintains.
-//
-// The paper's membership service publishes, for every cluster node, its
-// aliveness plus relatively stable information — application service name,
-// partition ID, machine configuration — and consumers query the directory
-// with regular expressions over service name and partition list
-// (lookup_service in Fig. 9). Dynamic load information is explicitly out of
-// scope of the membership protocol itself.
 package membership
 
 import (

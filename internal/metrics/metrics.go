@@ -1,7 +1,3 @@
-// Package metrics provides the measurement utilities the experiment
-// harness uses: recording when each node's view reflects a membership
-// change (detection and convergence times), windowed bandwidth accounting,
-// and small series/statistics helpers for emitting the paper's figures.
 package metrics
 
 import (

@@ -1,0 +1,82 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// RunReport captures the observability counters of one simulation run in a
+// sweep: how long it took in real and virtual time, how much work the
+// discrete-event engine and the simulated network did, and how large the
+// membership directories grew. The harness's worker pool emits one report
+// per run (tampbench -v prints them as progress lines) and a SweepSummary
+// at the end, which is how sweep hot spots are located before reaching for
+// -cpuprofile.
+type RunReport struct {
+	Key  string // stable run identifier, e.g. "fig11/Hierarchical/n=100"
+	Seed int64  // the derived per-run seed actually used
+
+	Wall    time.Duration // real elapsed time of the run
+	Virtual time.Duration // virtual clock at the end of the run
+	Events  uint64        // simulation events executed
+
+	// Network counters, aggregated over every endpoint. Runs that reset
+	// network statistics mid-run to isolate a measurement window (Figure 11,
+	// the bandwidth breakdown) report the counts since their last reset.
+	PktsDelivered  uint64
+	PktsDropped    uint64
+	BytesDelivered uint64
+
+	// PeakDirSize is the largest membership directory held by any node at
+	// the end of the run — a direct check that views actually converged to
+	// cluster size.
+	PeakDirSize int
+}
+
+// String renders the one-line per-run progress format.
+func (r RunReport) String() string {
+	return fmt.Sprintf("run %-34s seed=%-12d wall=%-10v virt=%-8v events=%-9d pkts=%d(+%d dropped) dir=%d",
+		r.Key, r.Seed, r.Wall.Round(time.Microsecond), r.Virtual, r.Events,
+		r.PktsDelivered, r.PktsDropped, r.PeakDirSize)
+}
+
+// SweepSummary aggregates the reports of one sweep. Wall sums per-run wall
+// times, so with W workers the observed elapsed time is roughly Wall/W.
+type SweepSummary struct {
+	Runs           int
+	Wall           time.Duration
+	Virtual        time.Duration
+	Events         uint64
+	PktsDelivered  uint64
+	PktsDropped    uint64
+	BytesDelivered uint64
+}
+
+// Summarize folds per-run reports into sweep totals.
+func Summarize(reports []RunReport) SweepSummary {
+	var s SweepSummary
+	for _, r := range reports {
+		s.Runs++
+		s.Wall += r.Wall
+		s.Virtual += r.Virtual
+		s.Events += r.Events
+		s.PktsDelivered += r.PktsDelivered
+		s.PktsDropped += r.PktsDropped
+		s.BytesDelivered += r.BytesDelivered
+	}
+	return s
+}
+
+// String renders the sweep total line, including the virtual-to-real
+// speedup and event throughput that make runs comparable across machines.
+func (s SweepSummary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sweep: %d runs, %v total wall, %d events", s.Runs, s.Wall.Round(time.Millisecond), s.Events)
+	if sec := s.Wall.Seconds(); sec > 0 {
+		fmt.Fprintf(&b, " (%.0f events/s)", float64(s.Events)/sec)
+		fmt.Fprintf(&b, ", %.0fx realtime", s.Virtual.Seconds()/sec)
+	}
+	fmt.Fprintf(&b, ", %d pkts delivered, %d dropped", s.PktsDelivered, s.PktsDropped)
+	return b.String()
+}

@@ -1,0 +1,43 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunReportString(t *testing.T) {
+	r := RunReport{
+		Key: "fig11/Hierarchical/n=100", Seed: -12345,
+		Wall: 42 * time.Millisecond, Virtual: 50 * time.Second,
+		Events: 9001, PktsDelivered: 777, PktsDropped: 3, PeakDirSize: 100,
+	}
+	s := r.String()
+	for _, want := range []string{"fig11/Hierarchical/n=100", "-12345", "50s", "9001", "777", "3 dropped", "dir=100"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("RunReport.String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	reports := []RunReport{
+		{Wall: time.Second, Virtual: 10 * time.Second, Events: 100, PktsDelivered: 10, PktsDropped: 1, BytesDelivered: 1000},
+		{Wall: 2 * time.Second, Virtual: 20 * time.Second, Events: 200, PktsDelivered: 20, PktsDropped: 2, BytesDelivered: 2000},
+	}
+	s := Summarize(reports)
+	if s.Runs != 2 || s.Wall != 3*time.Second || s.Virtual != 30*time.Second ||
+		s.Events != 300 || s.PktsDelivered != 30 || s.PktsDropped != 3 || s.BytesDelivered != 3000 {
+		t.Fatalf("bad summary: %+v", s)
+	}
+	out := s.String()
+	for _, want := range []string{"2 runs", "300 events", "events/s", "x realtime", "30 pkts delivered", "3 dropped"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SweepSummary.String() = %q, missing %q", out, want)
+		}
+	}
+	// Zero-wall summaries must not divide by zero.
+	if z := Summarize(nil).String(); !strings.Contains(z, "0 runs") {
+		t.Errorf("empty summary = %q", z)
+	}
+}

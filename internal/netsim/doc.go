@@ -1,0 +1,32 @@
+// Package netsim provides a simulated datagram network over a
+// topology.Topology and a sim.Engine (#3 in DESIGN.md's system inventory).
+//
+// It models exactly what the membership protocols need from UDP/IP:
+//
+//   - TTL-scoped multicast: a packet sent on a channel with TTL t is
+//     delivered to every subscribed, live host whose router-hop distance
+//     from the sender is below t (see topology.MulticastScope), after the
+//     per-receiver path latency.
+//   - Unicast datagrams, which may cross WAN links.
+//   - Independent per-receiver packet loss, optional latency jitter, and
+//     packet duplication, each with configurable probability.
+//   - Byte and packet accounting per endpoint (Stats), used by the
+//     bandwidth experiments and aggregated into each run's
+//     metrics.RunReport.
+//
+// Key types:
+//
+//   - Network: the fabric; owns every Endpoint, the loss/jitter models,
+//     and TotalStats/ResetStats accounting.
+//   - Endpoint: one host's socket. Multicast/Unicast send; SetHandler
+//     receives; Join/Leave manage channel subscriptions (the IGMP
+//     analogue); SetFilter lets experiments intercept deliveries; SetUp
+//     simulates host/switch failures.
+//   - Packet and Stats: the delivery unit (with UDPOverhead wire-size
+//     accounting) and the per-endpoint counters.
+//
+// Delivery is best-effort and unordered, like UDP. All calls must be made
+// from the simulation goroutine of the owning engine; different Network
+// instances are fully independent, which is what lets the harness run many
+// simulations in parallel.
+package netsim

@@ -1,19 +1,3 @@
-// Package netsim provides a simulated datagram network over a
-// topology.Topology and a sim.Engine.
-//
-// It models exactly what the membership protocols need from UDP/IP:
-//
-//   - TTL-scoped multicast: a packet sent on a channel with TTL t is
-//     delivered to every subscribed, live host whose router-hop distance
-//     from the sender is below t (see topology.MulticastScope), after the
-//     per-receiver path latency.
-//   - Unicast datagrams, which may cross WAN links.
-//   - Independent per-receiver packet loss with configurable probability.
-//   - Byte and packet accounting per endpoint, used by the bandwidth
-//     experiments.
-//
-// Delivery is best-effort and unordered, like UDP. All calls must be made
-// from the simulation goroutine.
 package netsim
 
 import (

@@ -1,0 +1,25 @@
+// Package proxy implements the paper's membership proxy protocol for
+// multi-data-center deployments (#9 in DESIGN.md's system inventory).
+//
+// TTL-scoped multicast cannot cross WAN links, so each data center runs
+// the hierarchical protocol internally and elects one proxy leader (the
+// top-level membership leader) to speak for the site. Proxy leaders
+// exchange compact per-service summaries (wire.ProxySummary: instance
+// and partition counts, aggregate load) with the other sites' virtual IP
+// addresses over unicast, rather than full directories — remote
+// membership is coarse on purpose, sufficient for wide-area request
+// routing and failover.
+//
+// Key types:
+//
+//   - Proxy: attached to a service.Runtime; Start hooks the local
+//     membership tree, tracks whether this node is the site's proxy
+//     leader, sends summaries while leading, and absorbs remote ones.
+//     RemoteSummary answers "what does data center d know about service
+//     s", which the request-routing experiments use to fail over across
+//     sites.
+//   - VIPTable: the static data-center → virtual-IP map standing in for
+//     DNS/anycast in the simulation.
+//   - Config: beat interval, summary refresh, remote-site list, and
+//     staleness timeout for declaring a remote site unreachable.
+package proxy

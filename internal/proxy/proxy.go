@@ -1,22 +1,3 @@
-// Package proxy implements the paper's membership proxy protocol for
-// clusters spanning multiple data centers (§3.2).
-//
-// Each data center runs several proxies for availability. The proxies form
-// their own membership group on a reserved multicast channel and elect a
-// leader; all proxies share one external virtual IP, which the current
-// leader holds (IP failover), so remote data centers always address a
-// stable endpoint. The leader periodically sends the local data center's
-// membership *summary* — per-service availability, far smaller than full
-// machine details — to the other data centers' proxy leaders over unicast
-// (multicast is unavailable across a VPN/Internet), chunking large
-// summaries, and sends incremental update messages immediately when a
-// local status change alters the summary. Received remote summaries are
-// relayed to the local proxy group so a newly promoted leader is warm.
-//
-// Proxies also relay service invocations: a node that cannot find a
-// service locally sends the request to its local proxy, which forwards it
-// to a data center whose summary advertises the service; the remote proxy
-// dispatches to a backend and the reply retraces the path (Figure 6).
 package proxy
 
 import (

@@ -1,0 +1,18 @@
+// Package realnet runs the membership protocols over real UDP sockets on
+// the loopback interface, validating that nothing in the implementation
+// secretly depends on the simulator (#15 in DESIGN.md's system
+// inventory).
+//
+// A Hub is a tiny software switch bound to one UDP socket: endpoints
+// register with it, and it applies the same topology.Topology TTL-scoping
+// rules as netsim when fanning a multicast out to subscribers, plus an
+// optional loss probability. Endpoint implements netsim.Transport over
+// the hub, so core/alltoall/gossip nodes run unmodified; a Driver adapts
+// wall-clock time to the sim.Engine timer interface. Frames carry a small
+// 13-byte hub header (sender, channel, TTL) ahead of the wire-encoded
+// payload.
+//
+// Everything here uses real sockets and the OS scheduler, so tests in
+// this package are inherently timing-dependent and kept deliberately
+// coarse; the deterministic experiments all live on netsim instead.
+package realnet

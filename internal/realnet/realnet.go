@@ -1,19 +1,3 @@
-// Package realnet runs the membership protocols over real UDP sockets on
-// the loopback interface, demonstrating that the protocol state machines
-// are transport-independent: they implement netsim.Transport and are
-// driven by the same sim.Engine, advanced against the wall clock by a
-// Driver instead of a virtual-time loop.
-//
-// TTL-scoped multicast is emulated by a Hub: every endpoint sends data
-// packets to the hub's UDP socket, and the hub forwards copies to the
-// hosts inside the sender's TTL scope (per a topology.Topology) that have
-// joined the channel — exactly the semantics IP multicast with TTL scoping
-// gives the paper's implementation. Unicast also relays through the hub so
-// topology partitions apply uniformly.
-//
-// The hub plays the role of the switching fabric; registration and channel
-// subscription are control-plane operations done in-process (the IGMP
-// analogue), while every data packet crosses a real socket.
 package realnet
 
 import (

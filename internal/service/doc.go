@@ -1,0 +1,21 @@
+// Package service implements the cluster-based service runtime of the
+// paper's motivating use case: partitioned, replicated services that are
+// located via the membership directory and invoked over the simulated
+// network (#10 in DESIGN.md's system inventory).
+//
+// A Runtime sits on one host next to a core.Node. Servers Register a
+// named service with a partition list, a per-request service time, and a
+// Handler; registration publishes the service through the membership
+// protocol, so no separate service-discovery tier exists. Clients call
+// Invoke(service, partition, payload, cb): the runtime looks candidate
+// replicas up in the local membership directory, picks the least-loaded
+// one using the loadinfo cache (polling replicas on a cache miss),
+// sends a wire.ServiceRequest, retries on timeout against the next
+// replica, and fails over when membership reports the replica dead.
+//
+// The queued-request count doubles as the load figure exported through
+// loadinfo.Reporter, closing the loop the paper describes between
+// membership, load dissemination, and request routing. SetRelayHandler
+// lets the multi-DC proxy intercept requests whose partition lives in
+// another data center.
+package service

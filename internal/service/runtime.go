@@ -1,14 +1,3 @@
-// Package service is the Neptune-like clustering middleware layered on the
-// membership service: location-transparent service invocation, partitioned
-// and replicated service instances, and random-polling load balancing.
-//
-// Each node runs a Runtime that couples the node's membership daemon
-// (core.Node) with application service handlers. A consumer addresses work
-// by (service name, partition ID); the runtime looks the pair up in the
-// local yellow-page directory, picks a replica by polling a few random
-// candidates for their load, and sends the request. When no local replica
-// exists and a membership proxy is configured, the request is forwarded to
-// the proxy for cross-data-center invocation (§3.2 of the paper).
 package service
 
 import (

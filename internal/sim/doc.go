@@ -1,0 +1,25 @@
+// Package sim provides the deterministic discrete-event simulation engine
+// every experiment in this repository runs on (#1 in DESIGN.md's system
+// inventory).
+//
+// An Engine maintains a virtual clock, a priority queue of scheduled
+// events ordered by (time, schedule order), and a seeded RNG. All protocol
+// code runs single-threaded on top of one Engine instance, which makes
+// every experiment exactly reproducible for a given seed: the same
+// schedule replays identically, down to RNG draws and tie-breaks.
+//
+// Key types:
+//
+//   - Engine: the clock and event queue. NewEngine(seed) starts at time
+//     zero; Schedule/ScheduleAt queue callbacks; Run(until) advances the
+//     clock; Now, Steps, and Rand expose the clock, executed-event count,
+//     and RNG.
+//   - Timer: the cancellable handle returned by Schedule, used by the
+//     protocols for heartbeat and timeout timers.
+//
+// An Engine is not safe for concurrent use — parallelism is obtained
+// across engine instances, never within one. The experiment harness's
+// worker pool (internal/harness.Pool) runs one independent Engine per
+// simulation run and fans the runs out over goroutines, which is how
+// parameter sweeps use every core without giving up determinism.
+package sim

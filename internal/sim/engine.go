@@ -1,10 +1,3 @@
-// Package sim provides a deterministic discrete-event simulation engine.
-//
-// The engine maintains a virtual clock and a priority queue of scheduled
-// events. All protocol code in this repository runs single-threaded on top
-// of one engine instance, which makes every experiment exactly reproducible
-// for a given RNG seed. Parallelism is obtained across engine instances
-// (parameter sweeps run one engine per goroutine), never within one.
 package sim
 
 import (

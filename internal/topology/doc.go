@@ -1,0 +1,28 @@
+// Package topology models the physical network layout of a service
+// cluster — hosts, layer-2 switches, layer-3 routers, links, and data
+// centers (#2 in DESIGN.md's system inventory).
+//
+// The membership protocol in this repository forms groups using IP TTL
+// scoping, so the one quantity the rest of the system needs from a
+// topology is: "which hosts does a multicast packet sent by host h with
+// TTL t reach?" Routers decrement the TTL and drop packets that reach
+// zero; layer-2 switches forward without touching it. A packet with TTL t
+// therefore crosses at most t-1 routers, and the distance between two
+// hosts is defined as the minimum TTL required to reach one from the other
+// (routers on the best path + 1).
+//
+// WAN links connect data centers. Multicast never crosses a WAN link,
+// which is the property the paper's membership proxy protocol depends on.
+//
+// Key types and constructors:
+//
+//   - Topology: the immutable layout; HostID indexes hosts. Diameter,
+//     MulticastScope, and the hop-distance queries drive group formation.
+//   - FlatLAN(n): n hosts on one switch (a single TTL-1 group).
+//   - Clustered(groups, perGroup): the paper's §6.2 evaluation layout —
+//     groups of hosts behind switches on one core router.
+//   - ThreeTier: pods of racks of hosts (a three-level membership tree).
+//   - MultiDC: data centers joined by WAN links, for the proxy protocol.
+//   - General/Figure-4 builders: topologies where TTL reachability is not
+//     transitive, exercising the paper's overlapping-group rules.
+package topology

@@ -1,17 +1,3 @@
-// Package topology models the physical network layout of a service cluster:
-// hosts, layer-2 switches, layer-3 routers, links, and data centers.
-//
-// The membership protocol in this repository forms groups using IP TTL
-// scoping, so the one quantity the rest of the system needs from a topology
-// is: "which hosts does a multicast packet sent by host h with TTL t reach?"
-// Routers decrement the TTL and drop packets that reach zero; layer-2
-// switches forward without touching it. A packet with TTL t therefore
-// crosses at most t-1 routers, and we define the distance between two hosts
-// as the minimum TTL required to reach one from the other
-// (routers on the best path + 1).
-//
-// WAN links connect data centers. Multicast never crosses a WAN link, which
-// is the property the paper's membership proxy protocol depends on.
 package topology
 
 import (

@@ -1,14 +1,3 @@
-// Package wire defines the versioned binary encoding of every packet the
-// membership protocols exchange: heartbeats, membership updates, bootstrap
-// and synchronization transfers, gossip digests, proxy summaries, and the
-// service-invocation envelope.
-//
-// The format is hand-rolled over encoding/binary (no gob/json) so packet
-// sizes are deterministic and comparable with the paper's measured
-// 228-byte membership heartbeats. All integers are little-endian; strings
-// and slices carry uint16/uint32 length prefixes. Decoding is strict:
-// trailing bytes, truncation, or an unknown version yield an error, never a
-// panic.
 package wire
 
 import (
@@ -17,6 +6,11 @@ import (
 	"fmt"
 	"math"
 )
+
+// The byte-level layout of the packet header, the primitives below, and
+// every message body is specified in docs/WIRE.md; keep the two in sync
+// (any body layout change must bump Version, per the spec's evolution
+// rules).
 
 // Version is the wire format version carried in every packet header.
 const Version = 1

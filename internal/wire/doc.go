@@ -1,0 +1,28 @@
+// Package wire defines the versioned binary encoding of every packet the
+// membership protocols exchange (#4 in DESIGN.md's system inventory):
+// heartbeats, membership updates, bootstrap and synchronization transfers,
+// gossip digests, proxy summaries, load-balancing polls and reports, the
+// service-invocation envelope, and the directory IPC of §5.
+//
+// The format is hand-rolled over encoding/binary (no gob/json) so packet
+// sizes are deterministic and comparable with the paper's measured
+// 228-byte membership heartbeats. All integers are little-endian; strings
+// and slices carry uint16/uint32 length prefixes. Decoding is strict:
+// trailing bytes, truncation, or an unknown version yield an error, never
+// a panic, and hostile length prefixes are bounded before allocation.
+//
+// The byte-level layout of the header and of every message, along with the
+// version-evolution rules, is specified in docs/WIRE.md; codec.go holds
+// the encoder/decoder primitives and messages.go the per-message
+// encodings, in the same order as the spec.
+//
+// Key API:
+//
+//   - Message: implemented by every packet body (Heartbeat, UpdateMsg,
+//     DirectoryMsg, Gossip, ProxySummary, ServiceRequest, ...).
+//   - Encode(m): serialize with the 4-byte packet header (magic, version,
+//     type).
+//   - Decode(b): strict parse, returning one of the concrete message
+//     types or an error (ErrTruncated, ErrTrailing, bad magic/version).
+//   - Type: the packet-type tag carried in the header.
+package wire

@@ -6,7 +6,9 @@ import (
 	"repro/internal/membership"
 )
 
-// Type tags each packet.
+// Type tags each packet. The tag values and each body's byte layout are
+// specified in docs/WIRE.md §§2-4; the encodings below follow the spec's
+// order.
 type Type uint8
 
 // Packet types.
@@ -66,7 +68,8 @@ type Message interface {
 	enc(w *writer)
 }
 
-// Encode serializes a message with the packet header.
+// Encode serializes a message with the 4-byte packet header (magic,
+// version, type — see docs/WIRE.md §2).
 func Encode(m Message) []byte {
 	w := &writer{buf: make([]byte, 0, 256)}
 	w.u16(Magic)

@@ -1,0 +1,13 @@
+// Package workload generates request-arrival processes on a sim.Engine
+// for the service-level experiments driven through the service framework
+// (#10 in DESIGN.md's system inventory).
+//
+// Three generators cover the shapes the experiments need: Deterministic
+// (fixed inter-arrival interval), Poisson (exponential inter-arrivals at
+// a given rate, drawn from the engine's seeded RNG), and Burst
+// (alternating busy/idle phases, for load-balancer stress). Each fires a
+// caller-supplied callback per arrival until the duration elapses or the
+// returned Arrivals handle is stopped, and counts arrivals for the
+// experiment's accounting. Because inter-arrival draws come from the
+// engine RNG, workloads are as deterministic as everything else in a run.
+package workload

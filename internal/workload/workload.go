@@ -1,8 +1,3 @@
-// Package workload provides request arrival processes for driving service
-// experiments: deterministic (paced), Poisson (memoryless, like
-// independent Internet users), and on/off bursts (flash-crowd shaped). All
-// generators draw from the simulation engine's RNG, so runs are exactly
-// reproducible per seed.
 package workload
 
 import (
