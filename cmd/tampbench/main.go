@@ -36,7 +36,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2, 11, 12, 13, 14, 4x, 4b, abl-piggyback, abl-group, abl-maxloss, abl-fanout, accuracy, breakdown, detect-dist, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 2, 11, 12, 13, 14, 4x, 4b, abl-piggyback, abl-group, abl-maxloss, abl-fanout, accuracy, breakdown, detect-dist, chaos, all")
 	sizes := flag.String("sizes", "20,40,60,80,100", "cluster sizes for figures 11-13")
 	perGroup := flag.Int("pergroup", 20, "nodes per network/membership group")
 	seed := flag.Int64("seed", 42, "simulation RNG seed (per-run seeds derive from it)")
@@ -45,6 +45,7 @@ func main() {
 	verbose := flag.Bool("v", false, "print one progress line per run (stderr) plus sweep totals")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole regeneration to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after regeneration to this file")
+	jsonOut := flag.Bool("json", false, "also write BENCH_<fig>.json with per-run reports (chaos always writes it)")
 	chart := flag.Bool("chart", false, "also render sparkline charts")
 	svgDir := flag.String("svg", "", "directory to write one SVG per figure (created if missing)")
 	flag.Parse()
@@ -106,13 +107,13 @@ func main() {
 		},
 	}
 	order := []string{"2", "11", "12", "13", "14", "4x", "4b", "abl-piggyback", "abl-group",
-		"abl-maxloss", "abl-fanout", "accuracy", "breakdown", "detect-dist"}
+		"abl-maxloss", "abl-fanout", "accuracy", "breakdown", "detect-dist", "chaos"}
 
 	var todo []string
 	if *fig == "all" {
 		todo = order
 	} else {
-		if _, ok := runners[*fig]; !ok {
+		if _, ok := runners[*fig]; !ok && *fig != "chaos" {
 			fmt.Fprintf(os.Stderr, "tampbench: unknown figure %q (want one of %s, all)\n", *fig, strings.Join(order, ", "))
 			os.Exit(2)
 		}
@@ -138,8 +139,30 @@ func main() {
 	code := 0
 	for _, name := range todo {
 		start := time.Now()
+		// Reports accumulate per figure; -json snapshots them into
+		// BENCH_<fig>.json after the figure regenerates.
+		log := metrics.NewReportLog()
+		sw.Collector = log
+		o.Sweep = sw
+		if name == "chaos" {
+			if err := runChaos(sw, *seed, log); err != nil {
+				fmt.Fprintln(os.Stderr, "tampbench:", err)
+				code = 1
+			}
+			fmt.Fprintf(os.Stderr, "(chaos regenerated in %v)\n", time.Since(start).Round(time.Millisecond))
+			fmt.Println()
+			continue
+		}
 		table := runners[name]()
 		fmt.Println(table.Render())
+		if *jsonOut {
+			runs := log.Reports()
+			b := metrics.BenchJSON{Fig: name, Seed: *seed, Runs: runs, Summary: metrics.Summarize(runs)}
+			if err := metrics.WriteBenchJSON("BENCH_"+name+".json", b); err != nil {
+				fmt.Fprintln(os.Stderr, "tampbench:", err)
+				code = 1
+			}
+		}
 		if *chart {
 			fmt.Println(table.RenderChart(48))
 		}
@@ -174,6 +197,30 @@ func main() {
 		f.Close()
 	}
 	os.Exit(code)
+}
+
+// runChaos regenerates the chaos matrix (scenario x scheme invariant
+// verdicts) and always records the verdicts in BENCH_chaos.json so the
+// robustness trajectory is machine-trackable across commits.
+func runChaos(sw harness.Sweep, seed int64, log *metrics.ReportLog) error {
+	co := harness.DefaultChaosOptions()
+	co.Seed = seed
+	co.Sweep = sw
+	results := harness.ChaosMatrix(co)
+	fmt.Println(harness.RenderChaosMatrix(results))
+	runs := log.Reports()
+	b := metrics.BenchJSON{
+		Fig:     "chaos",
+		Seed:    seed,
+		Runs:    runs,
+		Summary: metrics.Summarize(runs),
+		Results: results,
+	}
+	if err := metrics.WriteBenchJSON("BENCH_chaos.json", b); err != nil {
+		return err
+	}
+	fmt.Println("(json: BENCH_chaos.json)")
+	return nil
 }
 
 func lossOr(v, def float64) float64 {

@@ -5,16 +5,22 @@
 //
 //	tampsim -scheme hierarchical -groups 5 -pergroup 20 -duration 60s -kill 30 -killat 20s
 //	tampsim -scheme gossip -groups 1 -pergroup 50 -loss 0.05
+//	tampsim -scheme hierarchical -scenario partition-heal     # chaos library scenario
+//	tampsim -scenario @myfaults.txt                           # chaos spec file
+//	tampsim -list-scenarios
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/invariant"
 	"repro/internal/membership"
 	"repro/internal/topology"
 )
@@ -30,7 +36,19 @@ func main() {
 	loss := flag.Float64("loss", 0, "packet loss probability")
 	seed := flag.Int64("seed", 42, "RNG seed")
 	verbose := flag.Bool("v", false, "print every view-change event")
+	scenarioFlag := flag.String("scenario", "", "chaos scenario: a library name, or @file for a scenario spec (see internal/chaos)")
+	listScenarios := flag.Bool("list-scenarios", false, "list the chaos scenario library and exit")
 	flag.Parse()
+
+	if *listScenarios {
+		for _, sc := range chaos.Library(*groups, *perGroup) {
+			fmt.Printf("%-16s %s\n", sc.Name, sc.Description)
+			if sc.Expect != "" {
+				fmt.Printf("%-16s expect: %s\n", "", sc.Expect)
+			}
+		}
+		return
+	}
 
 	var scheme harness.Scheme
 	switch *schemeName {
@@ -45,10 +63,30 @@ func main() {
 		os.Exit(2)
 	}
 
+	var scenario *chaos.Scenario
+	if *scenarioFlag != "" {
+		var err error
+		if name, ok := strings.CutPrefix(*scenarioFlag, "@"); ok {
+			var text []byte
+			if text, err = os.ReadFile(name); err == nil {
+				scenario, err = chaos.ParseSpec(string(text))
+			}
+		} else {
+			scenario, err = chaos.Find(*scenarioFlag, *groups, *perGroup)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tampsim:", err)
+			os.Exit(2)
+		}
+	}
+
 	var top *topology.Topology
-	if *groups <= 1 {
+	switch {
+	case scenario != nil && scenario.MultiDC:
+		top = topology.MultiDC(2, *groups, *perGroup)
+	case *groups <= 1:
 		top = topology.FlatLAN(*perGroup)
-	} else {
+	default:
 		top = topology.Clustered(*groups, *perGroup)
 	}
 	c := harness.NewCluster(scheme, top, *seed)
@@ -81,16 +119,47 @@ func main() {
 			})
 		}
 	}
-	c.Run(*duration)
+
+	var aud *invariant.Auditor
+	runFor := *duration
+	if scenario != nil {
+		nodes := make([]chaos.Node, len(c.Nodes))
+		audited := make([]invariant.Node, len(c.Nodes))
+		for i, n := range c.Nodes {
+			nodes[i] = n
+			audited[i] = n
+		}
+		env := chaos.NewEnv(c.Eng, c.Net, c.Top, nodes)
+		env.Trace = func(at time.Duration, msg string) {
+			fmt.Printf("%12v  === %s ===\n", at.Round(time.Millisecond), msg)
+		}
+		if err := scenario.Install(env); err != nil {
+			fmt.Fprintln(os.Stderr, "tampsim:", err)
+			os.Exit(2)
+		}
+		deadline := scenario.End() + harness.ChaosSettle(scheme, top.NumHosts())
+		if min := deadline + 15*time.Second; runFor < min {
+			runFor = min
+		}
+		aud = invariant.New(c.Eng, c.Top, audited, invariant.Options{
+			Deadline:    deadline,
+			PurgeBound:  harness.ChaosPurgeBound(scheme, top.NumHosts()),
+			LeaderGrace: harness.ChaosLeaderGrace,
+		})
+		aud.Start()
+		fmt.Printf("scenario %s: last fault at %v, audit deadline %v, running to %v\n",
+			scenario.Name, scenario.End(), deadline, runFor)
+	}
+	c.Run(runFor)
 
 	fmt.Printf("\nscheme=%v nodes=%d duration=%v seed=%d loss=%.3f\n",
-		scheme, top.NumHosts(), *duration, *seed, *loss)
+		scheme, top.NumHosts(), runFor, *seed, *loss)
 	fmt.Printf("view-change events: %d\n", events)
 	st := c.Net.TotalStats()
 	fmt.Printf("packets sent=%d recv=%d dropped=%d; bytes sent=%d recv=%d\n",
 		st.PktsSent, st.PktsRecv, st.Dropped, st.BytesSent, st.BytesRecv)
 	fmt.Printf("aggregate receive bandwidth: %.1f KB/s\n",
-		float64(st.BytesRecv)/(*duration).Seconds()/1024)
+		float64(st.BytesRecv)/runFor.Seconds()/1024)
 
 	full, partial := 0, 0
 	alive := 0
@@ -135,7 +204,14 @@ func main() {
 			agg.BootstrapsServed, agg.SyncsRequested, agg.Elections,
 			agg.Abdications, agg.MembersExpired, agg.RelayedPurged)
 	}
-	if partial > 0 {
+	violations := uint64(0)
+	if aud != nil {
+		fmt.Printf("\ninvariant audit:\n%s", aud.Report())
+		for _, r := range aud.Results() {
+			violations += r.Violations
+		}
+	}
+	if (aud == nil && partial > 0) || violations > 0 {
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,308 @@
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// Kill stops one daemon.
+type Kill struct{ Node int }
+
+func (a Kill) Apply(env *Env)       { env.StopNode(a.Node) }
+func (a Kill) String() string       { return fmt.Sprintf("kill %d", a.Node) }
+func (a Kill) check(env *Env) error { return checkNode(env, a.Node) }
+
+// Restart starts one daemon back up.
+type Restart struct{ Node int }
+
+func (a Restart) Apply(env *Env)       { env.StartNode(a.Node) }
+func (a Restart) String() string       { return fmt.Sprintf("restart %d", a.Node) }
+func (a Restart) check(env *Env) error { return checkNode(env, a.Node) }
+
+// KillLeader kills the current leader of a level-0 group: the
+// lowest-indexed running node in the group that claims leadership (schemes
+// without leaders fall back to the lowest-indexed running member, so the
+// same script stresses every scheme).
+type KillLeader struct{ Group int }
+
+func (a KillLeader) Apply(env *Env) {
+	victim := -1
+	for _, h := range env.Groups()[a.Group] {
+		i := int(h)
+		n := env.Nodes[i]
+		if !n.Running() {
+			continue
+		}
+		if victim < 0 {
+			victim = i // fallback: lowest running member
+		}
+		if l, ok := n.(interface{ IsLeader(level int) bool }); ok && l.IsLeader(0) {
+			victim = i
+			break
+		}
+	}
+	if victim >= 0 {
+		env.trace("kill-leader group %d -> node %d", a.Group, victim)
+		env.StopNode(victim)
+	}
+}
+func (a KillLeader) String() string       { return fmt.Sprintf("kill-leader %d", a.Group) }
+func (a KillLeader) check(env *Env) error { return checkGroup(env, a.Group) }
+
+// GroupOutage kills every daemon in a level-0 group at once (correlated
+// failure: a rack losing power).
+type GroupOutage struct{ Group int }
+
+func (a GroupOutage) Apply(env *Env) {
+	for _, h := range env.Groups()[a.Group] {
+		env.StopNode(int(h))
+	}
+}
+func (a GroupOutage) String() string       { return fmt.Sprintf("group-outage %d", a.Group) }
+func (a GroupOutage) check(env *Env) error { return checkGroup(env, a.Group) }
+
+// GroupRestart restarts every daemon in a level-0 group.
+type GroupRestart struct{ Group int }
+
+func (a GroupRestart) Apply(env *Env) {
+	for _, h := range env.Groups()[a.Group] {
+		env.StartNode(int(h))
+	}
+}
+func (a GroupRestart) String() string       { return fmt.Sprintf("group-restart %d", a.Group) }
+func (a GroupRestart) check(env *Env) error { return checkGroup(env, a.Group) }
+
+// FailDevice takes a switch or router out; all paths through it break.
+type FailDevice struct{ Name string }
+
+func (a FailDevice) Apply(env *Env) {
+	env.trace("fail-device %s", a.Name)
+	env.Top.FailDevice(env.device(a.Name))
+}
+func (a FailDevice) String() string       { return "fail-device " + a.Name }
+func (a FailDevice) check(env *Env) error { return checkDevice(env, a.Name) }
+
+// RepairDevice brings a failed device back.
+type RepairDevice struct{ Name string }
+
+func (a RepairDevice) Apply(env *Env) {
+	env.trace("repair-device %s", a.Name)
+	env.Top.RepairDevice(env.device(a.Name))
+}
+func (a RepairDevice) String() string       { return "repair-device " + a.Name }
+func (a RepairDevice) check(env *Env) error { return checkDevice(env, a.Name) }
+
+// FailLink cuts the link between two devices (e.g. a group switch's uplink,
+// partitioning the group while leaving it internally connected).
+type FailLink struct{ A, B string }
+
+func (a FailLink) Apply(env *Env) {
+	env.trace("fail-link %s %s", a.A, a.B)
+	env.Top.FailLink(env.device(a.A), env.device(a.B))
+}
+func (a FailLink) String() string { return fmt.Sprintf("fail-link %s %s", a.A, a.B) }
+func (a FailLink) check(env *Env) error {
+	if err := checkDevice(env, a.A); err != nil {
+		return err
+	}
+	return checkDevice(env, a.B)
+}
+
+// RepairLink restores a cut link.
+type RepairLink struct{ A, B string }
+
+func (a RepairLink) Apply(env *Env) {
+	env.trace("repair-link %s %s", a.A, a.B)
+	env.Top.RepairLink(env.device(a.A), env.device(a.B))
+}
+func (a RepairLink) String() string { return fmt.Sprintf("repair-link %s %s", a.A, a.B) }
+func (a RepairLink) check(env *Env) error {
+	if err := checkDevice(env, a.A); err != nil {
+		return err
+	}
+	return checkDevice(env, a.B)
+}
+
+// SetLoss sets the network-wide loss probability.
+type SetLoss struct{ P float64 }
+
+func (a SetLoss) Apply(env *Env) {
+	env.trace("loss %s", ftoa(a.P))
+	env.Net.SetLossProbability(a.P)
+}
+func (a SetLoss) String() string       { return "loss " + ftoa(a.P) }
+func (a SetLoss) check(env *Env) error { return checkProb("loss", a.P) }
+
+// SetJitter sets the network-wide latency jitter fraction.
+type SetJitter struct{ F float64 }
+
+func (a SetJitter) Apply(env *Env) {
+	env.trace("jitter %s", ftoa(a.F))
+	env.Net.SetLatencyJitter(a.F)
+}
+func (a SetJitter) String() string       { return "jitter " + ftoa(a.F) }
+func (a SetJitter) check(env *Env) error { return checkProb("jitter", a.F) }
+
+// SetDup sets the network-wide duplication probability.
+type SetDup struct{ P float64 }
+
+func (a SetDup) Apply(env *Env) {
+	env.trace("dup %s", ftoa(a.P))
+	env.Net.SetDuplicateProbability(a.P)
+}
+func (a SetDup) String() string       { return "dup " + ftoa(a.P) }
+func (a SetDup) check(env *Env) error { return checkProb("dup", a.P) }
+
+// LossRamp sweeps the network-wide loss probability linearly from From to
+// To in Steps increments spread over Over — the gradual-degradation regime
+// where timeout-based detection starts to flap.
+type LossRamp struct {
+	From, To float64
+	Over     time.Duration
+	Steps    int
+}
+
+func (a LossRamp) Apply(env *Env) {
+	env.trace("loss-ramp %s -> %s over %v", ftoa(a.From), ftoa(a.To), a.Over)
+	env.Net.SetLossProbability(a.From)
+	for i := 1; i <= a.Steps; i++ {
+		frac := float64(i) / float64(a.Steps)
+		p := a.From + (a.To-a.From)*frac
+		env.Eng.Schedule(time.Duration(frac*float64(a.Over)), func() {
+			env.Net.SetLossProbability(p)
+		})
+	}
+}
+func (a LossRamp) String() string {
+	return fmt.Sprintf("loss-ramp %s %s %v %d", ftoa(a.From), ftoa(a.To), a.Over, a.Steps)
+}
+func (a LossRamp) span() time.Duration { return a.Over }
+func (a LossRamp) check(env *Env) error {
+	if err := checkProb("loss", a.From); err != nil {
+		return err
+	}
+	if err := checkProb("loss", a.To); err != nil {
+		return err
+	}
+	if a.Over <= 0 {
+		return fmt.Errorf("ramp duration %v not positive", a.Over)
+	}
+	if a.Steps < 1 {
+		return fmt.Errorf("ramp steps %d < 1", a.Steps)
+	}
+	return nil
+}
+
+// LinkFault applies a netsim.LinkProfile to one link: only deliveries
+// routed across it suffer the extra loss/jitter/duplication. A zero
+// profile heals the link back to network-wide defaults.
+type LinkFault struct {
+	A, B    string
+	Profile netsim.LinkProfile
+}
+
+func (a LinkFault) Apply(env *Env) {
+	env.trace("link-fault %s %s %s", a.A, a.B, profileStr(a.Profile))
+	env.Net.SetLinkProfile(env.device(a.A), env.device(a.B), a.Profile)
+}
+func (a LinkFault) String() string {
+	return fmt.Sprintf("link-fault %s %s %s", a.A, a.B, profileStr(a.Profile))
+}
+func (a LinkFault) check(env *Env) error {
+	if err := checkDevice(env, a.A); err != nil {
+		return err
+	}
+	if err := checkDevice(env, a.B); err != nil {
+		return err
+	}
+	return checkProfile(a.Profile)
+}
+
+// WANFault applies a LinkProfile to every WAN (inter-data-center) link —
+// the asymmetric-degradation regime the paper's proxy design targets. A
+// zero profile heals the WAN.
+type WANFault struct{ Profile netsim.LinkProfile }
+
+func (a WANFault) Apply(env *Env) {
+	env.trace("wan-fault %s", profileStr(a.Profile))
+	for _, l := range env.Top.Links() {
+		if l.WAN {
+			env.Net.SetLinkProfile(l.A, l.B, a.Profile)
+		}
+	}
+}
+func (a WANFault) String() string { return "wan-fault " + profileStr(a.Profile) }
+func (a WANFault) check(env *Env) error {
+	for _, l := range env.Top.Links() {
+		if l.WAN {
+			return checkProfile(a.Profile)
+		}
+	}
+	return fmt.Errorf("topology has no WAN links")
+}
+
+// Flap cycles one daemon down/up Count times: down for Down, up for Up,
+// repeat — the unstable-member regime that stresses incarnation handling
+// and refute/rejoin logic.
+type Flap struct {
+	Node     int
+	Down, Up time.Duration
+	Count    int
+}
+
+func (a Flap) Apply(env *Env) {
+	env.trace("flap node %d (%d cycles)", a.Node, a.Count)
+	period := a.Down + a.Up
+	for c := 0; c < a.Count; c++ {
+		off := time.Duration(c) * period
+		node := a.Node
+		env.Eng.Schedule(off, func() { env.StopNode(node) })
+		env.Eng.Schedule(off+a.Down, func() { env.StartNode(node) })
+	}
+}
+func (a Flap) String() string {
+	return fmt.Sprintf("flap %d down=%v up=%v count=%d", a.Node, a.Down, a.Up, a.Count)
+}
+func (a Flap) span() time.Duration {
+	return time.Duration(a.Count) * (a.Down + a.Up)
+}
+func (a Flap) check(env *Env) error {
+	if err := checkNode(env, a.Node); err != nil {
+		return err
+	}
+	if a.Down <= 0 || a.Up <= 0 {
+		return fmt.Errorf("flap durations must be positive (down=%v up=%v)", a.Down, a.Up)
+	}
+	if a.Count < 1 {
+		return fmt.Errorf("flap count %d < 1", a.Count)
+	}
+	return nil
+}
+
+// ftoa renders a probability in the canonical shortest form ("0.25").
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func profileStr(p netsim.LinkProfile) string {
+	return fmt.Sprintf("loss=%s jitter=%s dup=%s", ftoa(p.Loss), ftoa(p.Jitter), ftoa(p.Dup))
+}
+
+func checkProb(what string, v float64) error {
+	// The inverted comparison also rejects NaN, which fuzzed specs produce.
+	if !(v >= 0 && v < 1) {
+		return fmt.Errorf("%s %v out of [0,1)", what, v)
+	}
+	return nil
+}
+
+func checkProfile(p netsim.LinkProfile) error {
+	if err := checkProb("loss", p.Loss); err != nil {
+		return err
+	}
+	if err := checkProb("jitter", p.Jitter); err != nil {
+		return err
+	}
+	return checkProb("dup", p.Dup)
+}

@@ -1,0 +1,198 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/membership"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Node is the protocol-daemon surface chaos manipulates; every scheme's
+// node (and harness.Instance) satisfies it.
+type Node interface {
+	ID() membership.NodeID
+	Start(eng *sim.Engine)
+	Stop()
+	Directory() *membership.Directory
+	Running() bool
+}
+
+// Env binds a scenario to one concrete cluster: the engine whose clock the
+// timeline runs on, the network and topology the faults mutate, and the
+// protocol daemons the kills target.
+type Env struct {
+	Eng   *sim.Engine
+	Net   *netsim.Network
+	Top   *topology.Topology
+	Nodes []Node
+	// Trace, when non-nil, receives one line per executed action (tampsim
+	// prints these; the bench matrix leaves it nil to keep stdout stable).
+	Trace func(at time.Duration, msg string)
+
+	groups [][]topology.HostID // level-0 groups, computed lazily
+}
+
+// NewEnv builds an Env over a cluster's parts.
+func NewEnv(eng *sim.Engine, net *netsim.Network, top *topology.Topology, nodes []Node) *Env {
+	return &Env{Eng: eng, Net: net, Top: top, Nodes: nodes}
+}
+
+func (e *Env) trace(format string, args ...any) {
+	if e.Trace != nil {
+		e.Trace(e.Eng.Now(), fmt.Sprintf(format, args...))
+	}
+}
+
+// StopNode kills daemon i if it is running.
+func (e *Env) StopNode(i int) {
+	if n := e.Nodes[i]; n.Running() {
+		n.Stop()
+		e.trace("kill node %d", i)
+	}
+}
+
+// StartNode restarts daemon i if it is down.
+func (e *Env) StartNode(i int) {
+	if n := e.Nodes[i]; !n.Running() {
+		n.Start(e.Eng)
+		e.trace("restart node %d", i)
+	}
+}
+
+// Groups returns the level-0 membership groups of the environment's
+// topology: hosts sharing a TTL-1 multicast scope (same switch), each group
+// sorted, groups ordered by their lowest host. Computed once, before any
+// faults run, so group identity stays stable through switch outages.
+func (e *Env) Groups() [][]topology.HostID {
+	if e.groups == nil {
+		e.groups = Groups(e.Top)
+	}
+	return e.groups
+}
+
+// Groups computes the level-0 groups of a topology; see Env.Groups.
+func Groups(top *topology.Topology) [][]topology.HostID {
+	n := top.NumHosts()
+	seen := make([]bool, n)
+	var out [][]topology.HostID
+	for h := 0; h < n; h++ {
+		if seen[h] {
+			continue
+		}
+		g := []topology.HostID{topology.HostID(h)}
+		seen[h] = true
+		sc := top.MulticastScope(topology.HostID(h), 1)
+		for _, peer := range sc.Hosts {
+			if !seen[peer] {
+				g = append(g, peer)
+				seen[peer] = true
+			}
+		}
+		sort.Slice(g, func(i, j int) bool { return g[i] < g[j] })
+		out = append(out, g)
+	}
+	return out
+}
+
+// Action is one fault or heal operation. String returns the canonical spec
+// form ("kill 5", "fail-link sw1 core", ...); check validates the action
+// against a concrete environment before anything is scheduled.
+type Action interface {
+	Apply(env *Env)
+	String() string
+	check(env *Env) error
+}
+
+// spanner is implemented by actions whose effect extends past their start
+// time (ramps, flapping); span is that extent.
+type spanner interface{ span() time.Duration }
+
+// Step schedules one action at a virtual-clock offset from scenario start.
+type Step struct {
+	At  time.Duration
+	Act Action
+}
+
+// Scenario is a named fault timeline.
+type Scenario struct {
+	Name        string
+	Description string
+	// Expect summarizes the invariant outcome the scenario is designed to
+	// probe (documentation; the auditor computes the real verdict).
+	Expect string
+	// MultiDC asks the harness to run the scenario on a multi-data-center
+	// topology (WAN scenarios are meaningless on a single-DC tree).
+	MultiDC bool
+	Steps   []Step
+}
+
+// End returns the offset at which the last action (including ramps and
+// flap cycles) has finished; the harness runs until End plus a
+// scheme-dependent settle bound before enforcing invariants.
+func (s *Scenario) End() time.Duration {
+	var end time.Duration
+	for _, st := range s.Steps {
+		e := st.At
+		if sp, ok := st.Act.(spanner); ok {
+			e += sp.span()
+		}
+		if e > end {
+			end = e
+		}
+	}
+	return end
+}
+
+// Install validates every step against env and schedules the timeline at
+// the current virtual time. Nothing is scheduled if any step fails
+// validation.
+func (s *Scenario) Install(env *Env) error {
+	for i, st := range s.Steps {
+		if st.At < 0 {
+			return fmt.Errorf("chaos: step %d: negative offset %v", i, st.At)
+		}
+		if err := st.Act.check(env); err != nil {
+			return fmt.Errorf("chaos: step %d (@%v %s): %w", i, st.At, st.Act, err)
+		}
+	}
+	base := env.Eng.Now()
+	for _, st := range s.Steps {
+		act := st.Act
+		env.Eng.ScheduleAt(base+st.At, func() { act.Apply(env) })
+	}
+	return nil
+}
+
+// device resolves a device name, which Action.check has already validated.
+func (e *Env) device(name string) topology.DeviceID {
+	d, ok := e.Top.FindDevice(name)
+	if !ok {
+		panic(fmt.Sprintf("chaos: unknown device %q past validation", name))
+	}
+	return d.ID
+}
+
+func checkDevice(env *Env, name string) error {
+	if _, ok := env.Top.FindDevice(name); !ok {
+		return fmt.Errorf("no device named %q", name)
+	}
+	return nil
+}
+
+func checkNode(env *Env, i int) error {
+	if i < 0 || i >= len(env.Nodes) {
+		return fmt.Errorf("node %d out of range [0,%d)", i, len(env.Nodes))
+	}
+	return nil
+}
+
+func checkGroup(env *Env, g int) error {
+	if n := len(env.Groups()); g < 0 || g >= n {
+		return fmt.Errorf("group %d out of range [0,%d)", g, n)
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+// Package chaos is the declarative fault-injection engine: a Scenario is a
+// seeded, deterministic timeline of fault and heal actions (daemon kills,
+// switch/router/link outages, loss and jitter ramps, node flapping,
+// leader-targeted kills, correlated group outages, WAN degradation)
+// scheduled on the simulation engine's virtual clock.
+//
+// Scenarios come from three places: the built-in Library, a text spec
+// (ParseSpec — the format cmd/tampsim accepts via -scenario @file), or
+// direct construction. Installing a scenario validates every action against
+// the concrete cluster and schedules the timeline; the invariant auditor
+// (internal/invariant) then checks the paper's membership guarantees while
+// the script runs.
+package chaos

@@ -1,0 +1,39 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzScenarioSpec ensures the scenario parser never panics, and that any
+// accepted spec renders to a canonical form that reparses to the same
+// scenario (parse-render-parse is a fixed point).
+func FuzzScenarioSpec(f *testing.F) {
+	for _, sc := range Library(3, 8) {
+		f.Add(sc.Spec())
+	}
+	f.Add("")
+	f.Add("# just a comment\n")
+	f.Add("scenario x\n@20s kill 0\n")
+	f.Add("@1h59m59s flap 3 down=1ms up=1ms count=64\n")
+	f.Add("@0s loss-ramp 0.1 0.9 1s 1\n@0s wan-fault loss=0.999\n")
+	f.Add("@5s link-fault a b loss=0.5 jitter=0.25 dup=0.125\n")
+	f.Add("desc spaced   out\nexpect =weird= tokens\nmultidc\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := ParseSpec(in)
+		if err != nil {
+			return
+		}
+		spec := s.Spec()
+		re, err := ParseSpec(spec)
+		if err != nil {
+			t.Fatalf("canonical spec rejected: %v\n%s", err, spec)
+		}
+		if !reflect.DeepEqual(re, s) {
+			t.Fatalf("round trip mismatch:\nin: %q\nspec: %q\ngot:  %+v\nwant: %+v", in, spec, re, s)
+		}
+		if re.Spec() != spec {
+			t.Fatalf("canonical form not a fixed point:\n%q\n%q", spec, re.Spec())
+		}
+	})
+}

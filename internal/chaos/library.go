@@ -1,0 +1,144 @@
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// wanBadProfile is the degraded-WAN regime of the wan-degrade scenario:
+// heavy loss plus strong reordering, but not a full partition.
+var wanBadProfile = netsim.LinkProfile{Loss: 0.3, Jitter: 0.4}
+
+// Library returns the named built-in scenarios, parameterized by the
+// harness cluster shape (groups of perGroup hosts on the Clustered
+// topology; the multidc scenarios run on MultiDC(2, groups, perGroup)).
+// Faults start no earlier than 20s in, leaving the cluster a warm-up
+// window to converge from a cold start.
+//
+// Conventions: group 1 is the victim group (group 0 keeps node 0, the
+// lowest ID, stable as the root leader), and within it the second member
+// (host perGroup+1) is the victim node, so the group's own leader
+// (perGroup, its lowest ID) survives single-node scenarios.
+func Library(groups, perGroup int) []*Scenario {
+	v := perGroup + 1 // victim node in group 1
+	scenarios := []*Scenario{
+		{
+			Name:        "steady",
+			Description: "control: no faults at all",
+			Expect:      "every invariant holds for every scheme",
+		},
+		{
+			Name:        "kill-restart",
+			Description: "one daemon dies and comes back",
+			Expect:      "views drop and re-add the victim within the detection+convergence bound",
+			Steps: []Step{
+				{At: 20 * time.Second, Act: Kill{Node: v}},
+				{At: 40 * time.Second, Act: Restart{Node: v}},
+			},
+		},
+		{
+			Name:        "leader-kill",
+			Description: "kill group 1's leader twice in a row, then restart the group's dead members",
+			Expect:      "a new leader is elected each time; at most one live leader after grace",
+			Steps: []Step{
+				{At: 20 * time.Second, Act: KillLeader{Group: 1}},
+				{At: 26 * time.Second, Act: KillLeader{Group: 1}},
+				{At: 50 * time.Second, Act: GroupRestart{Group: 1}},
+			},
+		},
+		{
+			Name:        "group-outage",
+			Description: "correlated failure: all of group 1 loses power, later restored",
+			Expect:      "survivors purge the whole group by the purge deadline, then re-admit it",
+			Steps: []Step{
+				{At: 20 * time.Second, Act: GroupOutage{Group: 1}},
+				{At: 45 * time.Second, Act: GroupRestart{Group: 1}},
+			},
+		},
+		{
+			Name:        "partition-heal",
+			Description: "cut group 1's switch uplink, heal it 40s later",
+			Expect:      "group 1 stays internally complete; after heal all views re-converge",
+			Steps: []Step{
+				{At: 20 * time.Second, Act: FailLink{A: "sw1", B: "core"}},
+				{At: 60 * time.Second, Act: RepairLink{A: "sw1", B: "core"}},
+			},
+		},
+		{
+			Name:        "switch-outage",
+			Description: "group 1's switch dies entirely (members lose even each other), later repaired",
+			Expect:      "the rest of the cluster purges group 1; full re-convergence after repair",
+			Steps: []Step{
+				{At: 20 * time.Second, Act: FailDevice{Name: "sw1"}},
+				{At: 45 * time.Second, Act: RepairDevice{Name: "sw1"}},
+			},
+		},
+		{
+			Name:        "flapping",
+			Description: "one unstable daemon cycles down/up four times",
+			Expect:      "incarnation bumps keep sequence numbers monotone; views settle once flapping stops",
+			Steps: []Step{
+				{At: 20 * time.Second, Act: Flap{Node: v, Down: 3 * time.Second, Up: 5 * time.Second, Count: 4}},
+			},
+		},
+		{
+			Name:        "loss-surge",
+			Description: "network-wide loss ramps 0 to 30% over 20s, then drops back to zero",
+			Expect:      "no false failure declarations below each scheme's loss tolerance; clean views after the surge",
+			Steps: []Step{
+				{At: 20 * time.Second, Act: LossRamp{From: 0, To: 0.3, Over: 20 * time.Second, Steps: 10}},
+				{At: 45 * time.Second, Act: SetLoss{P: 0}},
+			},
+		},
+		{
+			Name:        "cascade",
+			Description: "a rolling failure: one daemon per group dies in 5s intervals, then all recover",
+			Expect:      "each group detects its own loss independently; no cross-group phantom entries",
+		},
+		{
+			Name:        "wan-degrade",
+			Description: "both data centers stay up but the WAN link between them degrades badly, then heals",
+			Expect:      "schemes that relay across the WAN keep cross-DC views through the degradation",
+			MultiDC:     true,
+			Steps: []Step{
+				{At: 20 * time.Second, Act: WANFault{Profile: wanBadProfile}},
+				{At: 60 * time.Second, Act: WANFault{}},
+			},
+		},
+	}
+	// cascade's steps depend on the cluster shape.
+	cascade := scenarios[8]
+	for g := 0; g < groups; g++ {
+		victim := g*perGroup + 1
+		cascade.Steps = append(cascade.Steps,
+			Step{At: time.Duration(20+5*g) * time.Second, Act: Kill{Node: victim}})
+	}
+	for g := 0; g < groups; g++ {
+		victim := g*perGroup + 1
+		cascade.Steps = append(cascade.Steps,
+			Step{At: time.Duration(50+5*g) * time.Second, Act: Restart{Node: victim}})
+	}
+	return scenarios
+}
+
+// Find returns the library scenario with the given name.
+func Find(name string, groups, perGroup int) (*Scenario, error) {
+	for _, s := range Library(groups, perGroup) {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("chaos: no scenario named %q (have %v)", name, Names(groups, perGroup))
+}
+
+// Names lists the library scenario names in presentation order.
+func Names(groups, perGroup int) []string {
+	lib := Library(groups, perGroup)
+	out := make([]string, len(lib))
+	for i, s := range lib {
+		out[i] = s.Name
+	}
+	return out
+}

@@ -1,0 +1,311 @@
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// The text scenario spec is what cmd/tampsim accepts via -scenario @file
+// and what Scenario.Spec renders. One directive or step per line:
+//
+//	# comment
+//	scenario partition-heal
+//	desc cut a group switch uplink, heal it later
+//	expect gossip re-merges; multicast schemes cannot cross the cut
+//	multidc                       # request a multi-data-center topology
+//	@20s fail-link sw1 core
+//	@60s repair-link sw1 core
+//
+// Steps are "@OFFSET VERB ARGS..." with OFFSET a Go duration. Verbs:
+//
+//	kill N | restart N | kill-leader G | group-outage G | group-restart G
+//	fail-device NAME | repair-device NAME
+//	fail-link A B | repair-link A B
+//	loss P | jitter F | dup P
+//	loss-ramp FROM TO OVER STEPS
+//	link-fault A B [loss=P] [jitter=F] [dup=P]
+//	wan-fault [loss=P] [jitter=F] [dup=P]
+//	flap N down=D up=D [count=K]
+//
+// Probabilities must lie in [0,1); durations are Go duration literals.
+// Node and group indexes are range-checked later, at Scenario.Install,
+// against the concrete cluster.
+
+// ParseSpec parses the text scenario format.
+func ParseSpec(text string) (*Scenario, error) {
+	s := &Scenario{}
+	for ln, raw := range strings.Split(text, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		word, rest, _ := strings.Cut(line, " ")
+		rest = strings.TrimSpace(rest)
+		var err error
+		switch {
+		case word == "scenario":
+			if rest == "" {
+				err = fmt.Errorf("scenario needs a name")
+			}
+			s.Name = rest
+		case word == "desc":
+			s.Description = rest
+		case word == "expect":
+			s.Expect = rest
+		case word == "multidc":
+			if rest != "" {
+				err = fmt.Errorf("multidc takes no arguments")
+			}
+			s.MultiDC = true
+		case strings.HasPrefix(word, "@"):
+			var st Step
+			st, err = parseStep(word[1:], rest)
+			if err == nil {
+				s.Steps = append(s.Steps, st)
+			}
+		default:
+			err = fmt.Errorf("unknown directive %q", word)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("chaos: line %d: %w", ln+1, err)
+		}
+	}
+	return s, nil
+}
+
+// Spec renders the scenario in the canonical text format;
+// ParseSpec(s.Spec()) reproduces s.
+func (s *Scenario) Spec() string {
+	var b strings.Builder
+	if s.Name != "" {
+		fmt.Fprintf(&b, "scenario %s\n", s.Name)
+	}
+	if s.Description != "" {
+		fmt.Fprintf(&b, "desc %s\n", s.Description)
+	}
+	if s.Expect != "" {
+		fmt.Fprintf(&b, "expect %s\n", s.Expect)
+	}
+	if s.MultiDC {
+		b.WriteString("multidc\n")
+	}
+	for _, st := range s.Steps {
+		fmt.Fprintf(&b, "@%v %s\n", st.At, st.Act)
+	}
+	return b.String()
+}
+
+func parseStep(offset, rest string) (Step, error) {
+	at, err := time.ParseDuration(offset)
+	if err != nil {
+		return Step{}, fmt.Errorf("bad offset %q: %v", offset, err)
+	}
+	if at < 0 {
+		return Step{}, fmt.Errorf("negative offset %q", offset)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return Step{}, fmt.Errorf("offset @%s has no action", offset)
+	}
+	act, err := parseAction(fields[0], fields[1:])
+	if err != nil {
+		return Step{}, err
+	}
+	return Step{At: at, Act: act}, nil
+}
+
+func parseAction(verb string, args []string) (Action, error) {
+	switch verb {
+	case "kill":
+		n, err := oneInt(verb, args)
+		return Kill{Node: n}, err
+	case "restart":
+		n, err := oneInt(verb, args)
+		return Restart{Node: n}, err
+	case "kill-leader":
+		g, err := oneInt(verb, args)
+		return KillLeader{Group: g}, err
+	case "group-outage":
+		g, err := oneInt(verb, args)
+		return GroupOutage{Group: g}, err
+	case "group-restart":
+		g, err := oneInt(verb, args)
+		return GroupRestart{Group: g}, err
+	case "fail-device":
+		n, err := oneName(verb, args)
+		return FailDevice{Name: n}, err
+	case "repair-device":
+		n, err := oneName(verb, args)
+		return RepairDevice{Name: n}, err
+	case "fail-link":
+		a, b, err := twoNames(verb, args)
+		return FailLink{A: a, B: b}, err
+	case "repair-link":
+		a, b, err := twoNames(verb, args)
+		return RepairLink{A: a, B: b}, err
+	case "loss":
+		p, err := oneProb(verb, args)
+		return SetLoss{P: p}, err
+	case "jitter":
+		f, err := oneProb(verb, args)
+		return SetJitter{F: f}, err
+	case "dup":
+		p, err := oneProb(verb, args)
+		return SetDup{P: p}, err
+	case "loss-ramp":
+		if len(args) != 4 {
+			return nil, fmt.Errorf("loss-ramp wants FROM TO OVER STEPS, got %d args", len(args))
+		}
+		from, err := prob("from", args[0])
+		if err != nil {
+			return nil, err
+		}
+		to, err := prob("to", args[1])
+		if err != nil {
+			return nil, err
+		}
+		over, err := time.ParseDuration(args[2])
+		if err != nil || over <= 0 {
+			return nil, fmt.Errorf("loss-ramp duration %q must be a positive duration", args[2])
+		}
+		steps, err := strconv.Atoi(args[3])
+		if err != nil || steps < 1 {
+			return nil, fmt.Errorf("loss-ramp steps %q must be a positive integer", args[3])
+		}
+		return LossRamp{From: from, To: to, Over: over, Steps: steps}, nil
+	case "link-fault":
+		if len(args) < 2 {
+			return nil, fmt.Errorf("link-fault wants A B [loss=|jitter=|dup=]")
+		}
+		p, err := parseProfile(args[2:])
+		if err != nil {
+			return nil, err
+		}
+		return LinkFault{A: args[0], B: args[1], Profile: p}, nil
+	case "wan-fault":
+		p, err := parseProfile(args)
+		if err != nil {
+			return nil, err
+		}
+		return WANFault{Profile: p}, nil
+	case "flap":
+		if len(args) < 1 {
+			return nil, fmt.Errorf("flap wants N down=D up=D [count=K]")
+		}
+		n, err := nonNegInt("flap node", args[0])
+		if err != nil {
+			return nil, err
+		}
+		f := Flap{Node: n, Count: 1}
+		haveDown, haveUp := false, false
+		for _, kv := range args[1:] {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("flap argument %q is not key=value", kv)
+			}
+			switch k {
+			case "down":
+				f.Down, err = time.ParseDuration(v)
+				haveDown = true
+			case "up":
+				f.Up, err = time.ParseDuration(v)
+				haveUp = true
+			case "count":
+				f.Count, err = strconv.Atoi(v)
+			default:
+				return nil, fmt.Errorf("flap: unknown key %q", k)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("flap %s=%q: %v", k, v, err)
+			}
+		}
+		if !haveDown || !haveUp || f.Down <= 0 || f.Up <= 0 {
+			return nil, fmt.Errorf("flap needs positive down= and up= durations")
+		}
+		if f.Count < 1 {
+			return nil, fmt.Errorf("flap count %d < 1", f.Count)
+		}
+		return f, nil
+	}
+	return nil, fmt.Errorf("unknown action %q", verb)
+}
+
+func parseProfile(args []string) (netsim.LinkProfile, error) {
+	var p netsim.LinkProfile
+	for _, kv := range args {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return p, fmt.Errorf("profile argument %q is not key=value", kv)
+		}
+		f, err := prob(k, v)
+		if err != nil {
+			return p, err
+		}
+		switch k {
+		case "loss":
+			p.Loss = f
+		case "jitter":
+			p.Jitter = f
+		case "dup":
+			p.Dup = f
+		default:
+			return p, fmt.Errorf("unknown profile key %q", k)
+		}
+	}
+	return p, nil
+}
+
+func prob(what, s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s %q", what, s)
+	}
+	if err := checkProb(what, v); err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+func oneProb(verb string, args []string) (float64, error) {
+	if len(args) != 1 {
+		return 0, fmt.Errorf("%s wants exactly one probability", verb)
+	}
+	return prob(verb, args[0])
+}
+
+func oneInt(verb string, args []string) (int, error) {
+	if len(args) != 1 {
+		return 0, fmt.Errorf("%s wants exactly one argument", verb)
+	}
+	return nonNegInt(verb, args[0])
+}
+
+func nonNegInt(what, s string) (int, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("%s %q must be a non-negative integer", what, s)
+	}
+	return n, nil
+}
+
+func oneName(verb string, args []string) (string, error) {
+	if len(args) != 1 {
+		return "", fmt.Errorf("%s wants exactly one device name", verb)
+	}
+	return args[0], nil
+}
+
+func twoNames(verb string, args []string) (string, string, error) {
+	if len(args) != 2 {
+		return "", "", fmt.Errorf("%s wants exactly two device names", verb)
+	}
+	return args[0], args[1], nil
+}

@@ -1,0 +1,115 @@
+package chaos
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseSpecFull(t *testing.T) {
+	text := `
+# a kitchen-sink scenario
+scenario everything
+desc all verbs at once
+expect nothing in particular
+multidc
+@20s kill 5
+@21s restart 5
+@22s kill-leader 1
+@23s group-outage 2
+@24s group-restart 2
+@25s fail-device sw1
+@26s repair-device sw1
+@27s fail-link sw1 core
+@28s repair-link sw1 core
+@29s loss 0.05
+@30s jitter 0.2
+@31s dup 0.1
+@32s loss-ramp 0 0.3 20s 10
+@33s link-fault swA core loss=0.5 jitter=0.2
+@34s wan-fault loss=0.3
+@35s flap 7 down=2s up=4s count=5
+`
+	s, err := ParseSpec(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "everything" || !s.MultiDC || len(s.Steps) != 16 {
+		t.Fatalf("parse: name=%q multidc=%v steps=%d", s.Name, s.MultiDC, len(s.Steps))
+	}
+	if got := s.Steps[15].Act.(Flap); got != (Flap{Node: 7, Down: 2 * time.Second, Up: 4 * time.Second, Count: 5}) {
+		t.Fatalf("flap parsed as %+v", got)
+	}
+	if lf := s.Steps[13].Act.(LinkFault); lf.Profile.Loss != 0.5 || lf.Profile.Jitter != 0.2 || lf.Profile.Dup != 0 {
+		t.Fatalf("link-fault parsed as %+v", lf)
+	}
+	// End spans the flap cycles: 35s + 5*(2s+4s).
+	if want := 65 * time.Second; s.End() != want {
+		t.Fatalf("End() = %v, want %v", s.End(), want)
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	for _, sc := range Library(3, 8) {
+		re, err := ParseSpec(sc.Spec())
+		if err != nil {
+			t.Fatalf("%s: reparse: %v", sc.Name, err)
+		}
+		if !reflect.DeepEqual(re, sc) {
+			t.Fatalf("%s: round trip mismatch:\n%+v\n%+v", sc.Name, re, sc)
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	bad := []string{
+		"@20s kill x",
+		"@20s kill -1",
+		"@-5s kill 1",
+		"@20s loss 1.0",
+		"@20s loss NaN",
+		"@20s jitter 2",
+		"@20s loss-ramp 0 0.5 0s 5",
+		"@20s loss-ramp 0 0.5 10s 0",
+		"@20s flap 1 down=0s up=2s",
+		"@20s flap 1 down=2s",
+		"@20s wan-fault loss=1.5",
+		"@20s nonsense 1",
+		"@20s",
+		"bogus directive",
+		"@xyz kill 1",
+		"multidc yes",
+	}
+	for _, in := range bad {
+		if _, err := ParseSpec(in); err == nil {
+			t.Errorf("ParseSpec(%q) accepted invalid input", in)
+		}
+	}
+}
+
+func TestParseSpecCommentsAndBlanks(t *testing.T) {
+	s, err := ParseSpec("# lead\n\n  @20s kill 3 # trailing\n\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Steps) != 1 || s.Steps[0].Act.(Kill).Node != 3 {
+		t.Fatalf("got %+v", s)
+	}
+}
+
+func TestLibraryNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, name := range Names(3, 8) {
+		if seen[name] {
+			t.Fatalf("duplicate scenario name %q", name)
+		}
+		seen[name] = true
+	}
+	if !seen["wan-degrade"] || !seen["steady"] {
+		t.Fatalf("library missing expected scenarios: %v", Names(3, 8))
+	}
+	if _, err := Find("no-such", 3, 8); err == nil || !strings.Contains(err.Error(), "no scenario") {
+		t.Fatalf("Find on unknown name: %v", err)
+	}
+}

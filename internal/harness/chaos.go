@@ -1,0 +1,236 @@
+package harness
+
+// The chaos matrix runs every library scenario against every scheme under
+// the invariant auditor, through the same deterministic worker pool as the
+// figures: cells are submitted in a fixed order, seeds derive from the
+// sweep seed and the cell key, and the rendered table is byte-identical
+// for any -workers count.
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/gossip"
+	"repro/internal/invariant"
+	"repro/internal/metrics"
+	"repro/internal/topology"
+)
+
+// ChaosOptions parametrize the scenario x scheme matrix.
+type ChaosOptions struct {
+	Seed     int64
+	Groups   int
+	PerGroup int
+	// Enforce is how long the auditor keeps checking after the audit
+	// deadline (the post-quiescence window where completeness must hold).
+	Enforce time.Duration
+	// Scenarios restricts the matrix to the named library scenarios;
+	// empty means all of them.
+	Scenarios []string
+	Sweep     Sweep
+}
+
+// DefaultChaosOptions: 3 groups of 8 (24 nodes; 48 for the multi-DC
+// scenarios, which double the cluster across two data centers).
+func DefaultChaosOptions() ChaosOptions {
+	return ChaosOptions{
+		Seed:     42,
+		Groups:   3,
+		PerGroup: 8,
+		Enforce:  15 * time.Second,
+	}
+}
+
+// ChaosSettle bounds how long a scheme needs after the last fault heals
+// until its views must be complete again: the §4 closed-form
+// detection+convergence time, plus the stale-state TTLs the protocol keeps
+// (relayed-entry TTL for the hierarchical scheme), plus a fixed margin for
+// election and re-join transients.
+func ChaosSettle(scheme Scheme, n int) time.Duration {
+	const margin = 10 * time.Second
+	p := analysis.DefaultParams(n)
+	switch scheme {
+	case AllToAll:
+		m := analysis.AllToAllFixedFrequency(p)
+		return m.DetectionTime + m.ConvergenceTime + margin
+	case Gossip:
+		m := analysis.GossipFixedFrequency(p)
+		// A restarted member re-enters views via gossip rounds; its prior
+		// death must also clear every failure timeout.
+		gc := gossip.DefaultConfig()
+		return m.DetectionTime + m.ConvergenceTime +
+			gossip.FailTimeoutFor(n, gc.MistakeProbability, gc.GossipInterval) + margin
+	case Hierarchical:
+		m := analysis.HierarchicalFixedFrequency(p)
+		return m.DetectionTime + m.ConvergenceTime + core.DefaultConfig().RelayedTTL + margin
+	}
+	panic("harness: unknown scheme")
+}
+
+// ChaosPurgeBound bounds how long a dead daemon may linger in any view:
+// the detection time plus whatever TTL keeps already-relayed state alive.
+func ChaosPurgeBound(scheme Scheme, n int) time.Duration {
+	const margin = 5 * time.Second
+	p := analysis.DefaultParams(n)
+	switch scheme {
+	case AllToAll:
+		m := analysis.AllToAllFixedFrequency(p)
+		return m.DetectionTime + m.ConvergenceTime + margin
+	case Gossip:
+		m := analysis.GossipFixedFrequency(p)
+		return m.DetectionTime + m.ConvergenceTime + margin
+	case Hierarchical:
+		m := analysis.HierarchicalFixedFrequency(p)
+		return m.DetectionTime + core.DefaultConfig().RelayedTTL + margin
+	}
+	panic("harness: unknown scheme")
+}
+
+// ChaosLeaderGrace is how long the running set and topology must be stable
+// before at-most-one-leader is enforced: election patience plus level
+// grace plus a few heartbeat rounds.
+const ChaosLeaderGrace = 15 * time.Second
+
+// ChaosResult is one matrix cell's verdict.
+type ChaosResult struct {
+	Scenario   string                    `json:"scenario"`
+	Scheme     string                    `json:"scheme"`
+	Pass       bool                      `json:"pass"`
+	Invariants []metrics.InvariantResult `json:"invariants"`
+}
+
+func (o ChaosOptions) scenarios() []*chaos.Scenario {
+	lib := chaos.Library(o.Groups, o.PerGroup)
+	if len(o.Scenarios) == 0 {
+		return lib
+	}
+	var out []*chaos.Scenario
+	for _, name := range o.Scenarios {
+		sc, err := chaos.Find(name, o.Groups, o.PerGroup)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, sc)
+	}
+	return out
+}
+
+// RunScenario executes one (scenario, scheme) cell: build the cluster,
+// start everything, install the fault timeline, audit until the deadline
+// plus the enforcement window, and report the cluster counters with the
+// auditor's verdicts attached.
+func RunScenario(scheme Scheme, sc *chaos.Scenario, o ChaosOptions, seed int64) metrics.RunReport {
+	var top *topology.Topology
+	if sc.MultiDC {
+		top = topology.MultiDC(2, o.Groups, o.PerGroup)
+	} else {
+		top = topology.Clustered(o.Groups, o.PerGroup)
+	}
+	n := top.NumHosts()
+	c := NewCluster(scheme, top, seed)
+	c.StartAll()
+
+	env := chaos.NewEnv(c.Eng, c.Net, c.Top, chaosNodes(c.Nodes))
+	if err := sc.Install(env); err != nil {
+		panic(err) // library scenarios are valid by construction
+	}
+	deadline := c.Eng.Now() + sc.End() + ChaosSettle(scheme, n)
+	aud := invariant.New(c.Eng, c.Top, auditNodes(c.Nodes), invariant.Options{
+		Interval:    time.Second,
+		Deadline:    deadline,
+		PurgeBound:  ChaosPurgeBound(scheme, n),
+		LeaderGrace: ChaosLeaderGrace,
+	})
+	aud.Start()
+	c.Eng.Run(deadline + o.Enforce)
+	aud.Stop()
+
+	rep := c.Observe()
+	rep.Invariants = aud.Results()
+	return rep
+}
+
+func chaosNodes(in []Instance) []chaos.Node {
+	out := make([]chaos.Node, len(in))
+	for i, n := range in {
+		out[i] = n
+	}
+	return out
+}
+
+func auditNodes(in []Instance) []invariant.Node {
+	out := make([]invariant.Node, len(in))
+	for i, n := range in {
+		out[i] = n
+	}
+	return out
+}
+
+// ChaosMatrix runs every (scenario, scheme) cell through the worker pool
+// and returns verdicts in scenario-major, scheme-minor order.
+func ChaosMatrix(o ChaosOptions) []ChaosResult {
+	scenarios := o.scenarios()
+	pool := NewPool(o.Sweep, o.Seed)
+	reports := make([][]metrics.RunReport, len(scenarios))
+	for si, sc := range scenarios {
+		reports[si] = make([]metrics.RunReport, len(Schemes))
+		for hi, scheme := range Schemes {
+			si, hi, sc, scheme := si, hi, sc, scheme
+			pool.Go(fmt.Sprintf("chaos/%s/%s", sc.Name, scheme), func(seed int64) metrics.RunReport {
+				rep := RunScenario(scheme, sc, o, seed)
+				reports[si][hi] = rep
+				return rep
+			})
+		}
+	}
+	pool.Wait()
+
+	var out []ChaosResult
+	for si, sc := range scenarios {
+		for hi, scheme := range Schemes {
+			rep := reports[si][hi]
+			out = append(out, ChaosResult{
+				Scenario:   sc.Name,
+				Scheme:     scheme.String(),
+				Pass:       rep.TotalViolations() == 0,
+				Invariants: rep.Invariants,
+			})
+		}
+	}
+	return out
+}
+
+// RenderChaosMatrix renders the verdict table: one row per cell, one
+// violations/checks column per invariant. The output is deterministic and
+// byte-identical for any worker count.
+func RenderChaosMatrix(results []ChaosResult) string {
+	var b strings.Builder
+	b.WriteString("# Chaos matrix: per-invariant violations/checks\n")
+	var invNames []string
+	if len(results) > 0 {
+		for _, inv := range results[0].Invariants {
+			invNames = append(invNames, inv.Name)
+		}
+	}
+	fmt.Fprintf(&b, "%-16s %-14s %-8s", "scenario", "scheme", "verdict")
+	for _, name := range invNames {
+		fmt.Fprintf(&b, " %14s", name)
+	}
+	b.WriteByte('\n')
+	for _, r := range results {
+		verdict := "PASS"
+		if !r.Pass {
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(&b, "%-16s %-14s %-8s", r.Scenario, r.Scheme, verdict)
+		for _, inv := range r.Invariants {
+			fmt.Fprintf(&b, " %14s", fmt.Sprintf("%d/%d", inv.Violations, inv.Checks))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

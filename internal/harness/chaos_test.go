@@ -1,0 +1,57 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestChaosDeterminism mirrors TestSweepDeterminism for the chaos matrix:
+// the rendered verdict table must be byte-identical regardless of how many
+// workers race through the cells.
+func TestChaosDeterminism(t *testing.T) {
+	run := func(workers int) string {
+		o := DefaultChaosOptions()
+		o.Scenarios = []string{"kill-restart", "partition-heal", "flapping"}
+		o.Sweep = Sweep{Workers: workers}
+		return RenderChaosMatrix(ChaosMatrix(o))
+	}
+	serial := run(1)
+	parallel := run(8)
+	if serial != parallel {
+		t.Fatalf("chaos matrix differs between workers=1 and workers=8:\n--- serial ---\n%s--- parallel ---\n%s", serial, parallel)
+	}
+	if !strings.Contains(serial, "kill-restart") || strings.Count(serial, "\n") != 2+3*len(Schemes) {
+		t.Fatalf("unexpected matrix shape:\n%s", serial)
+	}
+}
+
+// TestChaosWANDegradeSeparatesSchemes pins the matrix's headline result:
+// multicast cannot cross WAN links, so on a two-DC topology only gossip
+// (whose dissemination is unicast) ever reaches cross-DC completeness.
+func TestChaosWANDegradeSeparatesSchemes(t *testing.T) {
+	o := DefaultChaosOptions()
+	o.Scenarios = []string{"wan-degrade"}
+	results := ChaosMatrix(o)
+	if len(results) != len(Schemes) {
+		t.Fatalf("got %d results, want %d", len(results), len(Schemes))
+	}
+	byScheme := map[string]ChaosResult{}
+	for _, r := range results {
+		byScheme[r.Scheme] = r
+	}
+	if !byScheme["Gossip"].Pass {
+		t.Errorf("gossip failed wan-degrade: %+v", byScheme["Gossip"].Invariants)
+	}
+	for _, s := range []string{"All-to-all", "Hierarchical"} {
+		r := byScheme[s]
+		if r.Pass {
+			t.Errorf("%s passed wan-degrade; multicast should not cross the WAN", s)
+			continue
+		}
+		for _, inv := range r.Invariants {
+			if inv.Name == "completeness" && inv.Violations == 0 {
+				t.Errorf("%s failed wan-degrade but not on completeness: %+v", s, r.Invariants)
+			}
+		}
+	}
+}

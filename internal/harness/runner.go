@@ -42,6 +42,10 @@ type Sweep struct {
 	// scheduling-dependent, so progress output belongs on stderr, never in
 	// the figure itself.
 	Progress io.Writer
+	// Collector, when non-nil, receives every run's report in submission
+	// order after the pool drains (tampbench -json aggregates these into
+	// BENCH_<fig>.json files).
+	Collector *metrics.ReportLog
 }
 
 func (s Sweep) workerCount(tasks int) int {
@@ -134,6 +138,11 @@ func (p *Pool) Wait() []metrics.RunReport {
 	wg.Wait()
 	if p.sw.Progress != nil && len(p.tasks) > 1 {
 		fmt.Fprintln(p.sw.Progress, metrics.Summarize(reports).String())
+	}
+	if p.sw.Collector != nil {
+		for _, r := range reports {
+			p.sw.Collector.Append(r)
+		}
 	}
 	p.tasks = nil
 	return reports

@@ -1,0 +1,25 @@
+// Package invariant is the membership auditor: it samples every node's
+// directory on the simulation's virtual clock and checks the paper's
+// guarantees against ground truth (which daemons actually run, which hosts
+// the topology can actually reach), reporting machine-checkable verdicts
+// per invariant.
+//
+// The four audited invariants:
+//
+//   - completeness: after the audit deadline (scenario end plus the
+//     scheme's §4 detection+convergence settle bound), every running
+//     node's view contains every other running, reachable node.
+//   - no-phantoms: no view retains a daemon that has been down longer
+//     than the purge bound (checked continuously, not just at the end).
+//   - leader-unique: within one level-0 group, no two mutually-reachable
+//     running nodes claim leadership once the cluster has been stable for
+//     the leader grace period (split-brain across a real partition is not
+//     a violation — no protocol can exclude it).
+//   - seq-monotone: the (incarnation, version, beat) a node advertises for
+//     any member never moves backwards in an observer's view, even across
+//     entry removal and re-add (catching tombstone-resurrection bugs).
+//
+// The auditor is scheme-agnostic: leadership is probed through an optional
+// IsLeader(level) method, so schemes without leaders simply record zero
+// leader checks.
+package invariant

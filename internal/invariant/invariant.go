@@ -1,0 +1,336 @@
+package invariant
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/membership"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Node is the audited surface of one protocol daemon. Index i in the
+// auditor's node slice must be host i in the topology.
+type Node interface {
+	ID() membership.NodeID
+	Running() bool
+	Directory() *membership.Directory
+}
+
+// Options bound the auditor's checks.
+type Options struct {
+	// Interval is the sampling period (default 1s).
+	Interval time.Duration
+	// Deadline is the absolute virtual time after which completeness is
+	// enforced: scenario end plus the scheme's settle bound.
+	Deadline time.Duration
+	// PurgeBound is how long a dead daemon may linger in views before it
+	// counts as a phantom (scheme-dependent: failure timeout plus relay
+	// or tombstone TTLs).
+	PurgeBound time.Duration
+	// LeaderGrace is how long the running set and topology must have been
+	// stable before leader uniqueness is enforced.
+	LeaderGrace time.Duration
+}
+
+// Invariant names, in report order.
+const (
+	invCompleteness = iota
+	invNoPhantoms
+	invLeaderUnique
+	invSeqMonotone
+	numInvariants
+)
+
+var invNames = [numInvariants]string{
+	"completeness", "no-phantoms", "leader-unique", "seq-monotone",
+}
+
+const maxExamples = 3
+
+type inv struct {
+	checks     uint64
+	violations uint64
+	first      time.Duration
+	examples   []string
+}
+
+func (v *inv) violate(now time.Duration, format string, args ...any) {
+	if v.violations == 0 {
+		v.first = now
+	}
+	v.violations++
+	if len(v.examples) < maxExamples {
+		v.examples = append(v.examples, fmt.Sprintf("@%v %s", now, fmt.Sprintf(format, args...)))
+	}
+}
+
+// seqState is the last (incarnation, version, beat) an observer was seen
+// holding for a subject; it survives entry removal so stale resurrections
+// are caught.
+type seqState struct {
+	seen bool
+	inc  uint32
+	ver  uint64
+	beat uint64
+}
+
+// Auditor samples the cluster. Create with New, arm with Start, read
+// verdicts with Results/Report after the run.
+type Auditor struct {
+	eng   *sim.Engine
+	top   *topology.Topology
+	nodes []Node
+	o     Options
+
+	groups      [][]topology.HostID
+	downSince   []time.Duration // -1 while running
+	upSince     []time.Duration // last (re)start; a fresh observer gets purge grace
+	wasRunning  []bool
+	lastSeen    [][]seqState // observer x subject
+	stableSince time.Duration
+	lastEpoch   uint64
+	stopped     bool
+
+	invs [numInvariants]inv
+}
+
+// New builds an auditor over a cluster. Groups are computed from the
+// topology immediately, before any chaos runs.
+func New(eng *sim.Engine, top *topology.Topology, nodes []Node, o Options) *Auditor {
+	if o.Interval <= 0 {
+		o.Interval = time.Second
+	}
+	a := &Auditor{
+		eng:    eng,
+		top:    top,
+		nodes:  nodes,
+		o:      o,
+		groups: chaos.Groups(top),
+	}
+	n := len(nodes)
+	a.downSince = make([]time.Duration, n)
+	a.upSince = make([]time.Duration, n)
+	a.wasRunning = make([]bool, n)
+	a.lastSeen = make([][]seqState, n)
+	for i := range a.lastSeen {
+		a.lastSeen[i] = make([]seqState, n)
+	}
+	for i := range a.invs {
+		a.invs[i].first = -1
+	}
+	return a
+}
+
+// Start records the initial ground truth and schedules periodic sampling
+// until Stop (or forever; an idle engine just stops delivering events).
+func (a *Auditor) Start() {
+	now := a.eng.Now()
+	for i, n := range a.nodes {
+		a.wasRunning[i] = n.Running()
+		a.upSince[i] = now
+		if n.Running() {
+			a.downSince[i] = -1
+		} else {
+			a.downSince[i] = now
+		}
+	}
+	a.stableSince = now
+	a.lastEpoch = a.top.Epoch()
+	var tick func()
+	tick = func() {
+		if a.stopped {
+			return
+		}
+		a.sample()
+		a.eng.Schedule(a.o.Interval, tick)
+	}
+	a.eng.Schedule(a.o.Interval, tick)
+}
+
+// Stop halts sampling.
+func (a *Auditor) Stop() { a.stopped = true }
+
+func (a *Auditor) sample() {
+	now := a.eng.Now()
+
+	// Ground truth: running-set transitions and stability tracking.
+	changed := false
+	for i, n := range a.nodes {
+		r := n.Running()
+		if r != a.wasRunning[i] {
+			changed = true
+			a.wasRunning[i] = r
+			if r {
+				a.downSince[i] = -1
+				a.upSince[i] = now
+			} else {
+				a.downSince[i] = now
+			}
+		}
+	}
+	if ep := a.top.Epoch(); ep != a.lastEpoch {
+		a.lastEpoch = ep
+		changed = true
+	}
+	if changed {
+		a.stableSince = now
+	}
+
+	a.checkCompleteness(now)
+	a.checkPhantomsAndSeq(now)
+	a.checkLeaders(now)
+}
+
+// reachable reports whether unicast between two hosts currently works.
+func (a *Auditor) reachable(x, y topology.HostID) bool {
+	lat, _ := a.top.UnicastPath(x, y)
+	return lat >= 0
+}
+
+func (a *Auditor) checkCompleteness(now time.Duration) {
+	if now < a.o.Deadline {
+		return
+	}
+	v := &a.invs[invCompleteness]
+	for i, obs := range a.nodes {
+		if !obs.Running() {
+			continue
+		}
+		dir := obs.Directory()
+		for j, subj := range a.nodes {
+			if i == j || !subj.Running() {
+				continue
+			}
+			if !a.reachable(topology.HostID(i), topology.HostID(j)) {
+				continue
+			}
+			v.checks++
+			if !dir.Has(subj.ID()) {
+				v.violate(now, "node %d's view misses running reachable node %d", i, j)
+			}
+		}
+	}
+}
+
+func (a *Auditor) checkPhantomsAndSeq(now time.Duration) {
+	ph := &a.invs[invNoPhantoms]
+	sq := &a.invs[invSeqMonotone]
+	for i, obs := range a.nodes {
+		if !obs.Running() {
+			continue
+		}
+		dir := obs.Directory()
+		for _, id := range dir.Nodes() {
+			j := int(id)
+			if j < 0 || j >= len(a.nodes) {
+				continue
+			}
+			e := dir.Get(id)
+			if j != i {
+				ph.checks++
+				// The phantom clock starts at whichever is later: the
+				// subject dying, or the observer (re)starting — a node
+				// restarting with a stale pre-crash directory needs its own
+				// detection time before it can have purged anyone.
+				since := a.downSince[j]
+				if since >= 0 && a.upSince[i] > since {
+					since = a.upSince[i]
+				}
+				if since >= 0 && now-since > a.o.PurgeBound {
+					ph.violate(now, "node %d still lists node %d, down for %v (bound %v)",
+						i, j, now-a.downSince[j], a.o.PurgeBound)
+				}
+			}
+			st := &a.lastSeen[i][j]
+			if st.seen {
+				sq.checks++
+				in, ver, beat := e.Info.Incarnation, e.Info.Version, e.Info.Beat
+				if in < st.inc || (in == st.inc && (ver < st.ver || beat < st.beat)) {
+					sq.violate(now, "node %d's entry for %d regressed: (%d,%d,%d) -> (%d,%d,%d)",
+						i, j, st.inc, st.ver, st.beat, in, ver, beat)
+				}
+			}
+			st.seen = true
+			st.inc, st.ver, st.beat = e.Info.Incarnation, e.Info.Version, e.Info.Beat
+		}
+	}
+}
+
+func (a *Auditor) checkLeaders(now time.Duration) {
+	if a.o.LeaderGrace <= 0 || now-a.stableSince < a.o.LeaderGrace {
+		return
+	}
+	v := &a.invs[invLeaderUnique]
+	for g, hosts := range a.groups {
+		var claimants []topology.HostID
+		counted := false
+		for _, h := range hosts {
+			n := a.nodes[h]
+			if !n.Running() {
+				continue
+			}
+			l, ok := n.(interface{ IsLeader(level int) bool })
+			if !ok {
+				continue
+			}
+			counted = true
+			if l.IsLeader(0) {
+				claimants = append(claimants, h)
+			}
+		}
+		if !counted {
+			continue
+		}
+		v.checks++
+		// Split-brain only counts when the claimants could have talked.
+		for x := 0; x < len(claimants); x++ {
+			for y := x + 1; y < len(claimants); y++ {
+				if a.reachable(claimants[x], claimants[y]) {
+					v.violate(now, "group %d has reachable co-leaders %d and %d",
+						g, claimants[x], claimants[y])
+				}
+			}
+		}
+	}
+}
+
+// Results returns per-invariant verdicts in fixed order, suitable for
+// metrics.RunReport.Invariants.
+func (a *Auditor) Results() []metrics.InvariantResult {
+	out := make([]metrics.InvariantResult, numInvariants)
+	for i := range a.invs {
+		out[i] = metrics.InvariantResult{
+			Name:       invNames[i],
+			Checks:     a.invs[i].checks,
+			Violations: a.invs[i].violations,
+			First:      a.invs[i].first,
+		}
+	}
+	return out
+}
+
+// Report renders a deterministic human-readable verdict summary with up to
+// three example violations per invariant.
+func (a *Auditor) Report() string {
+	var b strings.Builder
+	for i := range a.invs {
+		v := &a.invs[i]
+		status := "ok"
+		if v.violations > 0 {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&b, "%-13s %-4s checks=%-7d violations=%d", invNames[i], status, v.checks, v.violations)
+		if v.violations > 0 {
+			fmt.Fprintf(&b, " first=%v", v.first)
+		}
+		b.WriteByte('\n')
+		for _, ex := range v.examples {
+			fmt.Fprintf(&b, "    %s\n", ex)
+		}
+	}
+	return b.String()
+}

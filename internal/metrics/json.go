@@ -1,0 +1,57 @@
+package metrics
+
+import (
+	"encoding/json"
+	"os"
+	"sync"
+)
+
+// ReportLog collects RunReports from concurrently-executing sweep runs.
+// Appends are safe from any goroutine; Reports returns a snapshot. The
+// harness pool appends reports in submission order (not completion order),
+// so a log filled through the pool is deterministic for any worker count.
+type ReportLog struct {
+	mu      sync.Mutex
+	reports []RunReport
+}
+
+// NewReportLog returns an empty log.
+func NewReportLog() *ReportLog { return &ReportLog{} }
+
+// Append adds one run's report.
+func (l *ReportLog) Append(r RunReport) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.reports = append(l.reports, r)
+}
+
+// Reports returns a copy of the collected reports.
+func (l *ReportLog) Reports() []RunReport {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]RunReport, len(l.reports))
+	copy(out, l.reports)
+	return out
+}
+
+// BenchJSON is the machine-readable summary tampbench writes next to its
+// text tables (BENCH_<fig>.json), so the perf/robustness trajectory can be
+// tracked across commits without re-parsing aligned tables.
+type BenchJSON struct {
+	Fig     string       `json:"fig"`
+	Seed    int64        `json:"seed"`
+	Runs    []RunReport  `json:"runs,omitempty"`
+	Summary SweepSummary `json:"summary"`
+	// Results holds figure-specific structured output (e.g. the chaos
+	// matrix verdicts); nil for plain figures.
+	Results any `json:"results,omitempty"`
+}
+
+// WriteBenchJSON marshals b (indented, trailing newline) to path.
+func WriteBenchJSON(path string, b BenchJSON) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

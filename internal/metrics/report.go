@@ -14,31 +14,56 @@ import (
 // at the end, which is how sweep hot spots are located before reaching for
 // -cpuprofile.
 type RunReport struct {
-	Key  string // stable run identifier, e.g. "fig11/Hierarchical/n=100"
-	Seed int64  // the derived per-run seed actually used
+	Key  string `json:"key"`  // stable run identifier, e.g. "fig11/Hierarchical/n=100"
+	Seed int64  `json:"seed"` // the derived per-run seed actually used
 
-	Wall    time.Duration // real elapsed time of the run
-	Virtual time.Duration // virtual clock at the end of the run
-	Events  uint64        // simulation events executed
+	Wall    time.Duration `json:"wall_ns"`    // real elapsed time of the run
+	Virtual time.Duration `json:"virtual_ns"` // virtual clock at the end of the run
+	Events  uint64        `json:"events"`     // simulation events executed
 
 	// Network counters, aggregated over every endpoint. Runs that reset
 	// network statistics mid-run to isolate a measurement window (Figure 11,
 	// the bandwidth breakdown) report the counts since their last reset.
-	PktsDelivered  uint64
-	PktsDropped    uint64
-	BytesDelivered uint64
+	PktsDelivered  uint64 `json:"pkts_delivered"`
+	PktsDropped    uint64 `json:"pkts_dropped"`
+	BytesDelivered uint64 `json:"bytes_delivered"`
 
 	// PeakDirSize is the largest membership directory held by any node at
 	// the end of the run — a direct check that views actually converged to
 	// cluster size.
-	PeakDirSize int
+	PeakDirSize int `json:"peak_dir_size"`
+
+	// Invariants holds the invariant auditor's verdicts when the run was
+	// audited (the chaos matrix); empty otherwise.
+	Invariants []InvariantResult `json:"invariants,omitempty"`
+}
+
+// InvariantResult is one invariant's verdict over a whole audited run.
+type InvariantResult struct {
+	Name       string        `json:"name"`
+	Checks     uint64        `json:"checks"`     // individual (sample, node) checks evaluated
+	Violations uint64        `json:"violations"` // checks that failed
+	First      time.Duration `json:"first_ns"`   // virtual time of the first violation; -1 if none
+}
+
+// TotalViolations sums violations across all audited invariants.
+func (r RunReport) TotalViolations() uint64 {
+	var v uint64
+	for _, inv := range r.Invariants {
+		v += inv.Violations
+	}
+	return v
 }
 
 // String renders the one-line per-run progress format.
 func (r RunReport) String() string {
-	return fmt.Sprintf("run %-34s seed=%-12d wall=%-10v virt=%-8v events=%-9d pkts=%d(+%d dropped) dir=%d",
+	s := fmt.Sprintf("run %-34s seed=%-12d wall=%-10v virt=%-8v events=%-9d pkts=%d(+%d dropped) dir=%d",
 		r.Key, r.Seed, r.Wall.Round(time.Microsecond), r.Virtual, r.Events,
 		r.PktsDelivered, r.PktsDropped, r.PeakDirSize)
+	if len(r.Invariants) > 0 {
+		s += fmt.Sprintf(" violations=%d", r.TotalViolations())
+	}
+	return s
 }
 
 // SweepSummary aggregates the reports of one sweep. Wall sums per-run wall

@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"fmt"
+	"math/bits"
 	"time"
 
 	"repro/internal/sim"
@@ -85,6 +86,28 @@ func (s *Stats) add(o Stats) {
 	s.Dropped += o.Dropped
 }
 
+// LinkProfile overrides the degradation model for one physical link: any
+// delivery whose path crosses the link suffers the profile's loss,
+// duplication, and jitter in addition to the network-wide defaults. Loss
+// and duplication compose as independent events; jitter takes the maximum.
+type LinkProfile struct {
+	Loss   float64 // additional drop probability in [0, 1)
+	Jitter float64 // relative latency jitter in [0, 1); max with the global
+	Dup    float64 // additional duplication probability in [0, 1)
+}
+
+func (p LinkProfile) validate() {
+	if p.Loss < 0 || p.Loss >= 1 {
+		panic(fmt.Sprintf("netsim: link loss %v out of [0,1)", p.Loss))
+	}
+	if p.Jitter < 0 || p.Jitter >= 1 {
+		panic(fmt.Sprintf("netsim: link jitter %v out of [0,1)", p.Jitter))
+	}
+	if p.Dup < 0 || p.Dup >= 1 {
+		panic(fmt.Sprintf("netsim: link duplicate probability %v out of [0,1)", p.Dup))
+	}
+}
+
 // Network is the simulated datagram fabric.
 type Network struct {
 	eng    *sim.Engine
@@ -93,6 +116,10 @@ type Network struct {
 	loss   float64 // independent per-receiver drop probability
 	jitter float64 // relative latency jitter, causing reordering
 	dup    float64 // per-delivery duplication probability
+
+	// profiles holds per-link overrides, indexed by the topology mark bit
+	// assigned to each overridden link (see Topology.MarkLink).
+	profiles []LinkProfile
 
 	wanBytes uint64 // bytes that crossed data centers (unicast only)
 }
@@ -147,6 +174,40 @@ func (n *Network) SetDuplicateProbability(p float64) {
 	n.dup = p
 }
 
+// SetLinkProfile overrides the degradation model on the link between two
+// devices (in both directions). The link is registered for path tracking
+// with the topology, so only deliveries actually routed across it are
+// affected. Setting a profile again on the same link replaces the previous
+// override; a zero profile restores the global defaults for that link.
+func (n *Network) SetLinkProfile(a, b topology.DeviceID, p LinkProfile) {
+	p.validate()
+	bit := n.top.MarkLink(a, b)
+	for len(n.profiles) <= bit {
+		n.profiles = append(n.profiles, LinkProfile{})
+	}
+	n.profiles[bit] = p
+}
+
+// compose folds the profiles of every marked link on a delivery path over
+// the network-wide defaults. Loss and duplication compose as independent
+// events (1-(1-a)(1-b)); jitter takes the maximum fraction.
+func (n *Network) compose(marks uint64) (loss, jitter, dup float64) {
+	loss, jitter, dup = n.loss, n.jitter, n.dup
+	for m := marks; m != 0; m &= m - 1 {
+		bit := bits.TrailingZeros64(m)
+		if bit >= len(n.profiles) {
+			continue
+		}
+		p := n.profiles[bit]
+		loss = 1 - (1-loss)*(1-p.Loss)
+		dup = 1 - (1-dup)*(1-p.Dup)
+		if p.Jitter > jitter {
+			jitter = p.Jitter
+		}
+	}
+	return loss, jitter, dup
+}
+
 // Endpoint returns the endpoint of host h.
 func (n *Network) Endpoint(h topology.HostID) *Endpoint { return n.eps[h] }
 
@@ -170,10 +231,6 @@ func (n *Network) ResetStats() {
 		ep.stats = Stats{}
 	}
 	n.wanBytes = 0
-}
-
-func (n *Network) dropped() bool {
-	return n.loss > 0 && n.eng.Rand().Float64() < n.loss
 }
 
 // Endpoint is one host's attachment to the network.
@@ -235,7 +292,11 @@ func (ep *Endpoint) Multicast(ch ChannelID, ttl int, payload []byte) {
 		if !dst.subs[ch] {
 			continue
 		}
-		ep.deliver(dst, pkt, scope.Latency[i])
+		var marks uint64
+		if scope.Marks != nil {
+			marks = scope.Marks[i]
+		}
+		ep.deliver(dst, pkt, scope.Latency[i], marks)
 	}
 }
 
@@ -249,31 +310,35 @@ func (ep *Endpoint) Unicast(dst topology.HostID, payload []byte) bool {
 	pkt := Packet{Src: ep.id, Dst: dst, Payload: payload}
 	ep.stats.PktsSent++
 	ep.stats.BytesSent += uint64(pkt.WireSize())
-	lat := ep.net.top.UnicastLatency(ep.id, dst)
+	lat, marks := ep.net.top.UnicastPath(ep.id, dst)
 	if lat < 0 {
 		return false
 	}
 	if ep.net.top.HostDC(ep.id) != ep.net.top.HostDC(dst) {
 		ep.net.wanBytes += uint64(pkt.WireSize())
 	}
-	ep.deliver(ep.net.eps[dst], pkt, lat)
+	ep.deliver(ep.net.eps[dst], pkt, lat, marks)
 	return true
 }
 
-func (ep *Endpoint) deliver(dst *Endpoint, pkt Packet, latency time.Duration) {
+func (ep *Endpoint) deliver(dst *Endpoint, pkt Packet, latency time.Duration, marks uint64) {
 	n := ep.net
-	if n.dup > 0 && n.eng.Rand().Float64() < n.dup {
+	loss, jitter, dup := n.loss, n.jitter, n.dup
+	if marks != 0 {
+		loss, jitter, dup = n.compose(marks)
+	}
+	if dup > 0 && n.eng.Rand().Float64() < dup {
 		// The duplicate takes its own (jittered) path.
 		extra := latency + time.Duration(n.eng.Rand().Int63n(int64(time.Millisecond)))
-		ep.deliverOnce(dst, pkt, extra)
+		ep.deliverOnce(dst, pkt, extra, loss, jitter)
 	}
-	ep.deliverOnce(dst, pkt, latency)
+	ep.deliverOnce(dst, pkt, latency, loss, jitter)
 }
 
-func (ep *Endpoint) deliverOnce(dst *Endpoint, pkt Packet, latency time.Duration) {
+func (ep *Endpoint) deliverOnce(dst *Endpoint, pkt Packet, latency time.Duration, loss, jitter float64) {
 	n := ep.net
-	if n.jitter > 0 && latency > 0 {
-		f := 1 + n.jitter*(2*n.eng.Rand().Float64()-1)
+	if jitter > 0 && latency > 0 {
+		f := 1 + jitter*(2*n.eng.Rand().Float64()-1)
 		latency = time.Duration(float64(latency) * f)
 	}
 	n.eng.Schedule(latency, func() {
@@ -284,7 +349,10 @@ func (ep *Endpoint) deliverOnce(dst *Endpoint, pkt Packet, latency time.Duration
 			// Unsubscribed between send and delivery.
 			return
 		}
-		if n.dropped() {
+		// Loss is drawn at delivery time, dup/jitter at send time; this
+		// draw order is part of the deterministic-replay contract and
+		// must not change (documented sweep outputs depend on it).
+		if loss > 0 && n.eng.Rand().Float64() < loss {
 			dst.stats.Dropped++
 			return
 		}

@@ -277,3 +277,122 @@ func TestMulticastAfterPartition(t *testing.T) {
 		t.Fatalf("multicast crossed failed core router: %v", recv)
 	}
 }
+
+func devID(t *testing.T, top *topology.Topology, name string) topology.DeviceID {
+	t.Helper()
+	d, ok := top.FindDevice(name)
+	if !ok {
+		t.Fatalf("no device named %q", name)
+	}
+	return d.ID
+}
+
+func TestLinkProfileLossOnlyOnMarkedPath(t *testing.T) {
+	eng, n := newNet(t, topology.Clustered(2, 3)) // group 0: hosts 0-2 on sw0, group 1: 3-5 on sw1
+	got := map[topology.HostID]int{}
+	for h := topology.HostID(0); h < 6; h++ {
+		h := h
+		ep := n.Endpoint(h)
+		ep.Join(7)
+		ep.SetHandler(func(pkt Packet) { got[h]++ })
+	}
+	// Kill everything crossing sw1's uplink; intra-group paths untouched.
+	n.SetLinkProfile(devID(t, n.top, "sw1"), devID(t, n.top, "core"), LinkProfile{Loss: 0.999999999})
+	const rounds = 20
+	for i := 0; i < rounds; i++ {
+		n.Endpoint(0).Multicast(7, 2, []byte("x"))
+	}
+	eng.RunAll()
+	if got[1] != rounds || got[2] != rounds {
+		t.Fatalf("same-group deliveries suffered link loss: %v", got)
+	}
+	if got[3]+got[4]+got[5] > 1 { // ~1e-9 chance per delivery
+		t.Fatalf("cross-uplink deliveries survived loss=~1 profile: %v", got)
+	}
+}
+
+func TestLinkProfileUnicastPath(t *testing.T) {
+	eng, n := newNet(t, topology.Clustered(2, 3))
+	recv := 0
+	n.Endpoint(4).SetHandler(func(pkt Packet) { recv++ })
+	n.Endpoint(5).SetHandler(func(pkt Packet) { recv += 100 })
+	n.SetLinkProfile(devID(t, n.top, "sw1"), devID(t, n.top, "core"), LinkProfile{Loss: 0.999999999})
+	for i := 0; i < 10; i++ {
+		if !n.Endpoint(0).Unicast(4, []byte("x")) { // crosses the degraded uplink
+			t.Fatal("Unicast reported unreachable; loss must stay silent")
+		}
+		if !n.Endpoint(3).Unicast(5, []byte("x")) { // same switch, unaffected
+			t.Fatal("intra-group Unicast reported unreachable")
+		}
+	}
+	eng.RunAll()
+	if recv/100 != 10 {
+		t.Fatalf("intra-group unicast suffered link loss: recv=%d", recv)
+	}
+	if recv%100 > 1 {
+		t.Fatalf("cross-uplink unicast survived loss=~1 profile: recv=%d", recv)
+	}
+}
+
+func TestLinkProfileComposesWithGlobal(t *testing.T) {
+	_, n := newNet(t, topology.FlatLAN(2))
+	n.SetLossProbability(0.5)
+	n.SetLatencyJitter(0.1)
+	bit := n.top.MarkLink(devID(t, n.top, "sw0"), topology.DeviceID(0))
+	for len(n.profiles) <= bit {
+		n.profiles = append(n.profiles, LinkProfile{})
+	}
+	n.profiles[bit] = LinkProfile{Loss: 0.5, Jitter: 0.4, Dup: 0.25}
+	loss, jitter, dup := n.compose(1 << uint(bit))
+	if loss != 0.75 {
+		t.Fatalf("composed loss = %v, want 0.75", loss)
+	}
+	if jitter != 0.4 {
+		t.Fatalf("composed jitter = %v, want max(0.1, 0.4)", jitter)
+	}
+	if dup != 0.25 {
+		t.Fatalf("composed dup = %v, want 0.25", dup)
+	}
+	// Unmarked paths keep the global knobs.
+	loss, jitter, dup = n.compose(0)
+	if loss != 0.5 || jitter != 0.1 || dup != 0 {
+		t.Fatalf("compose(0) = %v/%v/%v, want globals 0.5/0.1/0", loss, jitter, dup)
+	}
+}
+
+func TestLinkProfileZeroRestoresDefaults(t *testing.T) {
+	eng, n := newNet(t, topology.Clustered(2, 3))
+	got := 0
+	n.Endpoint(3).Join(7)
+	n.Endpoint(3).SetHandler(func(pkt Packet) { got++ })
+	n.SetLinkProfile(devID(t, n.top, "sw1"), devID(t, n.top, "core"), LinkProfile{Loss: 0.999999999})
+	n.Endpoint(0).Multicast(7, 2, []byte("x"))
+	eng.RunAll()
+	lost := got == 0
+	n.SetLinkProfile(devID(t, n.top, "sw1"), devID(t, n.top, "core"), LinkProfile{})
+	const rounds = 5
+	for i := 0; i < rounds; i++ {
+		n.Endpoint(0).Multicast(7, 2, []byte("x"))
+	}
+	eng.RunAll()
+	if !lost {
+		t.Fatalf("profile with loss ~1 delivered anyway")
+	}
+	if got != rounds {
+		t.Fatalf("zero profile did not restore lossless delivery: got %d of %d", got, rounds)
+	}
+}
+
+func TestLinkProfileValidation(t *testing.T) {
+	_, n := newNet(t, topology.FlatLAN(2))
+	for _, p := range []LinkProfile{{Loss: 1}, {Loss: -0.1}, {Jitter: 1.5}, {Dup: -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SetLinkProfile(%+v) did not panic", p)
+				}
+			}()
+			n.SetLinkProfile(devID(t, n.top, "sw0"), topology.DeviceID(0), p)
+		}()
+	}
+}

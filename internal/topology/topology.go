@@ -2,6 +2,7 @@ package topology
 
 import (
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -64,6 +65,13 @@ type Link struct {
 
 // Topology is an immutable-after-build network graph plus cached host
 // distance information. Build one with a Builder; the zero value is empty.
+//
+// The graph itself never changes after Build, but the failure set
+// (FailDevice/FailLink), link marks (MarkLink), and the derived caches do.
+// All of those are guarded by an internal mutex, so reachability queries
+// may be issued concurrently with failure injection — the chaos engine
+// mutates the failure set on the simulation goroutine while tests and
+// auditors read scopes from others.
 type Topology struct {
 	devices []Device
 	links   []Link
@@ -71,11 +79,20 @@ type Topology struct {
 	hosts   []DeviceID   // host index -> device id
 	numDC   int
 
+	// mu guards everything below: the failure set, the mark table, the
+	// epoch, and the caches keyed on it. Rows and scopes are immutable
+	// once stored, so they may be returned to callers without the lock.
+	mu sync.Mutex
+
 	// failed devices (switch/router outages) and failed links invalidate
 	// cached scopes.
 	failed      map[DeviceID]bool
 	failedLinks map[linkKey]bool
 	epoch       uint64
+
+	// marked links get a bit index in the path masks reported by scopes
+	// and unicast rows (per-link loss/jitter overrides in netsim).
+	marked map[linkKey]int
 
 	scopeCache map[scopeKey]*Scope
 	distCache  map[HostID]*distRow
@@ -85,6 +102,7 @@ type Topology struct {
 type uniRow struct {
 	epoch   uint64
 	latency []time.Duration // per host; -1 disconnected
+	marks   []uint64        // per host: marked links on the chosen path
 }
 
 type halfEdge struct {
@@ -114,6 +132,7 @@ type distRow struct {
 	epoch   uint64
 	minTTL  []int16         // per host, routers+1; -1 unreachable
 	latency []time.Duration // per host, latency along a min-latency path
+	marks   []uint64        // per host: marked links on the chosen path (nil when none marked)
 }
 
 // Scope is the receiver set of a (source, TTL) multicast, excluding the
@@ -121,6 +140,9 @@ type distRow struct {
 type Scope struct {
 	Hosts   []HostID
 	Latency []time.Duration // parallel to Hosts: source->host delivery latency
+	// Marks is parallel to Hosts: the bitmask of marked links (MarkLink)
+	// the delivery path crosses. Nil when no links are marked.
+	Marks []uint64
 }
 
 // NumHosts returns the number of hosts.
@@ -174,6 +196,8 @@ func (t *Topology) FindDevice(name string) (Device, bool) {
 // it. Failing a host device is allowed but normally host failures are
 // modelled at the protocol layer (the daemon stops), not here.
 func (t *Topology) FailDevice(id DeviceID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if t.failed == nil {
 		t.failed = make(map[DeviceID]bool)
 	}
@@ -185,6 +209,8 @@ func (t *Topology) FailDevice(id DeviceID) {
 
 // RepairDevice clears a failure set by FailDevice.
 func (t *Topology) RepairDevice(id DeviceID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if t.failed[id] {
 		delete(t.failed, id)
 		t.epoch++
@@ -192,12 +218,18 @@ func (t *Topology) RepairDevice(id DeviceID) {
 }
 
 // Failed reports whether the device is currently failed.
-func (t *Topology) Failed(id DeviceID) bool { return t.failed[id] }
+func (t *Topology) Failed(id DeviceID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.failed[id]
+}
 
 // FailLink cuts the link between two devices (e.g. a group switch's uplink,
 // partitioning the group from the rest of the cluster while leaving the
 // group internally connected).
 func (t *Topology) FailLink(a, b DeviceID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if t.failedLinks == nil {
 		t.failedLinks = make(map[linkKey]bool)
 	}
@@ -210,6 +242,8 @@ func (t *Topology) FailLink(a, b DeviceID) {
 
 // RepairLink restores a link cut by FailLink.
 func (t *Topology) RepairLink(a, b DeviceID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	k := mkLinkKey(a, b)
 	if t.failedLinks[k] {
 		delete(t.failedLinks, k)
@@ -217,6 +251,7 @@ func (t *Topology) RepairLink(a, b DeviceID) {
 	}
 }
 
+// linkFailed must be called with t.mu held.
 func (t *Topology) linkFailed(a, b DeviceID) bool {
 	if len(t.failedLinks) == 0 {
 		return false
@@ -224,9 +259,50 @@ func (t *Topology) linkFailed(a, b DeviceID) bool {
 	return t.failedLinks[mkLinkKey(a, b)]
 }
 
-// Epoch increases whenever the failure set changes; cached scope/distance
-// results are keyed on it.
-func (t *Topology) Epoch() uint64 { return t.epoch }
+// MarkLink registers the link between a and b for path tracking and returns
+// its bit index: subsequent scope and unicast computations report, per
+// destination, a bitmask of the marked links the chosen path crosses
+// (Scope.Marks, UnicastPath). This is how netsim applies per-link loss and
+// jitter overrides. Marking the same link again returns the existing bit.
+// At most 64 links can be marked.
+func (t *Topology) MarkLink(a, b DeviceID) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	k := mkLinkKey(a, b)
+	if bit, ok := t.marked[k]; ok {
+		return bit
+	}
+	if len(t.marked) >= 64 {
+		panic("topology: more than 64 marked links")
+	}
+	if t.marked == nil {
+		t.marked = make(map[linkKey]int)
+	}
+	bit := len(t.marked)
+	t.marked[k] = bit
+	t.epoch++ // cached rows lack mark data; recompute
+	return bit
+}
+
+// markBit must be called with t.mu held; returns the mask contribution of
+// traversing the (a, b) link.
+func (t *Topology) markBit(a, b DeviceID) uint64 {
+	if len(t.marked) == 0 {
+		return 0
+	}
+	if bit, ok := t.marked[mkLinkKey(a, b)]; ok {
+		return 1 << uint(bit)
+	}
+	return 0
+}
+
+// Epoch increases whenever the failure set or mark table changes; cached
+// scope/distance results are keyed on it.
+func (t *Topology) Epoch() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.epoch
+}
 
 // distances computes, from host src, the minimum-TTL (router count + 1) and
 // an associated latency to every host, using a Dijkstra-like search ordered
@@ -234,6 +310,14 @@ func (t *Topology) Epoch() uint64 { return t.epoch }
 // WAN links, so WAN edges are excluded here; unicast latency uses
 // UnicastLatency instead.
 func (t *Topology) distances(src HostID) *distRow {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.distancesLocked(src)
+}
+
+// distancesLocked must be called with t.mu held; the returned row is
+// immutable and may be read without the lock.
+func (t *Topology) distancesLocked(src HostID) *distRow {
 	if row, ok := t.distCache[src]; ok && row.epoch == t.epoch {
 		return row
 	}
@@ -241,6 +325,10 @@ func (t *Topology) distances(src HostID) *distRow {
 	const inf = int32(1 << 30)
 	routers := make([]int32, n)
 	lat := make([]time.Duration, n)
+	var mask []uint64
+	if len(t.marked) > 0 {
+		mask = make([]uint64, n)
+	}
 	for i := range routers {
 		routers[i] = inf
 	}
@@ -279,6 +367,9 @@ func (t *Topology) distances(src HostID) *distRow {
 			if nr < routers[e.to] || (nr == routers[e.to] && nl < lat[e.to]) {
 				routers[e.to] = nr
 				lat[e.to] = nl
+				if mask != nil {
+					mask[e.to] = mask[d] | t.markBit(e.from, e.to)
+				}
 				if !inQueue[e.to] {
 					if cost == 0 {
 						deque = append([]DeviceID{e.to}, deque...)
@@ -295,6 +386,9 @@ func (t *Topology) distances(src HostID) *distRow {
 		minTTL:  make([]int16, len(t.hosts)),
 		latency: make([]time.Duration, len(t.hosts)),
 	}
+	if mask != nil {
+		row.marks = make([]uint64, len(t.hosts))
+	}
 	for h, dev := range t.hosts {
 		if routers[dev] >= inf || t.failed[dev] {
 			row.minTTL[h] = -1
@@ -302,6 +396,9 @@ func (t *Topology) distances(src HostID) *distRow {
 		}
 		row.minTTL[h] = int16(routers[dev]) + 1
 		row.latency[h] = lat[dev]
+		if mask != nil {
+			row.marks[h] = mask[dev]
+		}
 	}
 	if t.distCache == nil {
 		t.distCache = make(map[HostID]*distRow)
@@ -331,11 +428,13 @@ func (t *Topology) MulticastLatency(a, b HostID) time.Duration {
 // sent by src with the given TTL, with per-receiver latencies. The result is
 // cached until the failure epoch changes; callers must not mutate it.
 func (t *Topology) MulticastScope(src HostID, ttl int) *Scope {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	key := scopeKey{src, ttl, t.epoch}
 	if s, ok := t.scopeCache[key]; ok {
 		return s
 	}
-	row := t.distances(src)
+	row := t.distancesLocked(src)
 	s := &Scope{}
 	for h := range t.hosts {
 		hid := HostID(h)
@@ -345,6 +444,9 @@ func (t *Topology) MulticastScope(src HostID, ttl int) *Scope {
 		if d := row.minTTL[h]; d > 0 && int(d) <= ttl {
 			s.Hosts = append(s.Hosts, hid)
 			s.Latency = append(s.Latency, row.latency[h])
+			if row.marks != nil {
+				s.Marks = append(s.Marks, row.marks[h])
+			}
 		}
 	}
 	if t.scopeCache == nil {
@@ -359,13 +461,37 @@ func (t *Topology) MulticastScope(src HostID, ttl int) *Scope {
 // single-source shortest-path result is cached until the failure epoch
 // changes, since unicast sends are on the protocols' hot path.
 func (t *Topology) UnicastLatency(a, b HostID) time.Duration {
+	lat, _ := t.UnicastPath(a, b)
+	return lat
+}
+
+// UnicastPath returns the unicast latency from a to b (or -1 if
+// disconnected) together with the bitmask of marked links (MarkLink) the
+// chosen path crosses.
+func (t *Topology) UnicastPath(a, b HostID) (time.Duration, uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	row := t.unicastRowLocked(a)
+	if row.marks == nil {
+		return row.latency[b], 0
+	}
+	return row.latency[b], row.marks[b]
+}
+
+// unicastRowLocked must be called with t.mu held; the returned row is
+// immutable and may be read without the lock.
+func (t *Topology) unicastRowLocked(a HostID) *uniRow {
 	if row, ok := t.uniCache[a]; ok && row.epoch == t.epoch {
-		return row.latency[b]
+		return row
 	}
 	n := len(t.devices)
 	const inf = time.Duration(1<<62 - 1)
 	dist := make([]time.Duration, n)
 	done := make([]bool, n)
+	var mask []uint64
+	if len(t.marked) > 0 {
+		mask = make([]uint64, n)
+	}
 	for i := range dist {
 		dist[i] = inf
 	}
@@ -390,23 +516,32 @@ func (t *Topology) UnicastLatency(a, b HostID) time.Duration {
 				}
 				if nd := dist[best] + e.latency; nd < dist[e.to] {
 					dist[e.to] = nd
+					if mask != nil {
+						mask[e.to] = mask[best] | t.markBit(e.from, e.to)
+					}
 				}
 			}
 		}
 	}
 	row := &uniRow{epoch: t.epoch, latency: make([]time.Duration, len(t.hosts))}
+	if mask != nil {
+		row.marks = make([]uint64, len(t.hosts))
+	}
 	for h, dev := range t.hosts {
 		if dist[dev] >= inf || t.failed[dev] {
 			row.latency[h] = -1
 		} else {
 			row.latency[h] = dist[dev]
+			if mask != nil {
+				row.marks[h] = mask[dev]
+			}
 		}
 	}
 	if t.uniCache == nil {
 		t.uniCache = make(map[HostID]*uniRow)
 	}
 	t.uniCache[a] = row
-	return row.latency[b]
+	return row
 }
 
 // Diameter returns the maximum finite MinTTL over all host pairs: the

@@ -1,6 +1,7 @@
 package topology
 
 import (
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -338,5 +339,75 @@ func TestPropertyScopeMonotonic(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestChaosConcurrentEpochInvalidation hammers the TTL-reachability caches
+// from reader goroutines while fault injection mutates the topology. Run
+// under -race this pins the locking contract: every read either sees the
+// pre-fault or post-fault world, never a torn row, and the epoch counter
+// strictly covers every mutation.
+func TestChaosConcurrentEpochInvalidation(t *testing.T) {
+	top := Clustered(4, 6)
+	sw1, _ := top.FindDevice("sw1")
+	sw2, _ := top.FindDevice("sw2")
+	core, _ := top.FindDevice("core")
+
+	const readers = 8
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			src := HostID(r % top.NumHosts())
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				before := top.Epoch()
+				sc := top.MulticastScope(src, 1+i%3)
+				for k, h := range sc.Hosts {
+					if sc.Latency[k] < 0 {
+						t.Errorf("scope for %d contains unreachable host %d", src, h)
+						return
+					}
+				}
+				dst := HostID((int(src) + 1 + i) % top.NumHosts())
+				lat, _ := top.UnicastPath(src, dst)
+				_ = lat
+				if after := top.Epoch(); after < before {
+					t.Errorf("epoch went backwards: %d -> %d", before, after)
+					return
+				}
+			}
+		}()
+	}
+
+	for i := 0; i < 200; i++ {
+		switch i % 4 {
+		case 0:
+			top.FailLink(sw1.ID, core.ID)
+		case 1:
+			top.RepairLink(sw1.ID, core.ID)
+		case 2:
+			top.FailDevice(sw2.ID)
+		case 3:
+			top.RepairDevice(sw2.ID)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// All faults healed: the caches must have been invalidated back to the
+	// full reachable world.
+	if lat, _ := top.UnicastPath(0, HostID(top.NumHosts()-1)); lat < 0 {
+		t.Fatal("post-repair unicast path missing; stale cache survived the epoch bumps")
+	}
+	if got := len(top.MulticastScope(0, top.Diameter()).Hosts); got != top.NumHosts()-1 {
+		t.Fatalf("post-repair full-TTL scope has %d hosts, want %d", got, top.NumHosts()-1)
 	}
 }
