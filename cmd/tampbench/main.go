@@ -17,6 +17,8 @@
 //	tampbench -fig 11 -sizes 20,60,100 -pergroup 20 -seed 7 -loss 0.01
 //	tampbench -fig all -workers 8 -v            # parallel sweep with per-run progress
 //	tampbench -fig 11 -cpuprofile cpu.pprof     # profile the sweep hot spots
+//	tampbench -fig scale                        # N=1000 churn run (BENCH_scale.json)
+//	tampbench -diff old.json new.json           # regression gate between two BENCH files
 package main
 
 import (
@@ -36,7 +38,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2, 11, 12, 13, 14, 4x, 4b, abl-piggyback, abl-group, abl-maxloss, abl-fanout, accuracy, breakdown, detect-dist, chaos, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 2, 11, 12, 13, 14, 4x, 4b, abl-piggyback, abl-group, abl-maxloss, abl-fanout, accuracy, breakdown, detect-dist, chaos, scale, all (scale is excluded from all: it is the long N=1000 run)")
 	sizes := flag.String("sizes", "20,40,60,80,100", "cluster sizes for figures 11-13")
 	perGroup := flag.Int("pergroup", 20, "nodes per network/membership group")
 	seed := flag.Int64("seed", 42, "simulation RNG seed (per-run seeds derive from it)")
@@ -45,10 +47,16 @@ func main() {
 	verbose := flag.Bool("v", false, "print one progress line per run (stderr) plus sweep totals")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole regeneration to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after regeneration to this file")
-	jsonOut := flag.Bool("json", false, "also write BENCH_<fig>.json with per-run reports (chaos always writes it)")
+	jsonOut := flag.Bool("json", false, "also write BENCH_<fig>.json with per-run reports (chaos and scale always write it)")
 	chart := flag.Bool("chart", false, "also render sparkline charts")
 	svgDir := flag.String("svg", "", "directory to write one SVG per figure (created if missing)")
+	diff := flag.Bool("diff", false, "compare two BENCH json files (old new) and exit non-zero on regressions")
+	diffWall := flag.Float64("diff-wall", 1.5, "with -diff: flag total wall time growing past this factor (0 disables the wall gate)")
 	flag.Parse()
+
+	if *diff {
+		os.Exit(runDiff(flag.Args(), *diffWall))
+	}
 
 	sz, err := parseSizes(*sizes)
 	if err != nil {
@@ -111,10 +119,12 @@ func main() {
 
 	var todo []string
 	if *fig == "all" {
+		// scale stays out of "all": the N=1000 run takes minutes and has
+		// its own BENCH file; regenerate it explicitly with -fig scale.
 		todo = order
 	} else {
-		if _, ok := runners[*fig]; !ok && *fig != "chaos" {
-			fmt.Fprintf(os.Stderr, "tampbench: unknown figure %q (want one of %s, all)\n", *fig, strings.Join(order, ", "))
+		if _, ok := runners[*fig]; !ok && *fig != "chaos" && *fig != "scale" {
+			fmt.Fprintf(os.Stderr, "tampbench: unknown figure %q (want one of %s, scale, all)\n", *fig, strings.Join(order, ", "))
 			os.Exit(2)
 		}
 		todo = []string{*fig}
@@ -150,6 +160,15 @@ func main() {
 				code = 1
 			}
 			fmt.Fprintf(os.Stderr, "(chaos regenerated in %v)\n", time.Since(start).Round(time.Millisecond))
+			fmt.Println()
+			continue
+		}
+		if name == "scale" {
+			if err := runScale(sw, *seed, log); err != nil {
+				fmt.Fprintln(os.Stderr, "tampbench:", err)
+				code = 1
+			}
+			fmt.Fprintf(os.Stderr, "(scale regenerated in %v)\n", time.Since(start).Round(time.Millisecond))
 			fmt.Println()
 			continue
 		}
@@ -221,6 +240,52 @@ func runChaos(sw harness.Sweep, seed int64, log *metrics.ReportLog) error {
 	}
 	fmt.Println("(json: BENCH_chaos.json)")
 	return nil
+}
+
+// runScale executes the N=1000 churn run and always records its RunReport
+// in BENCH_scale.json, so O(N^2) audit or protocol regressions surface in
+// `tampbench -diff` as event/packet/wall growth.
+func runScale(sw harness.Sweep, seed int64, log *metrics.ReportLog) error {
+	o := harness.DefaultScaleOptions()
+	o.Seed = seed
+	o.Sweep = sw
+	rep := harness.ScaleChurn(o)
+	fmt.Println(harness.RenderScale(o, rep))
+	runs := log.Reports()
+	b := metrics.BenchJSON{Fig: "scale", Seed: seed, Runs: runs, Summary: metrics.Summarize(runs)}
+	if err := metrics.WriteBenchJSON("BENCH_scale.json", b); err != nil {
+		return err
+	}
+	fmt.Println("(json: BENCH_scale.json)")
+	return nil
+}
+
+// runDiff is the regression gate: it compares two BENCH json files and
+// reports runs that disappeared, packet-count or wall-time blowups, new
+// invariant violations, and chaos verdict flips.
+func runDiff(args []string, wallFactor float64) int {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "tampbench: -diff needs exactly two arguments: old.json new.json")
+		return 2
+	}
+	oldB, err := metrics.ReadBenchJSON(args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tampbench:", err)
+		return 2
+	}
+	newB, err := metrics.ReadBenchJSON(args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tampbench:", err)
+		return 2
+	}
+	o := metrics.DefaultDiffOptions()
+	o.WallFactor = wallFactor
+	regs := metrics.CompareBench(oldB, newB, o)
+	fmt.Print(metrics.RenderRegressions(regs))
+	if len(regs) > 0 {
+		return 1
+	}
+	return 0
 }
 
 func lossOr(v, def float64) float64 {

@@ -26,7 +26,7 @@ import (
 )
 
 func main() {
-	schemeName := flag.String("scheme", "hierarchical", "membership scheme: alltoall, gossip, hierarchical")
+	schemeName := flag.String("scheme", "hierarchical", "membership scheme: alltoall, gossip, hierarchical, hierarchical+proxy")
 	groups := flag.Int("groups", 3, "number of networks (switch groups)")
 	perGroup := flag.Int("pergroup", 10, "nodes per network")
 	duration := flag.Duration("duration", 60*time.Second, "virtual run time")
@@ -58,6 +58,8 @@ func main() {
 		scheme = harness.Gossip
 	case "hierarchical", "hier":
 		scheme = harness.Hierarchical
+	case "hierarchical+proxy", "proxy", "fed":
+		scheme = harness.HierarchicalProxy
 	default:
 		fmt.Fprintf(os.Stderr, "tampsim: unknown scheme %q\n", *schemeName)
 		os.Exit(2)
@@ -81,15 +83,25 @@ func main() {
 	}
 
 	var top *topology.Topology
-	switch {
-	case scenario != nil && scenario.MultiDC:
-		top = topology.MultiDC(2, *groups, *perGroup)
-	case *groups <= 1:
-		top = topology.FlatLAN(*perGroup)
-	default:
-		top = topology.Clustered(*groups, *perGroup)
+	var c *harness.Cluster
+	var fed *harness.FederatedCluster
+	if scheme == harness.HierarchicalProxy {
+		// The federated scheme always spans two DCs: the intra-DC protocol
+		// is plain hierarchical, and the proxy layer bridges the WAN.
+		fed = harness.NewFederatedCluster(harness.DefaultFederatedOptions(*groups, *perGroup), *seed)
+		c = fed.Cluster
+		top = c.Top
+	} else {
+		switch {
+		case scenario != nil && scenario.MultiDC:
+			top = topology.MultiDC(2, *groups, *perGroup)
+		case *groups <= 1:
+			top = topology.FlatLAN(*perGroup)
+		default:
+			top = topology.Clustered(*groups, *perGroup)
+		}
+		c = harness.NewCluster(scheme, top, *seed)
 	}
-	c := harness.NewCluster(scheme, top, *seed)
 	if *loss > 0 {
 		c.Net.SetLossProbability(*loss)
 	}
@@ -133,6 +145,9 @@ func main() {
 		env.Trace = func(at time.Duration, msg string) {
 			fmt.Printf("%12v  === %s ===\n", at.Round(time.Millisecond), msg)
 		}
+		if fed != nil {
+			env.Proxies = fed.ProxyHandles()
+		}
 		if err := scenario.Install(env); err != nil {
 			fmt.Fprintln(os.Stderr, "tampsim:", err)
 			os.Exit(2)
@@ -145,7 +160,12 @@ func main() {
 			Deadline:    deadline,
 			PurgeBound:  harness.ChaosPurgeBound(scheme, top.NumHosts()),
 			LeaderGrace: harness.ChaosLeaderGrace,
+			EventDriven: true,
+			IntraDCOnly: fed != nil,
 		})
+		if fed != nil {
+			aud.AttachFederation(fed.Federation())
+		}
 		aud.Start()
 		fmt.Printf("scenario %s: last fault at %v, audit deadline %v, running to %v\n",
 			scenario.Name, scenario.End(), deadline, runFor)

@@ -3,6 +3,7 @@ package chaos
 import (
 	"fmt"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/netsim"
@@ -278,6 +279,212 @@ func (a Flap) check(env *Env) error {
 	}
 	if a.Count < 1 {
 		return fmt.Errorf("flap count %d < 1", a.Count)
+	}
+	return nil
+}
+
+// KillProxyLeader kills the host currently leading data center DC's proxy
+// group (the VIP holder), forcing a takeover by the backup proxy. Clusters
+// without proxies (the non-federated schemes) fall back to killing the
+// lowest-indexed running host in the DC, so one script stresses every
+// scheme.
+type KillProxyLeader struct{ DC int }
+
+func (a KillProxyLeader) Apply(env *Env) {
+	victim := -1
+	for _, p := range env.Proxies {
+		if p.DC() != a.DC || !p.Running() {
+			continue
+		}
+		if victim < 0 {
+			victim = int(p.Host()) // fallback: lowest running proxy
+		}
+		if p.IsLeader() {
+			victim = int(p.Host())
+			break
+		}
+	}
+	if victim < 0 {
+		for _, h := range env.Top.HostsInDC(a.DC) {
+			if int(h) < len(env.Nodes) && env.Nodes[h].Running() {
+				victim = int(h)
+				break
+			}
+		}
+	}
+	if victim >= 0 {
+		env.trace("kill-proxy-leader DC %d -> node %d", a.DC, victim)
+		env.StopNode(victim)
+	}
+}
+func (a KillProxyLeader) String() string { return fmt.Sprintf("kill-proxy-leader %d", a.DC) }
+func (a KillProxyLeader) check(env *Env) error {
+	if n := env.Top.NumDataCenters(); a.DC < 0 || a.DC >= n {
+		return fmt.Errorf("data center %d out of range [0,%d)", a.DC, n)
+	}
+	return nil
+}
+
+// RestartDown restarts every daemon that is currently down — the
+// bring-it-all-back closing move of multi-victim scenarios.
+type RestartDown struct{}
+
+func (a RestartDown) Apply(env *Env) {
+	env.trace("restart-down")
+	for i := range env.Nodes {
+		env.StartNode(i)
+	}
+}
+func (a RestartDown) String() string       { return "restart-down" }
+func (a RestartDown) check(env *Env) error { return nil }
+
+// FailWAN cuts every inter-data-center link — a full WAN partition, the
+// regime where remote summaries must expire rather than go stale-but-live.
+type FailWAN struct{}
+
+func (a FailWAN) Apply(env *Env) {
+	env.trace("fail-wan")
+	for _, l := range env.Top.Links() {
+		if l.WAN {
+			env.Top.FailLink(l.A, l.B)
+		}
+	}
+}
+func (a FailWAN) String() string       { return "fail-wan" }
+func (a FailWAN) check(env *Env) error { return checkWAN(env) }
+
+// RepairWAN restores every inter-data-center link.
+type RepairWAN struct{}
+
+func (a RepairWAN) Apply(env *Env) {
+	env.trace("repair-wan")
+	for _, l := range env.Top.Links() {
+		if l.WAN {
+			env.Top.RepairLink(l.A, l.B)
+		}
+	}
+}
+func (a RepairWAN) String() string       { return "repair-wan" }
+func (a RepairWAN) check(env *Env) error { return checkWAN(env) }
+
+func checkWAN(env *Env) error {
+	for _, l := range env.Top.Links() {
+		if l.WAN {
+			return nil
+		}
+	}
+	return fmt.Errorf("topology has no WAN links")
+}
+
+// shifter is implemented by actions whose node target can be moved by a
+// constant offset; Repeat uses it to advance its victim between iterations.
+type shifter interface{ shift(by int) Action }
+
+func (a Kill) shift(by int) Action    { return Kill{Node: a.Node + by} }
+func (a Restart) shift(by int) Action { return Restart{Node: a.Node + by} }
+func (a Flap) shift(by int) Action    { a.Node += by; return a }
+func (a Repeat) shift(by int) Action {
+	body := make([]Step, len(a.Body))
+	for i, st := range a.Body {
+		act := st.Act
+		if sh, ok := act.(shifter); ok {
+			act = sh.shift(by)
+		}
+		body[i] = Step{At: st.At, Act: act}
+	}
+	a.Body = body
+	return a
+}
+
+// Repeat replays a sub-timeline Count times, Every apart. A non-zero Stride
+// shifts the node targets of shiftable body actions (kill, restart, flap) by
+// Stride more on each iteration, so one block expresses rolling failures
+// ("one victim per group, 5s apart") without spelling out every step.
+type Repeat struct {
+	Count  int
+	Every  time.Duration
+	Stride int
+	Body   []Step
+}
+
+func (a Repeat) Apply(env *Env) {
+	env.trace("repeat %d every %v", a.Count, a.Every)
+	for c := 0; c < a.Count; c++ {
+		base := time.Duration(c) * a.Every
+		shift := c * a.Stride
+		for _, st := range a.Body {
+			act := st.Act
+			if sh, ok := act.(shifter); ok && shift != 0 {
+				act = sh.shift(shift)
+			}
+			env.Eng.Schedule(base+st.At, func() { act.Apply(env) })
+		}
+	}
+}
+
+func (a Repeat) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "repeat %d every %v", a.Count, a.Every)
+	if a.Stride != 0 {
+		fmt.Fprintf(&b, " step %d", a.Stride)
+	}
+	b.WriteString(" {")
+	for _, st := range a.Body {
+		for _, line := range strings.Split(fmt.Sprintf("@%v %s", st.At, st.Act), "\n") {
+			b.WriteString("\n\t")
+			b.WriteString(line)
+		}
+	}
+	b.WriteString("\n}")
+	return b.String()
+}
+
+func (a Repeat) span() time.Duration {
+	var extent time.Duration
+	for _, st := range a.Body {
+		e := st.At
+		if sp, ok := st.Act.(spanner); ok {
+			e += sp.span()
+		}
+		if e > extent {
+			extent = e
+		}
+	}
+	return time.Duration(a.Count-1)*a.Every + extent
+}
+
+func (a Repeat) check(env *Env) error {
+	if a.Count < 1 {
+		return fmt.Errorf("repeat count %d < 1", a.Count)
+	}
+	if a.Every <= 0 {
+		return fmt.Errorf("repeat interval %v not positive", a.Every)
+	}
+	if a.Stride < 0 {
+		return fmt.Errorf("repeat stride %d negative", a.Stride)
+	}
+	if len(a.Body) == 0 {
+		return fmt.Errorf("repeat body is empty")
+	}
+	// With a stride every iteration targets different nodes, so each must
+	// validate; without one, one pass covers them all.
+	iters := a.Count
+	if a.Stride == 0 {
+		iters = 1
+	}
+	for c := 0; c < iters; c++ {
+		for _, st := range a.Body {
+			if st.At < 0 {
+				return fmt.Errorf("repeat body step has negative offset %v", st.At)
+			}
+			act := st.Act
+			if sh, ok := act.(shifter); ok && c > 0 {
+				act = sh.shift(c * a.Stride)
+			}
+			if err := act.check(env); err != nil {
+				return fmt.Errorf("iteration %d (%s): %w", c, act, err)
+			}
+		}
 	}
 	return nil
 }

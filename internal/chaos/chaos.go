@@ -21,6 +21,16 @@ type Node interface {
 	Running() bool
 }
 
+// ProxyHandle is the membership-proxy surface proxy-targeted actions
+// inspect. A proxy is killed by stopping its host's daemon (Env.Nodes entry),
+// which the federated harness wires to stop the co-located proxy too.
+type ProxyHandle interface {
+	Host() topology.HostID
+	DC() int
+	Running() bool
+	IsLeader() bool
+}
+
 // Env binds a scenario to one concrete cluster: the engine whose clock the
 // timeline runs on, the network and topology the faults mutate, and the
 // protocol daemons the kills target.
@@ -29,6 +39,9 @@ type Env struct {
 	Net   *netsim.Network
 	Top   *topology.Topology
 	Nodes []Node
+	// Proxies lists the membership proxies, when the cluster has any;
+	// proxy-targeted actions fall back to plain host kills without them.
+	Proxies []ProxyHandle
 	// Trace, when non-nil, receives one line per executed action (tampsim
 	// prints these; the bench matrix leaves it nil to keep stdout stable).
 	Trace func(at time.Duration, msg string)
@@ -167,9 +180,19 @@ func (s *Scenario) Install(env *Env) error {
 	return nil
 }
 
+// findDevice resolves a device name. On a multi-data-center topology, a
+// bare single-DC name ("sw1", "core") falls back to its dc0- equivalent, so
+// the single-DC library scenarios run unchanged on a federated cluster.
+func (e *Env) findDevice(name string) (topology.Device, bool) {
+	if d, ok := e.Top.FindDevice(name); ok {
+		return d, true
+	}
+	return e.Top.FindDevice("dc0-" + name)
+}
+
 // device resolves a device name, which Action.check has already validated.
 func (e *Env) device(name string) topology.DeviceID {
-	d, ok := e.Top.FindDevice(name)
+	d, ok := e.findDevice(name)
 	if !ok {
 		panic(fmt.Sprintf("chaos: unknown device %q past validation", name))
 	}
@@ -177,7 +200,7 @@ func (e *Env) device(name string) topology.DeviceID {
 }
 
 func checkDevice(env *Env, name string) error {
-	if _, ok := env.Top.FindDevice(name); !ok {
+	if _, ok := env.findDevice(name); !ok {
 		return fmt.Errorf("no device named %q", name)
 	}
 	return nil

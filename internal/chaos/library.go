@@ -80,7 +80,10 @@ func Library(groups, perGroup int) []*Scenario {
 			Description: "one unstable daemon cycles down/up four times",
 			Expect:      "incarnation bumps keep sequence numbers monotone; views settle once flapping stops",
 			Steps: []Step{
-				{At: 20 * time.Second, Act: Flap{Node: v, Down: 3 * time.Second, Up: 5 * time.Second, Count: 4}},
+				{At: 20 * time.Second, Act: Repeat{Count: 4, Every: 8 * time.Second, Body: []Step{
+					{At: 0, Act: Kill{Node: v}},
+					{At: 3 * time.Second, Act: Restart{Node: v}},
+				}}},
 			},
 		},
 		{
@@ -107,19 +110,54 @@ func Library(groups, perGroup int) []*Scenario {
 				{At: 60 * time.Second, Act: WANFault{}},
 			},
 		},
+		{
+			Name:        "proxy-failover",
+			Description: "each data center's proxy leader is killed in turn, everything restarts later",
+			Expect:      "the backup proxy takes the VIP over; at most one VIP holder per DC after grace",
+			MultiDC:     true,
+			Steps: []Step{
+				{At: 20 * time.Second, Act: KillProxyLeader{DC: 0}},
+				{At: 30 * time.Second, Act: KillProxyLeader{DC: 1}},
+				{At: 50 * time.Second, Act: RestartDown{}},
+			},
+		},
+		{
+			Name:        "wan-partition-heal",
+			Description: "the WAN is cut outright for 40s, then repaired",
+			Expect:      "remote summaries expire during the cut instead of lingering stale, and refresh after heal",
+			MultiDC:     true,
+			Steps: []Step{
+				{At: 20 * time.Second, Act: FailWAN{}},
+				{At: 60 * time.Second, Act: RepairWAN{}},
+			},
+		},
 	}
-	// cascade's steps depend on the cluster shape.
+	// cascade rolls one kill per group, shifting the victim by perGroup each
+	// iteration; the mirrored repeat rolls the restarts 30s later.
 	cascade := scenarios[8]
-	for g := 0; g < groups; g++ {
-		victim := g*perGroup + 1
-		cascade.Steps = append(cascade.Steps,
-			Step{At: time.Duration(20+5*g) * time.Second, Act: Kill{Node: victim}})
+	cascade.Steps = []Step{
+		{At: 20 * time.Second, Act: Repeat{Count: groups, Every: 5 * time.Second, Stride: perGroup,
+			Body: []Step{{At: 0, Act: Kill{Node: 1}}}}},
+		{At: 50 * time.Second, Act: Repeat{Count: groups, Every: 5 * time.Second, Stride: perGroup,
+			Body: []Step{{At: 0, Act: Restart{Node: 1}}}}},
 	}
-	for g := 0; g < groups; g++ {
-		victim := g*perGroup + 1
-		cascade.Steps = append(cascade.Steps,
-			Step{At: time.Duration(50+5*g) * time.Second, Act: Restart{Node: victim}})
-	}
+	// dc-cascade: the WAN degrades, then the same in-DC position fails in
+	// each data center in turn (stride = one DC's worth of hosts), and the
+	// WAN heals before everything restarts — the compound regime where
+	// summaries must recover from both staleness and remote churn.
+	scenarios = append(scenarios, &Scenario{
+		Name:        "dc-cascade",
+		Description: "WAN degradation plus a rolling one-node failure in each data center, then heal and restart",
+		Expect:      "federated summaries re-converge to remote ground truth after heal; no phantom or stale entries",
+		MultiDC:     true,
+		Steps: []Step{
+			{At: 20 * time.Second, Act: WANFault{Profile: wanBadProfile}},
+			{At: 25 * time.Second, Act: Repeat{Count: 2, Every: 5 * time.Second, Stride: groups * perGroup,
+				Body: []Step{{At: 0, Act: Kill{Node: perGroup + 1}}}}},
+			{At: 55 * time.Second, Act: WANFault{}},
+			{At: 60 * time.Second, Act: RestartDown{}},
+		},
+	})
 	return scenarios
 }
 

@@ -30,6 +30,18 @@ import (
 //	link-fault A B [loss=P] [jitter=F] [dup=P]
 //	wan-fault [loss=P] [jitter=F] [dup=P]
 //	flap N down=D up=D [count=K]
+//	kill-proxy-leader DC | restart-down | fail-wan | repair-wan
+//
+// A repeat block replays an indented sub-timeline COUNT times, EVERY apart,
+// optionally shifting the node targets of kill/restart/flap by STRIDE more
+// each iteration ("step"):
+//
+//	@20s repeat 3 every 5s step 8 {
+//		@0s kill 1
+//		@3s restart 1
+//	}
+//
+// Body offsets are relative to the iteration's start; blocks nest.
 //
 // Probabilities must lie in [0,1); durations are Go duration literals.
 // Node and group indexes are range-checked later, at Scenario.Install,
@@ -38,12 +50,10 @@ import (
 // ParseSpec parses the text scenario format.
 func ParseSpec(text string) (*Scenario, error) {
 	s := &Scenario{}
-	for ln, raw := range strings.Split(text, "\n") {
-		line := raw
-		if i := strings.IndexByte(line, '#'); i >= 0 {
-			line = line[:i]
-		}
-		line = strings.TrimSpace(line)
+	lines := strings.Split(text, "\n")
+	for i := 0; i < len(lines); i++ {
+		ln := i + 1
+		line := cleanLine(lines[i])
 		if line == "" {
 			continue
 		}
@@ -67,7 +77,7 @@ func ParseSpec(text string) (*Scenario, error) {
 			s.MultiDC = true
 		case strings.HasPrefix(word, "@"):
 			var st Step
-			st, err = parseStep(word[1:], rest)
+			st, i, err = parseStep(word[1:], rest, lines, i)
 			if err == nil {
 				s.Steps = append(s.Steps, st)
 			}
@@ -79,6 +89,14 @@ func ParseSpec(text string) (*Scenario, error) {
 		}
 	}
 	return s, nil
+}
+
+// cleanLine strips a trailing comment and surrounding whitespace.
+func cleanLine(raw string) string {
+	if i := strings.IndexByte(raw, '#'); i >= 0 {
+		raw = raw[:i]
+	}
+	return strings.TrimSpace(raw)
 }
 
 // Spec renders the scenario in the canonical text format;
@@ -103,23 +121,90 @@ func (s *Scenario) Spec() string {
 	return b.String()
 }
 
-func parseStep(offset, rest string) (Step, error) {
+// parseStep parses one "@OFFSET VERB ARGS" step starting at lines[i]; a
+// repeat block consumes further lines up to its closing brace. It returns
+// the index of the last line consumed.
+func parseStep(offset, rest string, lines []string, i int) (Step, int, error) {
 	at, err := time.ParseDuration(offset)
 	if err != nil {
-		return Step{}, fmt.Errorf("bad offset %q: %v", offset, err)
+		return Step{}, i, fmt.Errorf("bad offset %q: %v", offset, err)
 	}
 	if at < 0 {
-		return Step{}, fmt.Errorf("negative offset %q", offset)
+		return Step{}, i, fmt.Errorf("negative offset %q", offset)
 	}
 	fields := strings.Fields(rest)
 	if len(fields) == 0 {
-		return Step{}, fmt.Errorf("offset @%s has no action", offset)
+		return Step{}, i, fmt.Errorf("offset @%s has no action", offset)
+	}
+	if fields[0] == "repeat" {
+		act, next, err := parseRepeat(fields[1:], lines, i)
+		if err != nil {
+			return Step{}, i, err
+		}
+		return Step{At: at, Act: act}, next, nil
 	}
 	act, err := parseAction(fields[0], fields[1:])
 	if err != nil {
-		return Step{}, err
+		return Step{}, i, err
 	}
-	return Step{At: at, Act: act}, nil
+	return Step{At: at, Act: act}, i, nil
+}
+
+// parseRepeat parses "repeat COUNT every D [step K] {" whose header sits on
+// lines[i], then the body lines through the closing "}". Returns the index
+// of the closing-brace line.
+func parseRepeat(args []string, lines []string, i int) (Action, int, error) {
+	if len(args) < 1 || args[len(args)-1] != "{" {
+		return nil, i, fmt.Errorf("repeat wants COUNT every D [step K] followed by {")
+	}
+	args = args[:len(args)-1]
+	if len(args) != 3 && len(args) != 5 {
+		return nil, i, fmt.Errorf("repeat wants COUNT every D [step K], got %q", strings.Join(args, " "))
+	}
+	count, err := strconv.Atoi(args[0])
+	if err != nil || count < 1 {
+		return nil, i, fmt.Errorf("repeat count %q must be a positive integer", args[0])
+	}
+	if args[1] != "every" {
+		return nil, i, fmt.Errorf("repeat: expected %q, got %q", "every", args[1])
+	}
+	every, err := time.ParseDuration(args[2])
+	if err != nil || every <= 0 {
+		return nil, i, fmt.Errorf("repeat interval %q must be a positive duration", args[2])
+	}
+	r := Repeat{Count: count, Every: every}
+	if len(args) == 5 {
+		if args[3] != "step" {
+			return nil, i, fmt.Errorf("repeat: expected %q, got %q", "step", args[3])
+		}
+		r.Stride, err = strconv.Atoi(args[4])
+		if err != nil || r.Stride < 1 {
+			return nil, i, fmt.Errorf("repeat stride %q must be a positive integer", args[4])
+		}
+	}
+	for j := i + 1; j < len(lines); j++ {
+		line := cleanLine(lines[j])
+		if line == "" {
+			continue
+		}
+		if line == "}" {
+			if len(r.Body) == 0 {
+				return nil, j, fmt.Errorf("repeat body is empty")
+			}
+			return r, j, nil
+		}
+		word, rest, _ := strings.Cut(line, " ")
+		if !strings.HasPrefix(word, "@") {
+			return nil, j, fmt.Errorf("repeat body line %d: expected @OFFSET step or }, got %q", j+1, line)
+		}
+		st, next, err := parseStep(word[1:], strings.TrimSpace(rest), lines, j)
+		if err != nil {
+			return nil, j, fmt.Errorf("repeat body line %d: %w", j+1, err)
+		}
+		r.Body = append(r.Body, st)
+		j = next
+	}
+	return nil, len(lines) - 1, fmt.Errorf("repeat block is missing its closing }")
 }
 
 func parseAction(verb string, args []string) (Action, error) {
@@ -196,6 +281,24 @@ func parseAction(verb string, args []string) (Action, error) {
 			return nil, err
 		}
 		return WANFault{Profile: p}, nil
+	case "kill-proxy-leader":
+		dc, err := oneInt(verb, args)
+		return KillProxyLeader{DC: dc}, err
+	case "restart-down":
+		if len(args) != 0 {
+			return nil, fmt.Errorf("restart-down takes no arguments")
+		}
+		return RestartDown{}, nil
+	case "fail-wan":
+		if len(args) != 0 {
+			return nil, fmt.Errorf("fail-wan takes no arguments")
+		}
+		return FailWAN{}, nil
+	case "repair-wan":
+		if len(args) != 0 {
+			return nil, fmt.Errorf("repair-wan takes no arguments")
+		}
+		return RepairWAN{}, nil
 	case "flap":
 		if len(args) < 1 {
 			return nil, fmt.Errorf("flap wants N down=D up=D [count=K]")

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/topology"
 )
 
 func TestParseSpecFull(t *testing.T) {
@@ -30,13 +32,20 @@ multidc
 @33s link-fault swA core loss=0.5 jitter=0.2
 @34s wan-fault loss=0.3
 @35s flap 7 down=2s up=4s count=5
+@36s kill-proxy-leader 1
+@37s restart-down
+@38s fail-wan
+@39s repair-wan
 `
 	s, err := ParseSpec(text)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s.Name != "everything" || !s.MultiDC || len(s.Steps) != 16 {
+	if s.Name != "everything" || !s.MultiDC || len(s.Steps) != 20 {
 		t.Fatalf("parse: name=%q multidc=%v steps=%d", s.Name, s.MultiDC, len(s.Steps))
+	}
+	if got := s.Steps[16].Act.(KillProxyLeader); got.DC != 1 {
+		t.Fatalf("kill-proxy-leader parsed as %+v", got)
 	}
 	if got := s.Steps[15].Act.(Flap); got != (Flap{Node: 7, Down: 2 * time.Second, Up: 4 * time.Second, Count: 5}) {
 		t.Fatalf("flap parsed as %+v", got)
@@ -80,11 +89,96 @@ func TestParseSpecErrors(t *testing.T) {
 		"bogus directive",
 		"@xyz kill 1",
 		"multidc yes",
+		"@20s restart-down 1",
+		"@20s fail-wan now",
+		"@20s kill-proxy-leader",
+		"@20s repeat 3 every 5s",
+		"@20s repeat 0 every 5s {\n@0s kill 1\n}",
+		"@20s repeat 3 every 0s {\n@0s kill 1\n}",
+		"@20s repeat 3 every 5s step 0 {\n@0s kill 1\n}",
+		"@20s repeat 3 every 5s {\n}",
+		"@20s repeat 3 every 5s {\n@0s kill 1\n",
+		"@20s repeat 3 every 5s {\nkill 1\n}",
 	}
 	for _, in := range bad {
 		if _, err := ParseSpec(in); err == nil {
 			t.Errorf("ParseSpec(%q) accepted invalid input", in)
 		}
+	}
+}
+
+func TestParseSpecRepeat(t *testing.T) {
+	text := `scenario rolling
+@20s repeat 3 every 5s step 8 {
+	@0s kill 1     # victim shifts by 8 each iteration
+	@3s restart 1
+}
+@60s repeat 2 every 10s {
+	@0s repeat 2 every 2s {
+		@0s kill 5
+	}
+	@5s restart-down
+}
+`
+	s, err := ParseSpec(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Steps) != 2 {
+		t.Fatalf("got %d steps, want 2", len(s.Steps))
+	}
+	r := s.Steps[0].Act.(Repeat)
+	if r.Count != 3 || r.Every != 5*time.Second || r.Stride != 8 || len(r.Body) != 2 {
+		t.Fatalf("outer repeat parsed as %+v", r)
+	}
+	if k := r.Body[0].Act.(Kill); k.Node != 1 {
+		t.Fatalf("repeat body parsed as %+v", r.Body)
+	}
+	nested := s.Steps[1].Act.(Repeat)
+	inner := nested.Body[0].Act.(Repeat)
+	if inner.Count != 2 || inner.Every != 2*time.Second || len(inner.Body) != 1 {
+		t.Fatalf("nested repeat parsed as %+v", inner)
+	}
+	// span: outer repeat 0 ends at 20s + 2*5s + 3s = 33s; step 1 ends at
+	// 60s + 1*10s + max(0+1*2s, 5s) = 75s.
+	if want := 75 * time.Second; s.End() != want {
+		t.Fatalf("End() = %v, want %v", s.End(), want)
+	}
+	// Round trip through the canonical form.
+	re, err := ParseSpec(s.Spec())
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, s.Spec())
+	}
+	if !reflect.DeepEqual(re, s) {
+		t.Fatalf("repeat round trip mismatch:\n%s\n%+v\n%+v", s.Spec(), re, s)
+	}
+}
+
+func TestRepeatApplyStride(t *testing.T) {
+	// On the 3x8 clustered topology, a strided repeat must kill a different
+	// victim each iteration — the cascade pattern.
+	sc := &Scenario{Name: "t", Steps: []Step{
+		{At: time.Second, Act: Repeat{Count: 3, Every: time.Second, Stride: 8,
+			Body: []Step{{At: 0, Act: Kill{Node: 1}}}}},
+	}}
+	env, _ := newFakeEnv(t, topology.Clustered(3, 8))
+	if err := sc.Install(env); err != nil {
+		t.Fatal(err)
+	}
+	env.Eng.Run(10 * time.Second)
+	for _, want := range []int{1, 9, 17} {
+		if env.Nodes[want].Running() {
+			t.Errorf("node %d still running; strided kill missed it", want)
+		}
+	}
+	// A stride pushing past the cluster must fail validation.
+	bad := &Scenario{Steps: []Step{
+		{At: 0, Act: Repeat{Count: 4, Every: time.Second, Stride: 8,
+			Body: []Step{{At: 0, Act: Kill{Node: 1}}}}},
+	}}
+	env2, _ := newFakeEnv(t, topology.Clustered(3, 8))
+	if err := bad.Install(env2); err == nil {
+		t.Fatal("out-of-range strided repeat passed validation")
 	}
 }
 

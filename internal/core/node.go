@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"time"
 
 	"repro/internal/membership"
@@ -555,10 +556,19 @@ func (n *Node) track() {
 			continue
 		}
 		deadAfter := n.cfg.DeadAfterLevel(lv.level)
+		// Collect then sort: onMemberDead emits directory events and (at
+		// the leader) originates updates, so processing in map-iteration
+		// order would make the whole simulation nondeterministic when a
+		// fault expires several mates on the same tick.
+		var dead []membership.NodeID
 		for id, ms := range lv.members {
-			if now-ms.lastHeard <= deadAfter {
-				continue
+			if now-ms.lastHeard > deadAfter {
+				dead = append(dead, id)
 			}
+		}
+		sort.Slice(dead, func(i, j int) bool { return dead[i] < dead[j] })
+		for _, id := range dead {
+			ms := lv.members[id]
 			delete(lv.members, id)
 			n.onMemberDead(lv.level, id, ms)
 		}

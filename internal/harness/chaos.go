@@ -17,6 +17,7 @@ import (
 	"repro/internal/gossip"
 	"repro/internal/invariant"
 	"repro/internal/metrics"
+	"repro/internal/proxy"
 	"repro/internal/topology"
 )
 
@@ -67,6 +68,14 @@ func ChaosSettle(scheme Scheme, n int) time.Duration {
 	case Hierarchical:
 		m := analysis.HierarchicalFixedFrequency(p)
 		return m.DetectionTime + m.ConvergenceTime + core.DefaultConfig().RelayedTTL + margin
+	case HierarchicalProxy:
+		// The in-DC protocol settles like plain hierarchical; on top of it,
+		// a remote summary may have expired during the fault (staleness
+		// timeout) and is only re-sent on the full-summary cadence.
+		m := analysis.HierarchicalFixedFrequency(p)
+		pc := proxy.DefaultConfig(0, nil)
+		return m.DetectionTime + m.ConvergenceTime + core.DefaultConfig().RelayedTTL +
+			pc.SummaryTimeout + time.Duration(pc.SummaryEvery)*pc.HeartbeatInterval + margin
 	}
 	panic("harness: unknown scheme")
 }
@@ -83,7 +92,9 @@ func ChaosPurgeBound(scheme Scheme, n int) time.Duration {
 	case Gossip:
 		m := analysis.GossipFixedFrequency(p)
 		return m.DetectionTime + m.ConvergenceTime + margin
-	case Hierarchical:
+	case Hierarchical, HierarchicalProxy:
+		// The proxy layer holds no per-node membership of its own, so the
+		// federated scheme purges exactly like plain hierarchical.
 		m := analysis.HierarchicalFixedFrequency(p)
 		return m.DetectionTime + core.DefaultConfig().RelayedTTL + margin
 	}
@@ -124,17 +135,25 @@ func (o ChaosOptions) scenarios() []*chaos.Scenario {
 // plus the enforcement window, and report the cluster counters with the
 // auditor's verdicts attached.
 func RunScenario(scheme Scheme, sc *chaos.Scenario, o ChaosOptions, seed int64) metrics.RunReport {
-	var top *topology.Topology
-	if sc.MultiDC {
-		top = topology.MultiDC(2, o.Groups, o.PerGroup)
+	var c *Cluster
+	var fed *FederatedCluster
+	if scheme == HierarchicalProxy {
+		// The federated stack always deploys across two data centers —
+		// single-DC scenarios then exercise it with an idle-but-audited WAN.
+		fed = NewFederatedCluster(DefaultFederatedOptions(o.Groups, o.PerGroup), seed)
+		c = fed.Cluster
+	} else if sc.MultiDC {
+		c = NewCluster(scheme, topology.MultiDC(2, o.Groups, o.PerGroup), seed)
 	} else {
-		top = topology.Clustered(o.Groups, o.PerGroup)
+		c = NewCluster(scheme, topology.Clustered(o.Groups, o.PerGroup), seed)
 	}
-	n := top.NumHosts()
-	c := NewCluster(scheme, top, seed)
+	n := c.Top.NumHosts()
 	c.StartAll()
 
 	env := chaos.NewEnv(c.Eng, c.Net, c.Top, chaosNodes(c.Nodes))
+	if fed != nil {
+		env.Proxies = fed.ProxyHandles()
+	}
 	if err := sc.Install(env); err != nil {
 		panic(err) // library scenarios are valid by construction
 	}
@@ -144,7 +163,15 @@ func RunScenario(scheme Scheme, sc *chaos.Scenario, o ChaosOptions, seed int64) 
 		Deadline:    deadline,
 		PurgeBound:  ChaosPurgeBound(scheme, n),
 		LeaderGrace: ChaosLeaderGrace,
+		EventDriven: true,
+		// Cross-DC completeness is not the federated contract — proxies
+		// summarize remote DCs instead of replicating their views; the
+		// federation invariants audit that summary path.
+		IntraDCOnly: fed != nil,
 	})
+	if fed != nil {
+		aud.AttachFederation(fed.Federation())
+	}
 	aud.Start()
 	c.Eng.Run(deadline + o.Enforce)
 	aud.Stop()
@@ -177,8 +204,8 @@ func ChaosMatrix(o ChaosOptions) []ChaosResult {
 	pool := NewPool(o.Sweep, o.Seed)
 	reports := make([][]metrics.RunReport, len(scenarios))
 	for si, sc := range scenarios {
-		reports[si] = make([]metrics.RunReport, len(Schemes))
-		for hi, scheme := range Schemes {
+		reports[si] = make([]metrics.RunReport, len(ChaosSchemes))
+		for hi, scheme := range ChaosSchemes {
 			si, hi, sc, scheme := si, hi, sc, scheme
 			pool.Go(fmt.Sprintf("chaos/%s/%s", sc.Name, scheme), func(seed int64) metrics.RunReport {
 				rep := RunScenario(scheme, sc, o, seed)
@@ -191,7 +218,7 @@ func ChaosMatrix(o ChaosOptions) []ChaosResult {
 
 	var out []ChaosResult
 	for si, sc := range scenarios {
-		for hi, scheme := range Schemes {
+		for hi, scheme := range ChaosSchemes {
 			rep := reports[si][hi]
 			out = append(out, ChaosResult{
 				Scenario:   sc.Name,
@@ -216,7 +243,7 @@ func RenderChaosMatrix(results []ChaosResult) string {
 			invNames = append(invNames, inv.Name)
 		}
 	}
-	fmt.Fprintf(&b, "%-16s %-14s %-8s", "scenario", "scheme", "verdict")
+	fmt.Fprintf(&b, "%-18s %-18s %-8s", "scenario", "scheme", "verdict")
 	for _, name := range invNames {
 		fmt.Fprintf(&b, " %14s", name)
 	}
@@ -226,7 +253,7 @@ func RenderChaosMatrix(results []ChaosResult) string {
 		if !r.Pass {
 			verdict = "FAIL"
 		}
-		fmt.Fprintf(&b, "%-16s %-14s %-8s", r.Scenario, r.Scheme, verdict)
+		fmt.Fprintf(&b, "%-18s %-18s %-8s", r.Scenario, r.Scheme, verdict)
 		for _, inv := range r.Invariants {
 			fmt.Fprintf(&b, " %14s", fmt.Sprintf("%d/%d", inv.Violations, inv.Checks))
 		}

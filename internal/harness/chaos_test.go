@@ -7,11 +7,14 @@ import (
 
 // TestChaosDeterminism mirrors TestSweepDeterminism for the chaos matrix:
 // the rendered verdict table must be byte-identical regardless of how many
-// workers race through the cells.
+// workers race through the cells, and across repeated invocations.
+// switch-outage is in the list deliberately: its mass same-tick expiry
+// once exposed map-iteration ordering in the tracker sweep (see track()
+// in internal/core).
 func TestChaosDeterminism(t *testing.T) {
 	run := func(workers int) string {
 		o := DefaultChaosOptions()
-		o.Scenarios = []string{"kill-restart", "partition-heal", "flapping"}
+		o.Scenarios = []string{"kill-restart", "partition-heal", "flapping", "switch-outage", "proxy-failover"}
 		o.Sweep = Sweep{Workers: workers}
 		return RenderChaosMatrix(ChaosMatrix(o))
 	}
@@ -20,20 +23,26 @@ func TestChaosDeterminism(t *testing.T) {
 	if serial != parallel {
 		t.Fatalf("chaos matrix differs between workers=1 and workers=8:\n--- serial ---\n%s--- parallel ---\n%s", serial, parallel)
 	}
-	if !strings.Contains(serial, "kill-restart") || strings.Count(serial, "\n") != 2+3*len(Schemes) {
+	if again := run(1); again != serial {
+		t.Fatalf("chaos matrix differs between two serial invocations:\n--- first ---\n%s--- second ---\n%s", serial, again)
+	}
+	if !strings.Contains(serial, "kill-restart") || !strings.Contains(serial, "hierarchical+proxy") ||
+		strings.Count(serial, "\n") != 2+5*len(ChaosSchemes) {
 		t.Fatalf("unexpected matrix shape:\n%s", serial)
 	}
 }
 
 // TestChaosWANDegradeSeparatesSchemes pins the matrix's headline result:
 // multicast cannot cross WAN links, so on a two-DC topology only gossip
-// (whose dissemination is unicast) ever reaches cross-DC completeness.
+// (whose dissemination is unicast) and the federated hierarchical+proxy
+// stack (whose proxies summarize across the WAN) survive wan-degrade; the
+// fed column must moreover survive with real federation checks performed.
 func TestChaosWANDegradeSeparatesSchemes(t *testing.T) {
 	o := DefaultChaosOptions()
 	o.Scenarios = []string{"wan-degrade"}
 	results := ChaosMatrix(o)
-	if len(results) != len(Schemes) {
-		t.Fatalf("got %d results, want %d", len(results), len(Schemes))
+	if len(results) != len(ChaosSchemes) {
+		t.Fatalf("got %d results, want %d", len(results), len(ChaosSchemes))
 	}
 	byScheme := map[string]ChaosResult{}
 	for _, r := range results {
@@ -41,6 +50,18 @@ func TestChaosWANDegradeSeparatesSchemes(t *testing.T) {
 	}
 	if !byScheme["Gossip"].Pass {
 		t.Errorf("gossip failed wan-degrade: %+v", byScheme["Gossip"].Invariants)
+	}
+	fed := byScheme["hierarchical+proxy"]
+	if !fed.Pass {
+		t.Errorf("hierarchical+proxy failed wan-degrade: %+v", fed.Invariants)
+	}
+	for _, inv := range fed.Invariants {
+		switch inv.Name {
+		case "summary-fresh", "summary-truth", "vip-unique":
+			if inv.Checks == 0 {
+				t.Errorf("federation invariant %s performed no checks", inv.Name)
+			}
+		}
 	}
 	for _, s := range []string{"All-to-all", "Hierarchical"} {
 		r := byScheme[s]

@@ -17,11 +17,13 @@ import (
 // Scheme selects a membership protocol.
 type Scheme int
 
-// The three compared schemes.
+// The three compared schemes, plus the federated §5 stack (hierarchical
+// inside each data center, membership proxies across them).
 const (
 	AllToAll Scheme = iota
 	Gossip
 	Hierarchical
+	HierarchicalProxy
 )
 
 func (s Scheme) String() string {
@@ -32,12 +34,20 @@ func (s Scheme) String() string {
 		return "Gossip"
 	case Hierarchical:
 		return "Hierarchical"
+	case HierarchicalProxy:
+		return "hierarchical+proxy"
 	}
 	return fmt.Sprintf("scheme(%d)", int(s))
 }
 
-// Schemes lists all three in the paper's presentation order.
+// Schemes lists the paper's three compared schemes in presentation order;
+// the §4 figures sweep exactly these. The federated stack is not a point in
+// those analyses — it joins the comparison only in the chaos matrix.
 var Schemes = []Scheme{AllToAll, Gossip, Hierarchical}
+
+// ChaosSchemes is the chaos matrix's column set: the three compared schemes
+// plus the federated hierarchical+proxy stack.
+var ChaosSchemes = []Scheme{AllToAll, Gossip, Hierarchical, HierarchicalProxy}
 
 // Instance is the common surface of the three protocol nodes.
 type Instance interface {

@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/topology"
+)
+
+// TestFederationConverges builds the two-DC federated cluster and checks
+// the §5 steady state directly: every DC's VIP resolves to a live leader
+// proxy, and every proxy holds a fresh, truthful summary of every remote DC.
+func TestFederationConverges(t *testing.T) {
+	f := NewFederatedCluster(DefaultFederatedOptions(3, 8), 7)
+	f.StartAll()
+	f.Run(30 * time.Second)
+
+	if got := len(f.Proxies); got != 4 {
+		t.Fatalf("got %d proxies, want 4", got)
+	}
+	fed := f.Federation()
+	for dc := 0; dc < f.Opts.DCs; dc++ {
+		holder, ok := f.VIP.Get(dc)
+		if !ok {
+			t.Fatalf("DC %d has no VIP holder", dc)
+		}
+		if f.Top.HostDC(holder) != dc {
+			t.Errorf("DC %d's VIP points outside the DC (host %d)", dc, holder)
+		}
+	}
+	for _, p := range f.Proxies {
+		if !p.Running() {
+			t.Fatalf("proxy on host %d not running", p.Host())
+		}
+		for _, rdc := range p.RemoteDCs() {
+			age, ok := p.RemoteAge(rdc)
+			if !ok {
+				t.Errorf("proxy %d never heard from DC %d", p.Host(), rdc)
+				continue
+			}
+			if age > fed.SummaryStale {
+				t.Errorf("proxy %d's summary of DC %d is %v old", p.Host(), rdc, age)
+			}
+			got := p.RemoteServiceNodes(rdc)
+			want := fed.Truth(rdc)
+			if len(got) != len(want) {
+				t.Errorf("proxy %d's summary of DC %d: got %v, want %v", p.Host(), rdc, got, want)
+				continue
+			}
+			for svc, n := range want {
+				if got[svc] != n {
+					t.Errorf("proxy %d's summary of DC %d service %s: got %d, want %d",
+						p.Host(), rdc, svc, got[svc], n)
+				}
+			}
+		}
+	}
+}
+
+// TestFederationProxyFailover kills each DC's proxy leader host and checks
+// the VIP moves to the surviving backup — the paper's IP-takeover behavior.
+func TestFederationProxyFailover(t *testing.T) {
+	f := NewFederatedCluster(DefaultFederatedOptions(3, 8), 11)
+	f.StartAll()
+	f.Run(30 * time.Second)
+
+	old := make([]topology.HostID, f.Opts.DCs)
+	for dc := range old {
+		h, ok := f.VIP.Get(dc)
+		if !ok {
+			t.Fatalf("DC %d has no VIP holder", dc)
+		}
+		old[dc] = h
+	}
+	for dc := range old {
+		f.Nodes[old[dc]].Stop()
+	}
+	f.Run(30 * time.Second)
+	for dc := range old {
+		h, ok := f.VIP.Get(dc)
+		if !ok {
+			t.Fatalf("DC %d lost its VIP after leader death", dc)
+		}
+		if h == old[dc] {
+			t.Errorf("DC %d's VIP still points at the dead leader %d", dc, old[dc])
+		}
+		if f.Top.HostDC(h) != dc {
+			t.Errorf("DC %d's VIP moved outside the DC (host %d)", dc, h)
+		}
+		var leads bool
+		for _, p := range f.Proxies {
+			if p.Host() == h && p.Running() && p.IsLeader() {
+				leads = true
+			}
+		}
+		if !leads {
+			t.Errorf("DC %d's VIP holder %d is not a running leader proxy", dc, h)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/raceflag"
+)
+
+// TestScaleChurn1000 audits a 1000-node hierarchical cluster under rolling
+// churn — the O(N^2)-hunting run. It is skipped under -short (it is the
+// suite's longest test) and under -race (the detector multiplies its wall
+// time well past CI budgets; the race step covers the same code at chaos
+// matrix scale).
+func TestScaleChurn1000(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale run skipped in -short mode")
+	}
+	if raceflag.Enabled {
+		t.Skip("scale run skipped under -race")
+	}
+	o := DefaultScaleOptions()
+	rep := ScaleChurn(o)
+	if n := o.Groups * o.PerGroup; rep.PeakDirSize != n {
+		t.Errorf("peak directory size %d, want %d (views never reached cluster size)", rep.PeakDirSize, n)
+	}
+	if rep.TotalViolations() != 0 {
+		t.Errorf("scale churn violated invariants:\n%+v", rep.Invariants)
+	}
+	if rep.Events == 0 || rep.PktsDelivered == 0 {
+		t.Errorf("implausible counters: %+v", rep)
+	}
+}

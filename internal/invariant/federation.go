@@ -1,0 +1,163 @@
+package invariant
+
+import (
+	"time"
+
+	"repro/internal/topology"
+)
+
+// ProxyNode is the audited surface of one membership proxy. It is satisfied
+// by *proxy.Proxy without this package importing it.
+type ProxyNode interface {
+	Host() topology.HostID
+	DC() int
+	Running() bool
+	IsLeader() bool
+	RemoteDCs() []int
+	RemoteAge(dc int) (time.Duration, bool)
+	RemoteServiceNodes(dc int) map[string]int
+}
+
+// VIPResolver resolves a data center's virtual IP to its current holder.
+type VIPResolver interface {
+	Get(dc int) (topology.HostID, bool)
+}
+
+// Federation describes the cross-DC audit surface of a federated cluster:
+// every proxy in every data center, the shared VIP table, and a ground-truth
+// oracle for what each DC's summary should advertise.
+type Federation struct {
+	Proxies []ProxyNode
+	VIP     VIPResolver
+	// SummaryStale bounds how old a remote summary may be once the system
+	// has quiesced; proxies expire remotes after their staleness timeout,
+	// so "fresh" means heard within that window.
+	SummaryStale time.Duration
+	// Truth returns, per service name, how many nodes in dc currently run
+	// it (ground truth from the harness, not from any protocol view).
+	Truth func(dc int) map[string]int
+}
+
+// AttachFederation arms the cross-DC checks. Call before Start.
+func (a *Auditor) AttachFederation(f *Federation) { a.fed = f }
+
+// checkFederation enforces the three proxy invariants.
+//
+// summary-fresh and summary-truth only apply after the settle deadline: a
+// proxy whose WAN path was cut is expected to hold stale (then expired)
+// summaries mid-fault; the contract is that quiescence restores them within
+// the staleness bound. vip-unique follows leader-unique's stability rule —
+// after LeaderGrace of stable ground truth, each DC has at most one
+// reachable leader proxy and the VIP resolves to a live one.
+func (a *Auditor) checkFederation(now time.Duration) {
+	f := a.fed
+	if f == nil {
+		return
+	}
+	a.checkSummaries(now)
+	a.checkVIPs(now)
+}
+
+func (a *Auditor) checkSummaries(now time.Duration) {
+	if now < a.o.Deadline {
+		return
+	}
+	f := a.fed
+	fresh := &a.invs[invSummaryFresh]
+	truth := &a.invs[invSummaryTruth]
+	for _, p := range f.Proxies {
+		if !p.Running() {
+			continue
+		}
+		for _, rdc := range p.RemoteDCs() {
+			// Only audit remotes this proxy can actually hear from: the
+			// remote DC must have a resolvable VIP holder with a working
+			// unicast path. (Post-deadline that is the normal case; the
+			// guard keeps permanently partitioned runs honest rather than
+			// trivially failing.)
+			raddr, ok := f.VIP.Get(rdc)
+			if !ok || !a.reachable(p.Host(), raddr) {
+				continue
+			}
+			fresh.checks++
+			age, heard := p.RemoteAge(rdc)
+			if !heard {
+				fresh.violate(now, "proxy %d has no summary from DC %d despite reachable VIP", p.Host(), rdc)
+				continue
+			}
+			if age > f.SummaryStale {
+				fresh.violate(now, "proxy %d's summary from DC %d is %v old (bound %v)",
+					p.Host(), rdc, age, f.SummaryStale)
+				continue
+			}
+			want := f.Truth(rdc)
+			got := p.RemoteServiceNodes(rdc)
+			truth.checks++
+			bad := len(got) != len(want)
+			if !bad {
+				for svc, n := range want {
+					if got[svc] != n {
+						bad = true
+						break
+					}
+				}
+			}
+			if bad {
+				truth.violate(now, "proxy %d's summary of DC %d is %v, ground truth %v",
+					p.Host(), rdc, got, want)
+			}
+		}
+	}
+}
+
+func (a *Auditor) checkVIPs(now time.Duration) {
+	if a.o.LeaderGrace <= 0 || now-a.stableSince < a.o.LeaderGrace {
+		return
+	}
+	f := a.fed
+	v := &a.invs[invVIPUnique]
+	byDC := map[int][]ProxyNode{}
+	for _, p := range f.Proxies {
+		byDC[p.DC()] = append(byDC[p.DC()], p)
+	}
+	for dc, ps := range byDC {
+		var claimants []ProxyNode
+		live := 0
+		for _, p := range ps {
+			if !p.Running() {
+				continue
+			}
+			live++
+			if p.IsLeader() {
+				claimants = append(claimants, p)
+			}
+		}
+		if live == 0 {
+			continue
+		}
+		v.checks++
+		// Split-brain only counts when the claimants could have talked.
+		for x := 0; x < len(claimants); x++ {
+			for y := x + 1; y < len(claimants); y++ {
+				if a.reachable(claimants[x].Host(), claimants[y].Host()) {
+					v.violate(now, "DC %d has reachable co-leader proxies %d and %d",
+						dc, claimants[x].Host(), claimants[y].Host())
+				}
+			}
+		}
+		holder, ok := f.VIP.Get(dc)
+		if !ok {
+			v.violate(now, "DC %d has %d live proxies but no VIP holder", dc, live)
+			continue
+		}
+		holderLeads := false
+		for _, p := range claimants {
+			if p.Host() == holder {
+				holderLeads = true
+			}
+		}
+		if !holderLeads {
+			v.violate(now, "DC %d's VIP points at %d, which is not a live leader proxy", dc, holder)
+		}
+	}
+}

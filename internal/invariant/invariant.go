@@ -34,19 +34,38 @@ type Options struct {
 	// LeaderGrace is how long the running set and topology must have been
 	// stable before leader uniqueness is enforced.
 	LeaderGrace time.Duration
+	// IntraDCOnly scopes the completeness check to same-data-center pairs.
+	// The federated (hierarchical+proxy) architecture deliberately does not
+	// replicate full membership across the WAN — remote availability flows
+	// through proxy summaries instead, which the federation invariants
+	// audit — so cross-DC view gaps are its contract, not a violation.
+	IntraDCOnly bool
+	// EventDriven additionally hooks every directory's mutation stream, so
+	// violations are stamped at the exact virtual time of the offending
+	// mutation instead of the next sampling tick. The periodic sampler
+	// keeps running as the fallback path (absence — a view that never
+	// re-adds a node — produces no events to hook).
+	EventDriven bool
 }
 
-// Invariant names, in report order.
+// Invariant names, in report order. The federation invariants
+// (summary-fresh, summary-truth, vip-unique) only accrue checks when a
+// Federation is attached; other schemes report them as 0/0 so every cell
+// of the chaos matrix has the same column set.
 const (
 	invCompleteness = iota
 	invNoPhantoms
 	invLeaderUnique
 	invSeqMonotone
+	invSummaryFresh
+	invSummaryTruth
+	invVIPUnique
 	numInvariants
 )
 
 var invNames = [numInvariants]string{
 	"completeness", "no-phantoms", "leader-unique", "seq-monotone",
+	"summary-fresh", "summary-truth", "vip-unique",
 }
 
 const maxExamples = 3
@@ -95,6 +114,8 @@ type Auditor struct {
 	lastEpoch   uint64
 	stopped     bool
 
+	fed *Federation
+
 	invs [numInvariants]inv
 }
 
@@ -140,6 +161,12 @@ func (a *Auditor) Start() {
 	}
 	a.stableSince = now
 	a.lastEpoch = a.top.Epoch()
+	if a.o.EventDriven {
+		for i, n := range a.nodes {
+			i := i
+			n.Directory().AddObserver(func(e membership.Event) { a.onEvent(i, e) })
+		}
+	}
 	var tick func()
 	tick = func() {
 		if a.stopped {
@@ -183,6 +210,86 @@ func (a *Auditor) sample() {
 	a.checkCompleteness(now)
 	a.checkPhantomsAndSeq(now)
 	a.checkLeaders(now)
+	a.checkFederation(now)
+}
+
+// noteRunning refreshes the ground-truth trackers for one node. It is the
+// O(1) per-node slice of sample()'s first loop, used by the event hooks so
+// an exact-timestamp check never reads stale down/up times.
+func (a *Auditor) noteRunning(i int, now time.Duration) {
+	r := a.nodes[i].Running()
+	if r == a.wasRunning[i] {
+		return
+	}
+	a.wasRunning[i] = r
+	if r {
+		a.downSince[i] = -1
+		a.upSince[i] = now
+	} else {
+		a.downSince[i] = now
+	}
+	a.stableSince = now
+}
+
+// onEvent is the event-driven audit hook: it re-runs the phantom, sequence,
+// and completeness checks for exactly the (observer, subject) pair a
+// directory mutation touched, at the mutation's own virtual timestamp.
+func (a *Auditor) onEvent(i int, e membership.Event) {
+	if a.stopped {
+		return
+	}
+	j := int(e.Node)
+	if j < 0 || j >= len(a.nodes) || j == i || !a.nodes[i].Running() {
+		return
+	}
+	now := a.eng.Now()
+	a.noteRunning(i, now)
+	a.noteRunning(j, now)
+	switch e.Type {
+	case membership.EventJoin, membership.EventUpdate:
+		dir := a.nodes[i].Directory()
+		en := dir.Get(e.Node)
+		if en == nil {
+			return
+		}
+		ph := &a.invs[invNoPhantoms]
+		ph.checks++
+		since := a.downSince[j]
+		if since >= 0 && a.upSince[i] > since {
+			since = a.upSince[i]
+		}
+		if since >= 0 && now-since > a.o.PurgeBound {
+			ph.violate(now, "node %d (re)admitted node %d, down for %v (bound %v)",
+				i, j, now-a.downSince[j], a.o.PurgeBound)
+		}
+		st := &a.lastSeen[i][j]
+		if st.seen {
+			sq := &a.invs[invSeqMonotone]
+			sq.checks++
+			in, ver, beat := en.Info.Incarnation, en.Info.Version, en.Info.Beat
+			if in < st.inc || (in == st.inc && (ver < st.ver || beat < st.beat)) {
+				sq.violate(now, "node %d's entry for %d regressed: (%d,%d,%d) -> (%d,%d,%d)",
+					i, j, st.inc, st.ver, st.beat, in, ver, beat)
+			}
+		}
+		st.seen = true
+		st.inc, st.ver, st.beat = en.Info.Incarnation, en.Info.Version, en.Info.Beat
+	case membership.EventLeave:
+		// Dropping a live, reachable peer after the settle deadline is a
+		// completeness violation the sampler would only see a tick later.
+		if now < a.o.Deadline || !a.nodes[j].Running() {
+			return
+		}
+		if a.o.IntraDCOnly && a.top.HostDC(topology.HostID(i)) != a.top.HostDC(topology.HostID(j)) {
+			return
+		}
+		if !a.reachable(topology.HostID(i), topology.HostID(j)) {
+			return
+		}
+		v := &a.invs[invCompleteness]
+		v.checks++
+		v.violate(now, "node %d dropped running reachable node %d", i, j)
+	}
 }
 
 // reachable reports whether unicast between two hosts currently works.
@@ -203,6 +310,9 @@ func (a *Auditor) checkCompleteness(now time.Duration) {
 		dir := obs.Directory()
 		for j, subj := range a.nodes {
 			if i == j || !subj.Running() {
+				continue
+			}
+			if a.o.IntraDCOnly && a.top.HostDC(topology.HostID(i)) != a.top.HostDC(topology.HostID(j)) {
 				continue
 			}
 			if !a.reachable(topology.HostID(i), topology.HostID(j)) {

@@ -63,11 +63,14 @@ func TestChaosAuditAllCleanWhenConverged(t *testing.T) {
 	fakes[3].leader = true
 	a.Start()
 	eng.Run(20 * time.Second)
+	// The federation invariants are inert without an attached Federation
+	// and legitimately report zero checks here.
+	fedOnly := map[string]bool{"summary-fresh": true, "summary-truth": true, "vip-unique": true}
 	for _, r := range a.Results() {
 		if r.Violations != 0 {
 			t.Fatalf("%s: %d violations on a clean cluster\n%s", r.Name, r.Violations, a.Report())
 		}
-		if r.Name != "leader-unique" && r.Checks == 0 {
+		if r.Name != "leader-unique" && !fedOnly[r.Name] && r.Checks == 0 {
 			t.Fatalf("%s: no checks ran", r.Name)
 		}
 	}

@@ -188,6 +188,22 @@ func (d *Directory) Owner() NodeID { return d.owner }
 // timestamp view changes). Pass nil to remove.
 func (d *Directory) SetObserver(fn func(Event)) { d.observer = fn }
 
+// AddObserver chains fn after any observer already installed, so several
+// consumers (a harness timestamping views, the invariant auditor's
+// event-driven hooks) can watch the same directory without clobbering each
+// other. Events are emitted after the mutation they describe, so fn may
+// call Get/Has on the directory.
+func (d *Directory) AddObserver(fn func(Event)) {
+	if prev := d.observer; prev != nil {
+		d.observer = func(e Event) {
+			prev(e)
+			fn(e)
+		}
+		return
+	}
+	d.observer = fn
+}
+
 func (d *Directory) emit(t EventType, n NodeID, now time.Duration) {
 	e := Event{Type: t, Node: n, Time: now}
 	d.record(e)

@@ -1,0 +1,102 @@
+package metrics
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func benchFixture() BenchJSON {
+	return BenchJSON{
+		Fig:  "chaos",
+		Seed: 42,
+		Runs: []RunReport{
+			{Key: "chaos/steady/Gossip", Wall: time.Second, PktsDelivered: 1000,
+				Invariants: []InvariantResult{{Name: "completeness", Checks: 10, First: -1}}},
+			{Key: "chaos/steady/Hierarchical", Wall: time.Second, PktsDelivered: 2000,
+				Invariants: []InvariantResult{{Name: "completeness", Checks: 10, First: -1}}},
+		},
+		Summary: SweepSummary{Runs: 2, Wall: 2 * time.Second},
+		Results: []map[string]any{
+			{"scenario": "steady", "scheme": "Gossip", "pass": true},
+			{"scenario": "steady", "scheme": "Hierarchical", "pass": true},
+		},
+	}
+}
+
+func TestCompareBenchClean(t *testing.T) {
+	b := benchFixture()
+	if regs := CompareBench(b, b, DefaultDiffOptions()); len(regs) != 0 {
+		t.Fatalf("self-compare found regressions: %v", regs)
+	}
+	if got := RenderRegressions(nil); got != "no regressions\n" {
+		t.Fatalf("empty render = %q", got)
+	}
+}
+
+func TestCompareBenchRegressions(t *testing.T) {
+	oldB := benchFixture()
+	newB := benchFixture()
+	// Packet blow-up on one run, a new invariant violation on the other, a
+	// verdict flip, a vanished run, and a wall-time explosion.
+	newB.Runs[0].PktsDelivered = 5000
+	newB.Runs[1].Invariants[0].Violations = 3
+	newB.Results = []map[string]any{
+		{"scenario": "steady", "scheme": "Gossip", "pass": true},
+		{"scenario": "steady", "scheme": "Hierarchical", "pass": false},
+	}
+	newB.Summary.Wall = 10 * time.Second
+	oldB.Runs = append(oldB.Runs, RunReport{Key: "chaos/steady/All-to-all"})
+
+	regs := CompareBench(oldB, newB, DefaultDiffOptions())
+	wants := []string{
+		"run disappeared",
+		"packets delivered 1000 -> 5000",
+		"invariant violations 0 -> 3",
+		"verdict PASS -> FAIL",
+		"total wall time 2s -> 10s",
+	}
+	if len(regs) != len(wants) {
+		t.Fatalf("got %d regressions, want %d: %v", len(regs), len(wants), regs)
+	}
+	table := RenderRegressions(regs)
+	for _, w := range wants {
+		if !strings.Contains(table, w) {
+			t.Errorf("table missing %q:\n%s", w, table)
+		}
+	}
+	// The summary row must sort last so tables stay stable.
+	if regs[len(regs)-1].Key != "summary" {
+		t.Errorf("summary finding not last: %v", regs)
+	}
+
+	// Wall gating off: the wall regression disappears.
+	o := DefaultDiffOptions()
+	o.WallFactor = 0
+	if regs := CompareBench(oldB, newB, o); len(regs) != len(wants)-1 {
+		t.Errorf("WallFactor=0 still gates wall time: %v", regs)
+	}
+}
+
+func TestReadBenchJSONRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	b := benchFixture()
+	if err := WriteBenchJSON(path, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBenchJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fig != b.Fig || len(got.Runs) != len(b.Runs) || got.Summary.Wall != b.Summary.Wall {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	// A written file self-compares clean even through the any-typed Results.
+	if regs := CompareBench(got, got, DefaultDiffOptions()); len(regs) != 0 {
+		t.Fatalf("file self-compare found regressions: %v", regs)
+	}
+	if _, err := ReadBenchJSON(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("reading a missing file succeeded")
+	}
+}

@@ -112,11 +112,12 @@ type Proxy struct {
 	rt  *service.Runtime
 	vip *VIPTable
 
-	running  bool
-	isLeader bool
-	hbTicker *sim.Ticker
-	tick     int
-	peers    map[membership.NodeID]*peerState
+	running   bool
+	isLeader  bool
+	startedAt time.Duration
+	hbTicker  *sim.Ticker
+	tick      int
+	peers     map[membership.NodeID]*peerState
 
 	summary    map[string]wire.SummaryEntry // local DC summary (as last computed)
 	summarySeq uint64
@@ -148,6 +149,47 @@ func New(cfg Config, eng *sim.Engine, ep netsim.Transport, rt *service.Runtime, 
 // ID returns the proxy's node identity.
 func (p *Proxy) ID() membership.NodeID { return p.rt.Node().ID() }
 
+// Host returns the network address the proxy daemon lives on.
+func (p *Proxy) Host() topology.HostID { return p.ep.ID() }
+
+// DC returns the data center this proxy serves.
+func (p *Proxy) DC() int { return p.cfg.DC }
+
+// Running reports whether the proxy daemon is started.
+func (p *Proxy) Running() bool { return p.running }
+
+// RemoteDCs returns the data centers this proxy exchanges summaries with.
+func (p *Proxy) RemoteDCs() []int {
+	out := make([]int, len(p.cfg.RemoteDCs))
+	copy(out, p.cfg.RemoteDCs)
+	return out
+}
+
+// RemoteAge returns how long ago a summary (full or incremental) was last
+// heard from data center dc. ok is false when nothing has been heard, or
+// when the remote state has expired past SummaryTimeout and been dropped.
+func (p *Proxy) RemoteAge(dc int) (age time.Duration, ok bool) {
+	r, have := p.remote[dc]
+	if !have || r.lastHeard == 0 {
+		return 0, false
+	}
+	return p.eng.Now() - r.lastHeard, true
+}
+
+// RemoteServiceNodes returns the believed per-service provider counts for
+// remote data center dc — the auditable core of the membership summary.
+func (p *Proxy) RemoteServiceNodes(dc int) map[string]int {
+	r, have := p.remote[dc]
+	if !have {
+		return nil
+	}
+	out := make(map[string]int, len(r.entries))
+	for svc, e := range r.entries {
+		out[svc] = int(e.Nodes)
+	}
+	return out
+}
+
 // IsLeader reports whether this proxy currently leads the local group and
 // holds the virtual IP.
 func (p *Proxy) IsLeader() bool { return p.isLeader }
@@ -169,6 +211,7 @@ func (p *Proxy) Start() {
 		return
 	}
 	p.running = true
+	p.startedAt = p.eng.Now()
 	p.rt.SetRelayHandler(p.handle)
 	p.ep.Join(p.cfg.ProxyChannel)
 	jitter := time.Duration(p.eng.Rand().Int63n(int64(p.cfg.HeartbeatInterval / 4)))
@@ -205,7 +248,10 @@ func (p *Proxy) beat() {
 			delete(p.peers, id)
 		}
 	}
-	// Election: lowest live proxy ID leads; on takeover, grab the VIP.
+	// Election: lowest live proxy ID leads. A freshly (re)started proxy
+	// must listen for a full death-detection horizon before it may claim:
+	// its peer map starts empty, and claiming on the first beat would
+	// usurp an incumbent leader it simply has not heard yet.
 	lowest := p.ID()
 	leaderVisible := false
 	for id, ps := range p.peers {
@@ -216,18 +262,22 @@ func (p *Proxy) beat() {
 			leaderVisible = true
 		}
 	}
-	wasLeader := p.isLeader
 	if p.isLeader {
 		for id, ps := range p.peers {
 			if ps.leader && id < p.ID() {
 				p.isLeader = false // a lower-ID leader is visible; abdicate
 			}
 		}
-	} else if !leaderVisible && lowest == p.ID() {
+	} else if !leaderVisible && lowest == p.ID() && now-p.startedAt >= dead {
 		p.isLeader = true
 	}
-	if p.isLeader && !wasLeader {
-		p.vip.Set(p.cfg.DC, p.ep.ID())
+	// The leader re-asserts the VIP every beat (gratuitous ARP in a real
+	// deployment): if a transient co-leader grabbed it and then abdicated,
+	// the address would otherwise stay stuck on a non-leader.
+	if p.isLeader {
+		if h, ok := p.vip.Get(p.cfg.DC); !ok || h != p.ep.ID() {
+			p.vip.Set(p.cfg.DC, p.ep.ID())
+		}
 	}
 
 	// Group heartbeat on the reserved channel (Level 255 marks the proxy

@@ -1,0 +1,5 @@
+// Package raceflag exposes whether the race detector is compiled in, so
+// heavyweight tests (the N=1000 scale scenario) can skip themselves under
+// -race instead of multiplying an already-long run by the detector's
+// overhead.
+package raceflag
