@@ -220,7 +220,10 @@ func main() {
 
 // runChaos regenerates the chaos matrix (scenario x scheme invariant
 // verdicts) and always records the verdicts in BENCH_chaos.json so the
-// robustness trajectory is machine-trackable across commits.
+// robustness trajectory is machine-trackable across commits. The matrix
+// includes the adversarial scenarios (bit-rot, one-way-wan, limping-leader,
+// replay-storm); their injected-fault and protocol-reject counters land in
+// each run's pkts_rejected / faults_injected fields.
 func runChaos(sw harness.Sweep, seed int64, log *metrics.ReportLog) error {
 	co := harness.DefaultChaosOptions()
 	co.Seed = seed

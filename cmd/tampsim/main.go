@@ -178,6 +178,10 @@ func main() {
 	st := c.Net.TotalStats()
 	fmt.Printf("packets sent=%d recv=%d dropped=%d; bytes sent=%d recv=%d\n",
 		st.PktsSent, st.PktsRecv, st.Dropped, st.BytesSent, st.BytesRecv)
+	if faults := st.FaultsInjected(); faults > 0 || st.Rejected > 0 {
+		fmt.Printf("adversarial faults injected=%d (corrupt=%d truncate=%d replay=%d stale=%d gray=%d); rejected by protocol=%d\n",
+			faults, st.Corrupted, st.Truncated, st.Replayed, st.Stale, st.GrayDelayed, st.Rejected)
+	}
 	fmt.Printf("aggregate receive bandwidth: %.1f KB/s\n",
 		float64(st.BytesRecv)/runFor.Seconds()/1024)
 

@@ -51,17 +51,29 @@ type Node struct {
 	hb      *sim.Ticker
 	tracker *sim.Ticker
 	running bool
+	// hbSeen is the highest (incarnation, beat) accepted per sender;
+	// heartbeats that fail to advance it are replays or stale deliveries and
+	// must not refresh liveness. Survives member expiry so a dead node's
+	// replayed traffic cannot resurrect it.
+	hbSeen map[membership.NodeID]hbMark
+}
+
+// hbMark is the freshness high-water mark of one sender's heartbeats.
+type hbMark struct {
+	inc  uint32
+	beat uint64
 }
 
 // NewNode creates a node bound to an endpoint.
 func NewNode(cfg Config, ep netsim.Transport) *Node {
 	id := membership.NodeID(ep.ID())
 	return &Node{
-		cfg:  cfg,
-		ep:   ep,
-		id:   id,
-		dir:  membership.NewDirectory(id),
-		info: membership.MemberInfo{Node: id},
+		cfg:    cfg,
+		ep:     ep,
+		id:     id,
+		dir:    membership.NewDirectory(id),
+		info:   membership.MemberInfo{Node: id},
+		hbSeen: make(map[membership.NodeID]hbMark),
 	}
 }
 
@@ -153,12 +165,28 @@ func (n *Node) receive(pkt netsim.Packet) {
 	}
 	msg, err := wire.Decode(pkt.Payload)
 	if err != nil {
+		n.ep.NoteReject()
 		return
 	}
 	hb, ok := msg.(*wire.Heartbeat)
 	if !ok || hb.Info.Node == n.id {
 		return
 	}
+	if hb.Info.Node < 0 {
+		n.ep.NoteReject()
+		return
+	}
+	// Freshness guard: only a heartbeat that advances the sender's
+	// (incarnation, beat) counts as evidence of life. Replayed or
+	// stale-delivered copies are counted and dropped — they may delay a
+	// refresh (liveness) but can never fake one (safety).
+	mark, marked := n.hbSeen[hb.Info.Node]
+	if marked && hb.Info.Incarnation <= mark.inc &&
+		(hb.Info.Incarnation < mark.inc || hb.Info.Beat <= mark.beat) {
+		n.ep.NoteReject()
+		return
+	}
+	n.hbSeen[hb.Info.Node] = hbMark{inc: hb.Info.Incarnation, beat: hb.Info.Beat}
 	n.dir.Upsert(hb.Info, membership.OriginDirect, 0, membership.NoNode, n.eng.Now())
 }
 

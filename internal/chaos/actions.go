@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/netsim"
+	"repro/internal/topology"
 )
 
 // Kill stops one daemon.
@@ -220,6 +221,116 @@ func (a LinkFault) check(env *Env) error {
 		return err
 	}
 	return checkProfile(a.Profile)
+}
+
+// CorruptLink bit-flips payload bytes of deliveries crossing one link (both
+// directions) with probability P — silent datalink damage that the wire
+// checksum must catch. Like LinkFault, the profile replaces any previous one
+// on the link; P=0 heals.
+type CorruptLink struct {
+	A, B string
+	P    float64
+}
+
+func (a CorruptLink) Apply(env *Env) {
+	env.trace("corrupt-link %s %s %s", a.A, a.B, ftoa(a.P))
+	env.Net.SetLinkProfile(env.device(a.A), env.device(a.B), netsim.LinkProfile{Corrupt: a.P})
+}
+func (a CorruptLink) String() string {
+	return fmt.Sprintf("corrupt-link %s %s %s", a.A, a.B, ftoa(a.P))
+}
+func (a CorruptLink) check(env *Env) error {
+	return checkLinkProb(env, a.A, a.B, "corrupt", a.P)
+}
+
+// TruncateLink cuts deliveries crossing one link short with probability P —
+// the partial-datagram regime a strict decoder must reject. P=0 heals.
+type TruncateLink struct {
+	A, B string
+	P    float64
+}
+
+func (a TruncateLink) Apply(env *Env) {
+	env.trace("truncate-link %s %s %s", a.A, a.B, ftoa(a.P))
+	env.Net.SetLinkProfile(env.device(a.A), env.device(a.B), netsim.LinkProfile{Truncate: a.P})
+}
+func (a TruncateLink) String() string {
+	return fmt.Sprintf("truncate-link %s %s %s", a.A, a.B, ftoa(a.P))
+}
+func (a TruncateLink) check(env *Env) error {
+	return checkLinkProb(env, a.A, a.B, "truncate", a.P)
+}
+
+// ReplayLink re-delivers recently delivered packets across one link with
+// probability P — byte-perfect copies that pass every checksum, so only
+// protocol-level freshness guards can reject them. P=0 heals.
+type ReplayLink struct {
+	A, B string
+	P    float64
+}
+
+func (a ReplayLink) Apply(env *Env) {
+	env.trace("replay-link %s %s %s", a.A, a.B, ftoa(a.P))
+	env.Net.SetLinkProfile(env.device(a.A), env.device(a.B), netsim.LinkProfile{Replay: a.P})
+}
+func (a ReplayLink) String() string {
+	return fmt.Sprintf("replay-link %s %s %s", a.A, a.B, ftoa(a.P))
+}
+func (a ReplayLink) check(env *Env) error {
+	return checkLinkProb(env, a.A, a.B, "replay", a.P)
+}
+
+// AsymLoss drops deliveries traversing the link only in the A→B direction —
+// the asymmetric-fault regime where A hears B but B never hears A. P=0
+// heals that direction.
+type AsymLoss struct {
+	A, B string
+	P    float64
+}
+
+func (a AsymLoss) Apply(env *Env) {
+	env.trace("asym-loss %s -> %s %s", a.A, a.B, ftoa(a.P))
+	env.Net.SetLinkProfileDir(env.device(a.A), env.device(a.B), netsim.LinkProfile{Loss: a.P})
+}
+func (a AsymLoss) String() string {
+	return fmt.Sprintf("asym-loss %s %s %s", a.A, a.B, ftoa(a.P))
+}
+func (a AsymLoss) check(env *Env) error {
+	return checkLinkProb(env, a.A, a.B, "asym-loss", a.P)
+}
+
+func checkLinkProb(env *Env, a, b, what string, p float64) error {
+	if err := checkDevice(env, a); err != nil {
+		return err
+	}
+	if err := checkDevice(env, b); err != nil {
+		return err
+	}
+	return checkProb(what, p)
+}
+
+// GrayNode puts one host into gray-failure mode: its daemon keeps running,
+// but every packet it sends or receives gains a seeded uniform [0,Lag)
+// processing delay — the limping-but-alive member that timeout tuning must
+// tolerate. Lag=0 heals.
+type GrayNode struct {
+	Node int
+	Lag  time.Duration
+}
+
+func (a GrayNode) Apply(env *Env) {
+	env.trace("gray-node %d %v", a.Node, a.Lag)
+	env.Net.Endpoint(topology.HostID(a.Node)).SetGrayLag(a.Lag)
+}
+func (a GrayNode) String() string { return fmt.Sprintf("gray-node %d %v", a.Node, a.Lag) }
+func (a GrayNode) check(env *Env) error {
+	if err := checkNode(env, a.Node); err != nil {
+		return err
+	}
+	if a.Lag < 0 {
+		return fmt.Errorf("gray-node lag %v negative", a.Lag)
+	}
+	return nil
 }
 
 // WANFault applies a LinkProfile to every WAN (inter-data-center) link —
@@ -493,7 +604,22 @@ func (a Repeat) check(env *Env) error {
 func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
 func profileStr(p netsim.LinkProfile) string {
-	return fmt.Sprintf("loss=%s jitter=%s dup=%s", ftoa(p.Loss), ftoa(p.Jitter), ftoa(p.Dup))
+	s := fmt.Sprintf("loss=%s jitter=%s dup=%s", ftoa(p.Loss), ftoa(p.Jitter), ftoa(p.Dup))
+	// The adversarial keys print only when set, keeping pre-existing specs
+	// byte-stable.
+	if p.Corrupt != 0 {
+		s += " corrupt=" + ftoa(p.Corrupt)
+	}
+	if p.Truncate != 0 {
+		s += " truncate=" + ftoa(p.Truncate)
+	}
+	if p.Replay != 0 {
+		s += " replay=" + ftoa(p.Replay)
+	}
+	if p.Stale != 0 {
+		s += " stale=" + ftoa(p.Stale)
+	}
+	return s
 }
 
 func checkProb(what string, v float64) error {
@@ -505,11 +631,17 @@ func checkProb(what string, v float64) error {
 }
 
 func checkProfile(p netsim.LinkProfile) error {
-	if err := checkProb("loss", p.Loss); err != nil {
-		return err
+	for _, f := range []struct {
+		what string
+		v    float64
+	}{
+		{"loss", p.Loss}, {"jitter", p.Jitter}, {"dup", p.Dup},
+		{"corrupt", p.Corrupt}, {"truncate", p.Truncate},
+		{"replay", p.Replay}, {"stale", p.Stale},
+	} {
+		if err := checkProb(f.what, f.v); err != nil {
+			return err
+		}
 	}
-	if err := checkProb("jitter", p.Jitter); err != nil {
-		return err
-	}
-	return checkProb("dup", p.Dup)
+	return nil
 }

@@ -158,6 +158,51 @@ func Library(groups, perGroup int) []*Scenario {
 			{At: 60 * time.Second, Act: RestartDown{}},
 		},
 	})
+	// The adversarial quartet: byte damage, asymmetric loss, gray failure,
+	// and replayed traffic. All four probe the same contract — corruption
+	// may cost liveness (slower detection, lost refreshes) but never safety
+	// (no phantom members, no sequence regressions).
+	scenarios = append(scenarios,
+		&Scenario{
+			Name:        "bit-rot",
+			Description: "group 1's uplink flips bits and truncates packets for 40s, then heals",
+			Expect:      "checksum and strict decoding drop every damaged packet; no phantom members or regressed sequences, views re-converge after heal",
+			Steps: []Step{
+				{At: 20 * time.Second, Act: LinkFault{A: "sw1", B: "core",
+					Profile: netsim.LinkProfile{Corrupt: 0.3, Truncate: 0.15}}},
+				{At: 60 * time.Second, Act: LinkFault{A: "sw1", B: "core"}},
+			},
+		},
+		&Scenario{
+			Name:        "one-way-wan",
+			Description: "the WAN drops 90% of DC0→DC1 traffic while DC1→DC0 stays clean, then heals",
+			Expect:      "DC1's view of DC0 expires while DC0 keeps hearing DC1; both directions re-converge after heal",
+			MultiDC:     true,
+			Steps: []Step{
+				{At: 20 * time.Second, Act: AsymLoss{A: "dc0-core", B: "dc1-core", P: 0.9}},
+				{At: 60 * time.Second, Act: AsymLoss{A: "dc0-core", B: "dc1-core", P: 0}},
+			},
+		},
+		&Scenario{
+			Name:        "limping-leader",
+			Description: "node 0 (the root leader) limps: up to 2s of seeded processing lag on everything it sends or receives, healing later",
+			Expect:      "the laggard stays a member (no false death below the detection bound) and the cluster keeps converged views",
+			Steps: []Step{
+				{At: 20 * time.Second, Act: GrayNode{Node: 0, Lag: 2 * time.Second}},
+				{At: 60 * time.Second, Act: GrayNode{Node: 0}},
+			},
+		},
+		&Scenario{
+			Name:        "replay-storm",
+			Description: "group 1's uplink replays half of recent traffic and re-delivers stale copies for 40s",
+			Expect:      "freshness guards reject every replayed beat; no resurrected members or regressed sequences",
+			Steps: []Step{
+				{At: 20 * time.Second, Act: LinkFault{A: "sw1", B: "core",
+					Profile: netsim.LinkProfile{Replay: 0.5, Stale: 0.25}}},
+				{At: 60 * time.Second, Act: LinkFault{A: "sw1", B: "core"}},
+			},
+		},
+	)
 	return scenarios
 }
 

@@ -27,8 +27,11 @@ import (
 //	fail-link A B | repair-link A B
 //	loss P | jitter F | dup P
 //	loss-ramp FROM TO OVER STEPS
-//	link-fault A B [loss=P] [jitter=F] [dup=P]
-//	wan-fault [loss=P] [jitter=F] [dup=P]
+//	link-fault A B [loss=P] [jitter=F] [dup=P] [corrupt=P] [truncate=P] [replay=P] [stale=P]
+//	wan-fault [loss=P] [jitter=F] [dup=P] [corrupt=P] [truncate=P] [replay=P] [stale=P]
+//	corrupt-link A B P | truncate-link A B P | replay-link A B P
+//	asym-loss A B P               # drops only the A→B direction
+//	gray-node N LAG               # seeded processing lag; LAG=0 heals
 //	flap N down=D up=D [count=K]
 //	kill-proxy-leader DC | restart-down | fail-wan | repair-wan
 //
@@ -281,6 +284,31 @@ func parseAction(verb string, args []string) (Action, error) {
 			return nil, err
 		}
 		return WANFault{Profile: p}, nil
+	case "corrupt-link":
+		a, b, p, err := linkProb(verb, args)
+		return CorruptLink{A: a, B: b, P: p}, err
+	case "truncate-link":
+		a, b, p, err := linkProb(verb, args)
+		return TruncateLink{A: a, B: b, P: p}, err
+	case "replay-link":
+		a, b, p, err := linkProb(verb, args)
+		return ReplayLink{A: a, B: b, P: p}, err
+	case "asym-loss":
+		a, b, p, err := linkProb(verb, args)
+		return AsymLoss{A: a, B: b, P: p}, err
+	case "gray-node":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("gray-node wants N LAG, got %d args", len(args))
+		}
+		n, err := nonNegInt("gray-node node", args[0])
+		if err != nil {
+			return nil, err
+		}
+		lag, err := time.ParseDuration(args[1])
+		if err != nil || lag < 0 {
+			return nil, fmt.Errorf("gray-node lag %q must be a non-negative duration", args[1])
+		}
+		return GrayNode{Node: n, Lag: lag}, nil
 	case "kill-proxy-leader":
 		dc, err := oneInt(verb, args)
 		return KillProxyLeader{DC: dc}, err
@@ -359,6 +387,14 @@ func parseProfile(args []string) (netsim.LinkProfile, error) {
 			p.Jitter = f
 		case "dup":
 			p.Dup = f
+		case "corrupt":
+			p.Corrupt = f
+		case "truncate":
+			p.Truncate = f
+		case "replay":
+			p.Replay = f
+		case "stale":
+			p.Stale = f
 		default:
 			return p, fmt.Errorf("unknown profile key %q", k)
 		}
@@ -375,6 +411,15 @@ func prob(what, s string) (float64, error) {
 		return 0, err
 	}
 	return v, nil
+}
+
+// linkProb parses the shared "VERB A B P" shape of the per-link fault verbs.
+func linkProb(verb string, args []string) (string, string, float64, error) {
+	if len(args) != 3 {
+		return "", "", 0, fmt.Errorf("%s wants A B P, got %d args", verb, len(args))
+	}
+	p, err := prob(verb, args[2])
+	return args[0], args[1], p, err
 }
 
 func oneProb(verb string, args []string) (float64, error) {

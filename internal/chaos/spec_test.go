@@ -36,13 +36,32 @@ multidc
 @37s restart-down
 @38s fail-wan
 @39s repair-wan
+@40s corrupt-link sw1 core 0.3
+@41s truncate-link sw1 core 0.2
+@42s replay-link sw1 core 0.5
+@43s asym-loss swA core 0.9
+@44s gray-node 3 1.5s
+@45s link-fault sw1 core corrupt=0.1 truncate=0.2 replay=0.3 stale=0.4
 `
 	s, err := ParseSpec(text)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s.Name != "everything" || !s.MultiDC || len(s.Steps) != 20 {
+	if s.Name != "everything" || !s.MultiDC || len(s.Steps) != 26 {
 		t.Fatalf("parse: name=%q multidc=%v steps=%d", s.Name, s.MultiDC, len(s.Steps))
+	}
+	if got := s.Steps[20].Act.(CorruptLink); got != (CorruptLink{A: "sw1", B: "core", P: 0.3}) {
+		t.Fatalf("corrupt-link parsed as %+v", got)
+	}
+	if got := s.Steps[23].Act.(AsymLoss); got != (AsymLoss{A: "swA", B: "core", P: 0.9}) {
+		t.Fatalf("asym-loss parsed as %+v", got)
+	}
+	if got := s.Steps[24].Act.(GrayNode); got != (GrayNode{Node: 3, Lag: 1500 * time.Millisecond}) {
+		t.Fatalf("gray-node parsed as %+v", got)
+	}
+	if lf := s.Steps[25].Act.(LinkFault); lf.Profile.Corrupt != 0.1 || lf.Profile.Truncate != 0.2 ||
+		lf.Profile.Replay != 0.3 || lf.Profile.Stale != 0.4 {
+		t.Fatalf("adversarial link-fault parsed as %+v", lf)
 	}
 	if got := s.Steps[16].Act.(KillProxyLeader); got.DC != 1 {
 		t.Fatalf("kill-proxy-leader parsed as %+v", got)
@@ -84,6 +103,17 @@ func TestParseSpecErrors(t *testing.T) {
 		"@20s flap 1 down=0s up=2s",
 		"@20s flap 1 down=2s",
 		"@20s wan-fault loss=1.5",
+		"@20s corrupt-link sw1 core",
+		"@20s corrupt-link sw1 core 1.5",
+		"@20s truncate-link sw1 core NaN",
+		"@20s replay-link sw1",
+		"@20s asym-loss sw1 core -0.1",
+		"@20s gray-node 1",
+		"@20s gray-node -1 2s",
+		"@20s gray-node 1 -2s",
+		"@20s gray-node 1 bogus",
+		"@20s link-fault sw1 core corrupt=2",
+		"@20s wan-fault stale=-1",
 		"@20s nonsense 1",
 		"@20s",
 		"bogus directive",

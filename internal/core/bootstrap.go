@@ -82,6 +82,13 @@ func (n *Node) onDirectoryMsg(level int, m *wire.DirectoryMsg) {
 		if info.Node == n.id {
 			continue
 		}
+		if info.Node < 0 {
+			// An impossible identity cannot be a member; dropping the entry
+			// (rather than the whole snapshot) keeps the merge useful.
+			n.stats.PacketsRejected++
+			n.ep.NoteReject()
+			continue
+		}
 		if n.dir.TombstoneActive(info, now) {
 			// The publisher still believes in a node we removed; send a
 			// targeted correction so its stale entry does not linger.

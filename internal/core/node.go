@@ -67,6 +67,20 @@ type Node struct {
 	// triggering information arrived on, and a global sequence would make
 	// those skips look like losses.
 	peerSeq map[peerKey]uint64
+	// hbSeen tracks the highest (incarnation, heartbeat sequence) accepted
+	// per (sender, level). A replayed or stale-delivered heartbeat carries a
+	// sequence we already accepted, and without this guard it would refresh
+	// lastHeard — or resurrect an expired member — with old evidence. The
+	// map deliberately survives member expiry so replays of a dead node's
+	// traffic cannot bring it back.
+	hbSeen map[peerKey]hbMark
+}
+
+// hbMark is the freshness high-water mark of one sender's heartbeat stream
+// on one channel.
+type hbMark struct {
+	inc uint32
+	seq uint64
 }
 
 // peerKey identifies one sender's update stream on one channel.
@@ -92,6 +106,7 @@ func NewNode(cfg Config, ep netsim.Transport) *Node {
 		info:    membership.MemberInfo{Node: id},
 		seen:    make(map[wire.UpdateID]bool),
 		peerSeq: make(map[peerKey]uint64),
+		hbSeen:  make(map[peerKey]hbMark),
 		outSeq:  make([]uint64, cfg.MaxTTL),
 	}
 	n.levels = make([]*levelState, cfg.MaxTTL)
@@ -462,7 +477,10 @@ func (n *Node) receive(pkt netsim.Packet) {
 	}
 	msg, err := wire.Decode(pkt.Payload)
 	if err != nil {
-		return // UDP: corrupt packets are dropped silently
+		// UDP: corrupt packets are dropped, but the drop is observable.
+		n.stats.PacketsRejected++
+		n.ep.NoteReject()
+		return
 	}
 	level := -1
 	if pkt.Multicast() {
@@ -493,6 +511,26 @@ func (n *Node) onHeartbeat(level int, hb *wire.Heartbeat) {
 	if from == n.id {
 		return
 	}
+	if from < 0 {
+		n.stats.PacketsRejected++
+		n.ep.NoteReject()
+		return
+	}
+	// Freshness guard: a heartbeat is only evidence of life if its
+	// (incarnation, sequence) advances past everything already accepted from
+	// this sender on this channel. Replayed, duplicated, or stale-delivered
+	// copies fail the test and are dropped before they can touch lastHeard
+	// or the directory — old packets may cost liveness (a dropped refresh)
+	// but can never fake it.
+	hk := peerKey{id: from, level: int8(level)}
+	mark, marked := n.hbSeen[hk]
+	if marked && hb.Info.Incarnation <= mark.inc &&
+		(hb.Info.Incarnation < mark.inc || hb.Seq <= mark.seq) {
+		n.stats.PacketsRejected++
+		n.ep.NoteReject()
+		return
+	}
+	n.hbSeen[hk] = hbMark{inc: hb.Info.Incarnation, seq: hb.Seq}
 	lv := n.levels[level]
 	n.stats.HeartbeatsReceived++
 	now := n.eng.Now()

@@ -31,6 +31,11 @@ type Stats struct {
 	// RelayedPurged counts entries removed by the timeout protocol
 	// (relayer death cascade or stale liveness evidence).
 	RelayedPurged uint64
+	// PacketsRejected counts received packets discarded by the hardening
+	// layer: undecodable bytes, senders with impossible identities, and
+	// heartbeats whose (incarnation, sequence) did not advance — i.e.
+	// replayed, duplicated, or stale-delivered traffic.
+	PacketsRejected uint64
 }
 
 // Stats returns a copy of the node's counters.

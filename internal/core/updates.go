@@ -114,6 +114,13 @@ func (n *Node) applyUpdate(u wire.Update, level int, relayer membership.NodeID) 
 			}
 		}
 	case wire.UJoin, wire.UChange:
+		if u.Subject < 0 || u.Info.Node != u.Subject {
+			// Internally inconsistent update: the carried info does not
+			// describe the subject. Count it and refuse to relay it.
+			n.stats.PacketsRejected++
+			n.ep.NoteReject()
+			return
+		}
 		if u.Subject != n.id {
 			n.dir.Upsert(u.Info, membership.OriginRelayed, lvl, relayer, now)
 		}

@@ -252,6 +252,7 @@ func (n *Node) receive(pkt netsim.Packet) {
 	}
 	msg, err := wire.Decode(pkt.Payload)
 	if err != nil {
+		n.ep.NoteReject()
 		return
 	}
 	g, ok := msg.(*wire.Gossip)
@@ -261,6 +262,11 @@ func (n *Node) receive(pkt netsim.Packet) {
 	now := n.eng.Now()
 	for _, e := range g.Entries {
 		if e.Info.Node == n.id {
+			continue
+		}
+		if e.Info.Node < 0 {
+			// Impossible identity; drop the entry, keep the rest of the view.
+			n.ep.NoteReject()
 			continue
 		}
 		// Upsert refreshes only when the counter advances, which is

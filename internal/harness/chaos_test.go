@@ -14,7 +14,11 @@ import (
 func TestChaosDeterminism(t *testing.T) {
 	run := func(workers int) string {
 		o := DefaultChaosOptions()
-		o.Scenarios = []string{"kill-restart", "partition-heal", "flapping", "switch-outage", "proxy-failover"}
+		// bit-rot and one-way-wan are here to pin the adversarial fault
+		// layer's determinism: byte-level corruption draws and directional
+		// profiles must replay identically at any worker count.
+		o.Scenarios = []string{"kill-restart", "partition-heal", "flapping", "switch-outage",
+			"proxy-failover", "bit-rot", "one-way-wan"}
 		o.Sweep = Sweep{Workers: workers}
 		return RenderChaosMatrix(ChaosMatrix(o))
 	}
@@ -27,8 +31,39 @@ func TestChaosDeterminism(t *testing.T) {
 		t.Fatalf("chaos matrix differs between two serial invocations:\n--- first ---\n%s--- second ---\n%s", serial, again)
 	}
 	if !strings.Contains(serial, "kill-restart") || !strings.Contains(serial, "hierarchical+proxy") ||
-		strings.Count(serial, "\n") != 2+5*len(ChaosSchemes) {
+		strings.Count(serial, "\n") != 2+7*len(ChaosSchemes) {
 		t.Fatalf("unexpected matrix shape:\n%s", serial)
+	}
+}
+
+// TestChaosAdversarialSafety pins the hardening contract on the adversarial
+// scenarios: corrupted, truncated, replayed, or gray-delayed traffic may
+// cost liveness (completeness can flicker while a fault is active), but the
+// safety invariants — no phantom members, no sequence regressions, unique
+// leadership — must hold for every scheme with zero violations.
+func TestChaosAdversarialSafety(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full adversarial matrix is long")
+	}
+	o := DefaultChaosOptions()
+	o.Scenarios = []string{"bit-rot", "one-way-wan", "limping-leader", "replay-storm"}
+	for _, r := range ChaosMatrix(o) {
+		checked := false
+		for _, inv := range r.Invariants {
+			switch inv.Name {
+			case "no-phantoms", "seq-monotone", "leader-unique":
+				if inv.Violations != 0 {
+					t.Errorf("%s/%s: safety invariant %s violated %d times (first at %v)",
+						r.Scenario, r.Scheme, inv.Name, inv.Violations, inv.First)
+				}
+				if inv.Checks > 0 {
+					checked = true
+				}
+			}
+		}
+		if !checked {
+			t.Errorf("%s/%s: no safety checks performed", r.Scenario, r.Scheme)
+		}
 	}
 }
 

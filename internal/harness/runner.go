@@ -164,6 +164,8 @@ func observe[N hasDirectory](eng *sim.Engine, net *netsim.Network, nodes []N) me
 		PktsDelivered:  st.PktsRecv,
 		PktsDropped:    st.Dropped,
 		BytesDelivered: st.BytesRecv,
+		PktsRejected:   st.Rejected,
+		FaultsInjected: st.FaultsInjected(),
 	}
 	for _, n := range nodes {
 		if l := n.Directory().Len(); l > r.PeakDirSize {

@@ -28,6 +28,14 @@ type RunReport struct {
 	PktsDropped    uint64 `json:"pkts_dropped"`
 	BytesDelivered uint64 `json:"bytes_delivered"`
 
+	// PktsRejected counts delivered packets the protocol layer refused —
+	// undecodable bytes, checksum failures, replayed or stale traffic —
+	// and FaultsInjected counts the adversarial mutations (corruption,
+	// truncation, replay, stale re-delivery, gray lag) the network applied.
+	// Both are zero outside adversarial scenarios.
+	PktsRejected   uint64 `json:"pkts_rejected,omitempty"`
+	FaultsInjected uint64 `json:"faults_injected,omitempty"`
+
 	// PeakDirSize is the largest membership directory held by any node at
 	// the end of the run — a direct check that views actually converged to
 	// cluster size.
@@ -60,6 +68,9 @@ func (r RunReport) String() string {
 	s := fmt.Sprintf("run %-34s seed=%-12d wall=%-10v virt=%-8v events=%-9d pkts=%d(+%d dropped) dir=%d",
 		r.Key, r.Seed, r.Wall.Round(time.Microsecond), r.Virtual, r.Events,
 		r.PktsDelivered, r.PktsDropped, r.PeakDirSize)
+	if r.PktsRejected > 0 || r.FaultsInjected > 0 {
+		s += fmt.Sprintf(" rejected=%d faults=%d", r.PktsRejected, r.FaultsInjected)
+	}
 	if len(r.Invariants) > 0 {
 		s += fmt.Sprintf(" violations=%d", r.TotalViolations())
 	}

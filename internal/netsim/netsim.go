@@ -62,6 +62,10 @@ type Transport interface {
 	// host and reports reachability (false on a known partition).
 	Multicast(ch ChannelID, ttl int, payload []byte)
 	Unicast(dst topology.HostID, payload []byte) bool
+	// NoteReject records that the protocol layer discarded a received
+	// packet as malformed, stale, or replayed; the count surfaces in the
+	// transport's stats so harness reports can attribute drops.
+	NoteReject()
 }
 
 var _ Transport = (*Endpoint)(nil)
@@ -75,6 +79,17 @@ type Stats struct {
 	MulticastCopies uint64
 	// Dropped counts deliveries suppressed by the loss model.
 	Dropped uint64
+	// Corrupted/Truncated/Replayed/Stale count adversarial byte-fault
+	// injections performed on deliveries to this endpoint; GrayDelayed
+	// counts deliveries slowed by a gray-failed endpoint at either end.
+	Corrupted   uint64
+	Truncated   uint64
+	Replayed    uint64
+	Stale       uint64
+	GrayDelayed uint64
+	// Rejected counts packets the protocol layer discarded as malformed,
+	// stale, or replayed (see Transport.NoteReject).
+	Rejected uint64
 }
 
 func (s *Stats) add(o Stats) {
@@ -84,28 +99,61 @@ func (s *Stats) add(o Stats) {
 	s.BytesRecv += o.BytesRecv
 	s.MulticastCopies += o.MulticastCopies
 	s.Dropped += o.Dropped
+	s.Corrupted += o.Corrupted
+	s.Truncated += o.Truncated
+	s.Replayed += o.Replayed
+	s.Stale += o.Stale
+	s.GrayDelayed += o.GrayDelayed
+	s.Rejected += o.Rejected
+}
+
+// FaultsInjected totals the adversarial fault injections in s.
+func (s Stats) FaultsInjected() uint64 {
+	return s.Corrupted + s.Truncated + s.Replayed + s.Stale + s.GrayDelayed
 }
 
 // LinkProfile overrides the degradation model for one physical link: any
 // delivery whose path crosses the link suffers the profile's loss,
 // duplication, and jitter in addition to the network-wide defaults. Loss
 // and duplication compose as independent events; jitter takes the maximum.
+//
+// The last four fields are the adversarial byte-fault dimension: instead
+// of dropping or delaying whole packets, they hand the receiver damaged or
+// duplicated-with-history input. Corruption flips a few random bits,
+// truncation cuts the datagram short, replay follows a delivery with a
+// copy of another recently delivered packet, and stale re-delivers the
+// same packet again after a bounded extra delay. All draws come from the
+// engine's seeded RNG, so runs stay byte-identical at any worker count.
 type LinkProfile struct {
 	Loss   float64 // additional drop probability in [0, 1)
 	Jitter float64 // relative latency jitter in [0, 1); max with the global
 	Dup    float64 // additional duplication probability in [0, 1)
+
+	Corrupt  float64 // bit-flip probability per delivery in [0, 1)
+	Truncate float64 // truncation probability per delivery in [0, 1)
+	Replay   float64 // recent-packet replay probability per delivery in [0, 1)
+	Stale    float64 // bounded stale re-delivery probability in [0, 1)
+}
+
+// adversarial reports whether the profile injects byte-level faults (as
+// opposed to only dropping/delaying whole packets).
+func (p LinkProfile) adversarial() bool {
+	return p.Corrupt > 0 || p.Truncate > 0 || p.Replay > 0 || p.Stale > 0
 }
 
 func (p LinkProfile) validate() {
-	if p.Loss < 0 || p.Loss >= 1 {
-		panic(fmt.Sprintf("netsim: link loss %v out of [0,1)", p.Loss))
+	check := func(v float64, what string) {
+		if v < 0 || v >= 1 {
+			panic(fmt.Sprintf("netsim: link %s %v out of [0,1)", what, v))
+		}
 	}
-	if p.Jitter < 0 || p.Jitter >= 1 {
-		panic(fmt.Sprintf("netsim: link jitter %v out of [0,1)", p.Jitter))
-	}
-	if p.Dup < 0 || p.Dup >= 1 {
-		panic(fmt.Sprintf("netsim: link duplicate probability %v out of [0,1)", p.Dup))
-	}
+	check(p.Loss, "loss")
+	check(p.Jitter, "jitter")
+	check(p.Dup, "duplicate probability")
+	check(p.Corrupt, "corrupt probability")
+	check(p.Truncate, "truncate probability")
+	check(p.Replay, "replay probability")
+	check(p.Stale, "stale probability")
 }
 
 // Network is the simulated datagram fabric.
@@ -118,8 +166,14 @@ type Network struct {
 	dup    float64 // per-delivery duplication probability
 
 	// profiles holds per-link overrides, indexed by the topology mark bit
-	// assigned to each overridden link (see Topology.MarkLink).
+	// assigned to each overridden link (see Topology.MarkLink and
+	// Topology.MarkLinkDir).
 	profiles []LinkProfile
+
+	// hasFaults caches whether any installed profile injects byte-level
+	// faults; when false, deliveries skip every adversarial code path (and
+	// its RNG draws), keeping pre-existing scenarios byte-identical.
+	hasFaults bool
 
 	wanBytes uint64 // bytes that crossed data centers (unicast only)
 }
@@ -181,11 +235,31 @@ func (n *Network) SetDuplicateProbability(p float64) {
 // override; a zero profile restores the global defaults for that link.
 func (n *Network) SetLinkProfile(a, b topology.DeviceID, p LinkProfile) {
 	p.validate()
-	bit := n.top.MarkLink(a, b)
+	n.installProfile(n.top.MarkLink(a, b), p)
+}
+
+// SetLinkProfileDir overrides the degradation model for the a→b direction
+// of a link only: deliveries routed from a towards b suffer the profile
+// while the reverse direction keeps its own settings — the asymmetric
+// ("one-way") link faults that destabilize heartbeat protocols. The same
+// replace/heal semantics as SetLinkProfile apply per direction.
+func (n *Network) SetLinkProfileDir(a, b topology.DeviceID, p LinkProfile) {
+	p.validate()
+	n.installProfile(n.top.MarkLinkDir(a, b), p)
+}
+
+func (n *Network) installProfile(bit int, p LinkProfile) {
 	for len(n.profiles) <= bit {
 		n.profiles = append(n.profiles, LinkProfile{})
 	}
 	n.profiles[bit] = p
+	n.hasFaults = false
+	for _, q := range n.profiles {
+		if q.adversarial() {
+			n.hasFaults = true
+			break
+		}
+	}
 }
 
 // compose folds the profiles of every marked link on a delivery path over
@@ -206,6 +280,33 @@ func (n *Network) compose(marks uint64) (loss, jitter, dup float64) {
 		}
 	}
 	return loss, jitter, dup
+}
+
+// faults is the composed byte-fault probability vector for one delivery.
+type faults struct {
+	corrupt, truncate, replay, stale float64
+}
+
+func (f faults) any() bool {
+	return f.corrupt > 0 || f.truncate > 0 || f.replay > 0 || f.stale > 0
+}
+
+// composeFaults folds the byte-fault probabilities of every marked link on
+// a delivery path; like loss/dup they compose as independent events. There
+// are no network-wide byte-fault defaults — damage is always per-link.
+func (n *Network) composeFaults(marks uint64) (f faults) {
+	for m := marks; m != 0; m &= m - 1 {
+		bit := bits.TrailingZeros64(m)
+		if bit >= len(n.profiles) {
+			continue
+		}
+		p := n.profiles[bit]
+		f.corrupt = 1 - (1-f.corrupt)*(1-p.Corrupt)
+		f.truncate = 1 - (1-f.truncate)*(1-p.Truncate)
+		f.replay = 1 - (1-f.replay)*(1-p.Replay)
+		f.stale = 1 - (1-f.stale)*(1-p.Stale)
+	}
+	return f
 }
 
 // Endpoint returns the endpoint of host h.
@@ -233,6 +334,26 @@ func (n *Network) ResetStats() {
 	n.wanBytes = 0
 }
 
+// replayRingSize bounds how many recently delivered packets an endpoint
+// remembers for replay injection; replayRecency bounds how old a remembered
+// packet may be before it is no longer replayed, and staleDelayMax bounds
+// how late a stale re-delivery may arrive. Both time bounds sit well under
+// the protocols' tombstone TTLs, so a replayed or stale datagram is always
+// one the hardened receive paths must reject by sequence state, not one so
+// ancient that garbage collection already forgot the victim.
+const (
+	replayRingSize = 8
+	replayRecency  = 2 * time.Second
+	staleDelayMax  = 2 * time.Second
+)
+
+// recentPkt is one replay-ring entry: a packet exactly as it was handed to
+// the handler, plus its delivery time.
+type recentPkt struct {
+	pkt Packet
+	at  time.Duration
+}
+
 // Endpoint is one host's attachment to the network.
 type Endpoint struct {
 	net     *Network
@@ -244,6 +365,15 @@ type Endpoint struct {
 	// filter, when set, can veto delivery of a packet to this endpoint;
 	// used by tests to inject targeted losses.
 	filter func(pkt Packet) bool
+	// grayLag, when positive, adds a seeded uniform [0, grayLag) processing
+	// delay to every send from and delivery to this endpoint: the host is
+	// alive but limping (a gray failure), without ever going down.
+	grayLag time.Duration
+	// recent is the replay ring, recorded only while adversarial profiles
+	// are installed somewhere on the network.
+	recent     [replayRingSize]recentPkt
+	recentUsed int
+	recentNext int
 }
 
 // ID returns the host ID.
@@ -260,6 +390,27 @@ func (ep *Endpoint) HasHandler() bool { return ep.handler != nil }
 
 // SetFilter installs a delivery veto; a false return drops the packet.
 func (ep *Endpoint) SetFilter(f func(pkt Packet) bool) { ep.filter = f }
+
+// SetGrayLag puts the endpoint into (or out of, with 0) gray-failure mode:
+// every packet it sends or receives is delayed by an independent seeded
+// uniform draw from [0, max). The daemon stays up and keeps answering —
+// just late, which is exactly the failure mode timeout-based detectors
+// struggle to classify.
+func (ep *Endpoint) SetGrayLag(max time.Duration) {
+	if max < 0 {
+		panic(fmt.Sprintf("netsim: negative gray lag %v", max))
+	}
+	ep.grayLag = max
+}
+
+// GrayLag returns the endpoint's current gray-failure lag bound (0 when
+// healthy).
+func (ep *Endpoint) GrayLag() time.Duration { return ep.grayLag }
+
+// NoteReject counts a protocol-layer discard of a received packet
+// (malformed bytes, stale sequence, replayed datagram). Implements
+// Transport.
+func (ep *Endpoint) NoteReject() { ep.stats.Rejected++ }
 
 // SetUp marks the endpoint up or down. A down endpoint neither sends nor
 // receives; this models killing the membership daemon.
@@ -302,9 +453,13 @@ func (ep *Endpoint) Multicast(ch ChannelID, ttl int, payload []byte) {
 
 // Unicast sends payload to a specific host. Returns false if the
 // destination is unreachable (network partition) — like UDP, an unreachable
-// destination is otherwise silent.
+// destination is otherwise silent. An out-of-range destination (e.g. a host
+// ID taken from a corrupted packet) is unreachable, not a panic.
 func (ep *Endpoint) Unicast(dst topology.HostID, payload []byte) bool {
 	if !ep.up {
+		return false
+	}
+	if int(dst) < 0 || int(dst) >= len(ep.net.eps) {
 		return false
 	}
 	pkt := Packet{Src: ep.id, Dst: dst, Payload: payload}
@@ -327,19 +482,34 @@ func (ep *Endpoint) deliver(dst *Endpoint, pkt Packet, latency time.Duration, ma
 	if marks != 0 {
 		loss, jitter, dup = n.compose(marks)
 	}
+	var fl faults
+	if marks != 0 && n.hasFaults {
+		fl = n.composeFaults(marks)
+	}
 	if dup > 0 && n.eng.Rand().Float64() < dup {
 		// The duplicate takes its own (jittered) path.
 		extra := latency + time.Duration(n.eng.Rand().Int63n(int64(time.Millisecond)))
-		ep.deliverOnce(dst, pkt, extra, loss, jitter)
+		ep.deliverOnce(dst, pkt, extra, loss, jitter, fl)
 	}
-	ep.deliverOnce(dst, pkt, latency, loss, jitter)
+	ep.deliverOnce(dst, pkt, latency, loss, jitter, fl)
 }
 
-func (ep *Endpoint) deliverOnce(dst *Endpoint, pkt Packet, latency time.Duration, loss, jitter float64) {
+func (ep *Endpoint) deliverOnce(dst *Endpoint, pkt Packet, latency time.Duration, loss, jitter float64, fl faults) {
 	n := ep.net
 	if jitter > 0 && latency > 0 {
 		f := 1 + jitter*(2*n.eng.Rand().Float64()-1)
 		latency = time.Duration(float64(latency) * f)
+	}
+	// Gray-failure lag: a limping sender emits late, a limping receiver
+	// processes late. Drawn at send time (like jitter), and only when a
+	// lag is configured, so healthy runs consume no extra randomness.
+	if ep.grayLag > 0 {
+		latency += time.Duration(n.eng.Rand().Int63n(int64(ep.grayLag)))
+		ep.stats.GrayDelayed++
+	}
+	if dst.grayLag > 0 {
+		latency += time.Duration(n.eng.Rand().Int63n(int64(dst.grayLag)))
+		dst.stats.GrayDelayed++
 	}
 	n.eng.Schedule(latency, func() {
 		if !dst.up {
@@ -351,7 +521,11 @@ func (ep *Endpoint) deliverOnce(dst *Endpoint, pkt Packet, latency time.Duration
 		}
 		// Loss is drawn at delivery time, dup/jitter at send time; this
 		// draw order is part of the deterministic-replay contract and
-		// must not change (documented sweep outputs depend on it).
+		// must not change (documented sweep outputs depend on it). The
+		// byte-fault draws below likewise happen at delivery time, in the
+		// fixed order corrupt → truncate → (handler) → replay → stale —
+		// and only when the composed probability is nonzero, so scenarios
+		// without adversarial profiles replay bit-identically.
 		if loss > 0 && n.eng.Rand().Float64() < loss {
 			dst.stats.Dropped++
 			return
@@ -360,13 +534,92 @@ func (ep *Endpoint) deliverOnce(dst *Endpoint, pkt Packet, latency time.Duration
 			dst.stats.Dropped++
 			return
 		}
-		dst.stats.PktsRecv++
-		dst.stats.BytesRecv += uint64(pkt.WireSize())
-		if pkt.Multicast() {
-			dst.stats.MulticastCopies++
+		if fl.corrupt > 0 && n.eng.Rand().Float64() < fl.corrupt {
+			pkt.Payload = corruptBytes(n.eng, pkt.Payload)
+			dst.stats.Corrupted++
 		}
-		if dst.handler != nil {
-			dst.handler(pkt)
+		if fl.truncate > 0 && n.eng.Rand().Float64() < fl.truncate {
+			// Keep a strict prefix; zero-length datagrams are legal UDP.
+			pkt.Payload = pkt.Payload[:n.eng.Rand().Intn(len(pkt.Payload)+1)]
+			dst.stats.Truncated++
+		}
+		dst.receive(pkt)
+		if n.hasFaults {
+			dst.recordRecent(pkt, n.eng.Now())
+		}
+		if fl.replay > 0 && n.eng.Rand().Float64() < fl.replay {
+			if old, ok := dst.pickRecent(n.eng.Now(), n.eng); ok {
+				dst.stats.Replayed++
+				dst.receive(old)
+			}
+		}
+		if fl.stale > 0 && n.eng.Rand().Float64() < fl.stale {
+			extra := time.Duration(1 + n.eng.Rand().Int63n(int64(staleDelayMax)))
+			n.eng.Schedule(extra, func() {
+				if !dst.up {
+					return
+				}
+				if pkt.Multicast() && !dst.subs[pkt.Channel] {
+					return
+				}
+				dst.stats.Stale++
+				dst.receive(pkt)
+			})
 		}
 	})
+}
+
+// receive accounts and hands one packet (original, replayed, or stale) to
+// the handler.
+func (ep *Endpoint) receive(pkt Packet) {
+	ep.stats.PktsRecv++
+	ep.stats.BytesRecv += uint64(pkt.WireSize())
+	if pkt.Multicast() {
+		ep.stats.MulticastCopies++
+	}
+	if ep.handler != nil {
+		ep.handler(pkt)
+	}
+}
+
+// recordRecent remembers a delivered packet for replay injection. Replayed
+// and stale copies are themselves never recorded (they arrive via receive
+// directly), so replay cannot feed on its own output.
+func (ep *Endpoint) recordRecent(pkt Packet, at time.Duration) {
+	ep.recent[ep.recentNext] = recentPkt{pkt: pkt, at: at}
+	ep.recentNext = (ep.recentNext + 1) % replayRingSize
+	if ep.recentUsed < replayRingSize {
+		ep.recentUsed++
+	}
+}
+
+// pickRecent selects, via the seeded RNG, one remembered packet delivered
+// within the recency bound. Iteration order over the ring is fixed, so the
+// choice is deterministic.
+func (ep *Endpoint) pickRecent(now time.Duration, eng *sim.Engine) (Packet, bool) {
+	cand := make([]int, 0, replayRingSize)
+	for i := 0; i < ep.recentUsed; i++ {
+		if now-ep.recent[i].at <= replayRecency {
+			cand = append(cand, i)
+		}
+	}
+	if len(cand) == 0 {
+		return Packet{}, false
+	}
+	return ep.recent[cand[eng.Rand().Intn(len(cand))]].pkt, true
+}
+
+// corruptBytes returns a copy of b with one to four random bits flipped
+// (the original backing array may be shared with other deliveries and must
+// not be damaged in place).
+func corruptBytes(eng *sim.Engine, b []byte) []byte {
+	if len(b) == 0 {
+		return b
+	}
+	out := append([]byte(nil), b...)
+	flips := 1 + eng.Rand().Intn(4)
+	for i := 0; i < flips; i++ {
+		out[eng.Rand().Intn(len(out))] ^= 1 << uint(eng.Rand().Intn(8))
+	}
+	return out
 }

@@ -68,14 +68,23 @@ func (p *Proxy) onGroupHeartbeat(hb *wire.Heartbeat) {
 // onSummary assembles a (possibly chunked) full summary from a remote data
 // center and, at the leader, relays it to the local proxy group.
 func (p *Proxy) onSummary(pkt netsim.Packet, m *wire.ProxySummary) {
+	if pkt.Src == topology.HostID(p.ID()) {
+		return // our own group relay echoed back by the multicast fabric
+	}
 	r, ok := p.remote[int(m.DC)]
 	if !ok {
+		// Summaries for DCs we were not configured with are unusable; count
+		// the discard so corrupted/forged DC IDs stay observable.
+		p.ep.NoteReject()
 		return
 	}
 	now := p.eng.Now()
 	r.lastHeard = now
 	if m.Seq < r.chunkSeq || m.Seq <= r.seq {
-		return // stale sequence
+		// Stale or replayed sequence: the cross-DC stream is monotone, so an
+		// old summary can never overwrite a newer view.
+		p.ep.NoteReject()
+		return
 	}
 	if m.Seq != r.chunkSeq {
 		r.chunkSeq = m.Seq
@@ -102,13 +111,19 @@ func (p *Proxy) onSummary(pkt netsim.Packet, m *wire.ProxySummary) {
 
 // onUpdate applies an incremental cross-DC change.
 func (p *Proxy) onUpdate(pkt netsim.Packet, m *wire.ProxyUpdate) {
+	if pkt.Src == topology.HostID(p.ID()) {
+		return // our own group relay echoed back by the multicast fabric
+	}
 	r, ok := p.remote[int(m.DC)]
 	if !ok {
+		p.ep.NoteReject()
 		return
 	}
 	now := p.eng.Now()
 	r.lastHeard = now
 	if m.Seq <= r.seq {
+		// Stale or replayed incremental update against a monotone stream.
+		p.ep.NoteReject()
 		return
 	}
 	r.seq = m.Seq

@@ -204,10 +204,11 @@ type Endpoint struct {
 	closed chan struct{}
 	wg     sync.WaitGroup
 
-	mu      sync.Mutex
-	up      bool
-	subs    map[netsim.ChannelID]bool
-	handler netsim.Handler
+	mu       sync.Mutex
+	up       bool
+	subs     map[netsim.ChannelID]bool
+	handler  netsim.Handler
+	rejected uint64
 }
 
 // NewEndpoint creates and registers an endpoint for host id.
@@ -296,6 +297,23 @@ func (ep *Endpoint) Joined(ch netsim.ChannelID) bool {
 	ep.mu.Lock()
 	defer ep.mu.Unlock()
 	return ep.subs[ch]
+}
+
+// NoteReject implements netsim.Transport: protocol-layer discards are
+// counted so real-socket runs expose the same reject observability as the
+// simulator.
+func (ep *Endpoint) NoteReject() {
+	ep.mu.Lock()
+	ep.rejected++
+	ep.mu.Unlock()
+}
+
+// Rejected returns how many received packets the protocol layer discarded
+// as malformed, stale, or replayed.
+func (ep *Endpoint) Rejected() uint64 {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return ep.rejected
 }
 
 func (ep *Endpoint) frame(kind byte, a, b uint32, payload []byte) []byte {

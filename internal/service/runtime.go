@@ -191,6 +191,7 @@ func (r *Runtime) Load() uint32 { return uint32(r.queued) }
 func (r *Runtime) dispatch(pkt netsim.Packet) {
 	msg, err := wire.Decode(pkt.Payload)
 	if err != nil {
+		r.ep.NoteReject()
 		return
 	}
 	if r.relayHandler != nil && r.relayHandler(pkt, msg) {

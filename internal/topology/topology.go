@@ -91,8 +91,12 @@ type Topology struct {
 	epoch       uint64
 
 	// marked links get a bit index in the path masks reported by scopes
-	// and unicast rows (per-link loss/jitter overrides in netsim).
-	marked map[linkKey]int
+	// and unicast rows (per-link loss/jitter overrides in netsim). The
+	// undirected table (MarkLink) and the directed table (MarkLinkDir)
+	// share one 64-bit budget, tracked by nextMarkBit.
+	marked      map[linkKey]int
+	markedDir   map[dirLinkKey]int
+	nextMarkBit int
 
 	scopeCache map[scopeKey]*Scope
 	distCache  map[HostID]*distRow
@@ -114,6 +118,10 @@ type halfEdge struct {
 
 // linkKey normalizes an undirected device pair.
 type linkKey struct{ lo, hi DeviceID }
+
+// dirLinkKey is a directed device pair: faults registered under it apply
+// only to traversals from `from` to `to`.
+type dirLinkKey struct{ from, to DeviceID }
 
 func mkLinkKey(a, b DeviceID) linkKey {
 	if a > b {
@@ -264,7 +272,9 @@ func (t *Topology) linkFailed(a, b DeviceID) bool {
 // destination, a bitmask of the marked links the chosen path crosses
 // (Scope.Marks, UnicastPath). This is how netsim applies per-link loss and
 // jitter overrides. Marking the same link again returns the existing bit.
-// At most 64 links can be marked.
+// The bit applies to traversals in both directions; MarkLinkDir marks one
+// direction only. Undirected and directed marks share a budget of 64 bits;
+// exhausting it panics, naming the offending link.
 func (t *Topology) MarkLink(a, b DeviceID) int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -272,28 +282,74 @@ func (t *Topology) MarkLink(a, b DeviceID) int {
 	if bit, ok := t.marked[k]; ok {
 		return bit
 	}
-	if len(t.marked) >= 64 {
-		panic("topology: more than 64 marked links")
-	}
+	bit := t.allocMarkBitLocked(a, b)
 	if t.marked == nil {
 		t.marked = make(map[linkKey]int)
 	}
-	bit := len(t.marked)
 	t.marked[k] = bit
 	t.epoch++ // cached rows lack mark data; recompute
 	return bit
 }
 
+// MarkLinkDir registers the a→b direction of a link for path tracking and
+// returns its bit index: the bit appears in path masks only when the chosen
+// path traverses the link from a towards b, so netsim can degrade one
+// direction while the reverse stays clean. Marking the same direction again
+// returns the existing bit; the reverse direction and any undirected
+// MarkLink bit for the same link are independent.
+func (t *Topology) MarkLinkDir(a, b DeviceID) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	k := dirLinkKey{from: a, to: b}
+	if bit, ok := t.markedDir[k]; ok {
+		return bit
+	}
+	bit := t.allocMarkBitLocked(a, b)
+	if t.markedDir == nil {
+		t.markedDir = make(map[dirLinkKey]int)
+	}
+	t.markedDir[k] = bit
+	t.epoch++ // cached rows lack mark data; recompute
+	return bit
+}
+
+// allocMarkBitLocked hands out the next free mark bit or fails loudly: a
+// 65th marked link would silently alias an existing bit's fault profile,
+// so the cap is a hard error naming the link that hit it.
+func (t *Topology) allocMarkBitLocked(a, b DeviceID) int {
+	if t.nextMarkBit >= 64 {
+		panic(fmt.Sprintf("topology: mark capacity exhausted (64 bits in use) marking link %s<->%s",
+			t.deviceName(a), t.deviceName(b)))
+	}
+	bit := t.nextMarkBit
+	t.nextMarkBit++
+	return bit
+}
+
+// deviceName is a best-effort name for diagnostics; it tolerates bogus IDs
+// because it is called from panic paths.
+func (t *Topology) deviceName(id DeviceID) string {
+	if int(id) >= 0 && int(id) < len(t.devices) {
+		return t.devices[id].Name
+	}
+	return fmt.Sprintf("device(%d)", id)
+}
+
 // markBit must be called with t.mu held; returns the mask contribution of
-// traversing the (a, b) link.
+// traversing the link from a to b (undirected marks plus the a→b direction).
 func (t *Topology) markBit(a, b DeviceID) uint64 {
-	if len(t.marked) == 0 {
-		return 0
+	var m uint64
+	if len(t.marked) > 0 {
+		if bit, ok := t.marked[mkLinkKey(a, b)]; ok {
+			m |= 1 << uint(bit)
+		}
 	}
-	if bit, ok := t.marked[mkLinkKey(a, b)]; ok {
-		return 1 << uint(bit)
+	if len(t.markedDir) > 0 {
+		if bit, ok := t.markedDir[dirLinkKey{from: a, to: b}]; ok {
+			m |= 1 << uint(bit)
+		}
 	}
-	return 0
+	return m
 }
 
 // Epoch increases whenever the failure set or mark table changes; cached
@@ -326,7 +382,7 @@ func (t *Topology) distancesLocked(src HostID) *distRow {
 	routers := make([]int32, n)
 	lat := make([]time.Duration, n)
 	var mask []uint64
-	if len(t.marked) > 0 {
+	if len(t.marked) > 0 || len(t.markedDir) > 0 {
 		mask = make([]uint64, n)
 	}
 	for i := range routers {
@@ -489,7 +545,7 @@ func (t *Topology) unicastRowLocked(a HostID) *uniRow {
 	dist := make([]time.Duration, n)
 	done := make([]bool, n)
 	var mask []uint64
-	if len(t.marked) > 0 {
+	if len(t.marked) > 0 || len(t.markedDir) > 0 {
 		mask = make([]uint64, n)
 	}
 	for i := range dist {

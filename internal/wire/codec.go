@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"math"
 )
 
@@ -13,16 +14,31 @@ import (
 // rules).
 
 // Version is the wire format version carried in every packet header.
-const Version = 1
+// Version 2 added the body checksum to the header: without an integrity
+// check, a bit-flipped heartbeat could forge a higher liveness beat or
+// incarnation and violate the monotone-sequence safety invariant.
+const Version = 2
 
 // Magic identifies TAMP packets.
 const Magic = 0x544D // "TM"
+
+// HeaderLen is the fixed packet header size: magic (2) + version (1) +
+// type (1) + body CRC (4).
+const HeaderLen = 8
+
+// crcTable is the Castagnoli polynomial table used for the header's body
+// checksum (hardware-accelerated on common platforms).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // ErrTruncated is returned when a packet ends before its declared content.
 var ErrTruncated = errors.New("wire: truncated packet")
 
 // ErrTrailing is returned when decodable content is followed by junk.
 var ErrTrailing = errors.New("wire: trailing bytes")
+
+// ErrChecksum is returned when the body fails the header's CRC — the
+// datagram was damaged in flight and nothing in it can be trusted.
+var ErrChecksum = errors.New("wire: body checksum mismatch")
 
 // maxSliceLen bounds decoded slice lengths as a defence against corrupt or
 // hostile length prefixes.

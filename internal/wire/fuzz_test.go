@@ -28,12 +28,18 @@ func FuzzDecode(f *testing.F) {
 		&LoadPoll{From: 1, Token: 2},
 		&LoadReply{Token: 2, Load: 3},
 		&LoadReport{From: 1, Seq: 2, Load: 3},
+		&DirQuery{Service: "Retr.*", Partition: "*"},
+		&DirMatches{OK: true, Matches: []DirMatch{{
+			Node: 2, Service: "S", Partitions: []int32{0, 1},
+			Params: []membership.KV{{Key: "Port", Value: "80"}},
+			Attrs:  []membership.KV{{Key: "mem", Value: "2G"}},
+		}}},
 	}
 	for _, m := range seeds {
 		f.Add(Encode(m))
 	}
 	f.Add([]byte{})
-	f.Add([]byte{0x4D, 0x54, Version, 99})
+	f.Add([]byte{0x4D, 0x54, Version, 99, 0, 0, 0, 0})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Decode(data)

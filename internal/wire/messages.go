@@ -1,7 +1,9 @@
 package wire
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 
 	"repro/internal/membership"
 )
@@ -68,18 +70,23 @@ type Message interface {
 	enc(w *writer)
 }
 
-// Encode serializes a message with the 4-byte packet header (magic,
-// version, type — see docs/WIRE.md §2).
+// Encode serializes a message with the 8-byte packet header (magic,
+// version, type, body CRC — see docs/WIRE.md §2). The checksum is computed
+// over the encoded body and written into the header after encoding.
 func Encode(m Message) []byte {
 	w := &writer{buf: make([]byte, 0, 256)}
 	w.u16(Magic)
 	w.u8(Version)
 	w.u8(uint8(m.wireType()))
+	w.u32(0) // checksum placeholder, filled below
 	m.enc(w)
+	binary.LittleEndian.PutUint32(w.buf[4:8], crc32.Checksum(w.buf[HeaderLen:], crcTable))
 	return w.buf
 }
 
-// Decode parses a packet produced by Encode.
+// Decode parses a packet produced by Encode. It never panics and never
+// reads past the input: any malformed, truncated, or damaged packet
+// (including a body that fails the header checksum) yields an error.
 func Decode(b []byte) (Message, error) {
 	r := &reader{buf: b}
 	if r.u16() != Magic {
@@ -89,8 +96,12 @@ func Decode(b []byte) (Message, error) {
 		return nil, fmt.Errorf("wire: unsupported version %d", v)
 	}
 	t := Type(r.u8())
+	sum := r.u32()
 	if r.err != nil {
 		return nil, r.err
+	}
+	if crc32.Checksum(b[HeaderLen:], crcTable) != sum {
+		return nil, ErrChecksum
 	}
 	var m Message
 	switch t {
@@ -351,8 +362,15 @@ func decUpdateMsg(r *reader) *UpdateMsg {
 		up.ID.Origin = membership.NodeID(r.i32())
 		up.ID.Counter = r.u32()
 		up.Kind = UpdateKind(r.u8())
+		if r.err == nil && (up.Kind < UJoin || up.Kind > UDepart) {
+			r.fail(fmt.Errorf("wire: invalid update kind %d", uint8(up.Kind)))
+		}
 		up.Subject = membership.NodeID(r.i32())
-		if r.bool() {
+		hasInfo := r.bool()
+		if r.err == nil && hasInfo != (up.Kind == UJoin || up.Kind == UChange) {
+			r.fail(fmt.Errorf("wire: update info flag inconsistent with kind %v", up.Kind))
+		}
+		if hasInfo {
 			up.Info = decInfo(r)
 		}
 		u.Updates = append(u.Updates, up)

@@ -2,6 +2,8 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
+	"hash/crc32"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -82,34 +84,72 @@ func TestHeartbeatPadding(t *testing.T) {
 	}
 }
 
+// reseal recomputes the header checksum of a hand-built or tampered
+// packet, so tests exercise the check they target rather than tripping the
+// CRC first.
+func reseal(b []byte) []byte {
+	if len(b) >= HeaderLen {
+		binary.LittleEndian.PutUint32(b[4:8], crc32.Checksum(b[HeaderLen:], crcTable))
+	}
+	return b
+}
+
 func TestDecodeErrors(t *testing.T) {
 	good := Encode(&SyncRequest{From: 1})
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)-1] ^= 0x01 // body damage: CRC must catch it
 	cases := map[string][]byte{
 		"empty":       {},
-		"bad magic":   {0, 0, 1, byte(TSyncRequest), 0, 0, 0, 0},
-		"bad version": {0x4D, 0x54, 99, byte(TSyncRequest), 0, 0, 0, 0},
-		"bad type":    {0x4D, 0x54, Version, 200},
+		"short":       {0x4D, 0x54, Version, byte(TSyncRequest)},
+		"bad magic":   reseal([]byte{0, 0, Version, byte(TSyncRequest), 0, 0, 0, 0, 1, 0, 0, 0}),
+		"bad version": reseal([]byte{0x4D, 0x54, 99, byte(TSyncRequest), 0, 0, 0, 0, 1, 0, 0, 0}),
+		"bad type":    reseal([]byte{0x4D, 0x54, Version, 200, 0, 0, 0, 0}),
+		"bad crc":     flipped,
 		"truncated":   good[:len(good)-1],
-		"trailing":    append(append([]byte{}, good...), 0xFF),
+		"trailing":    reseal(append(append([]byte{}, good...), 0xFF)),
 	}
 	for name, b := range cases {
 		if _, err := Decode(b); err == nil {
 			t.Errorf("%s: Decode succeeded, want error", name)
 		}
 	}
+	if _, err := Decode(flipped); err != ErrChecksum {
+		t.Errorf("flipped body: err = %v, want ErrChecksum", err)
+	}
 }
 
 func TestDecodeHostileLengths(t *testing.T) {
-	// A directory message claiming 2^31 entries must fail cleanly.
+	// A directory message claiming 2^31 entries must fail cleanly — with a
+	// valid checksum, so the length bound (not the CRC) is what rejects it.
 	w := &writer{}
 	w.u16(Magic)
 	w.u8(Version)
 	w.u8(uint8(TDirectory))
+	w.u32(0) // checksum placeholder
 	w.i32(1)
 	w.bool(false)
 	w.u32(1 << 31)
-	if _, err := Decode(w.buf); err == nil {
+	if _, err := Decode(reseal(w.buf)); err == nil {
 		t.Fatal("hostile length accepted")
+	}
+}
+
+func TestDecodeRejectsBadUpdateKind(t *testing.T) {
+	good := Encode(&UpdateMsg{Sender: 3, Seq: 8, Updates: []Update{
+		{ID: UpdateID{Origin: 3, Counter: 8}, Kind: ULeave, Subject: 5},
+	}})
+	// The kind byte sits after header(8) + sender(4) + seq(8) + count(4) +
+	// origin(4) + counter(4).
+	bad := append([]byte(nil), good...)
+	bad[8+4+8+4+4+4] = 200
+	if _, err := Decode(reseal(bad)); err == nil {
+		t.Fatal("invalid update kind accepted")
+	}
+	// A leave claiming to carry info is likewise non-canonical input.
+	inconsistent := append([]byte(nil), good...)
+	inconsistent[len(inconsistent)-1] = 1 // hasInfo flag is the last body byte
+	if _, err := Decode(reseal(inconsistent)); err == nil {
+		t.Fatal("info flag inconsistent with kind accepted")
 	}
 }
 
