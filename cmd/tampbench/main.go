@@ -18,7 +18,9 @@
 //	tampbench -fig all -workers 8 -v            # parallel sweep with per-run progress
 //	tampbench -fig 11 -cpuprofile cpu.pprof     # profile the sweep hot spots
 //	tampbench -fig scale                        # N=1000 churn run (BENCH_scale.json)
+//	tampbench -fig scale4k                      # N=4000 churn run (BENCH_scale4k.json)
 //	tampbench -diff old.json new.json           # regression gate between two BENCH files
+//	tampbench -history [fig ...]                # committed BENCH_*.json trajectory from git
 package main
 
 import (
@@ -38,7 +40,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2, 11, 12, 13, 14, 4x, 4b, abl-piggyback, abl-group, abl-maxloss, abl-fanout, accuracy, breakdown, detect-dist, chaos, scale, all (scale is excluded from all: it is the long N=1000 run)")
+	fig := flag.String("fig", "all", "figure to regenerate: 2, 11, 12, 13, 14, 4x, 4b, abl-piggyback, abl-group, abl-maxloss, abl-fanout, accuracy, breakdown, detect-dist, chaos, scale, scale4k, all (scale and scale4k are excluded from all: they are the long N=1000 and N=4000 churn runs)")
 	sizes := flag.String("sizes", "20,40,60,80,100", "cluster sizes for figures 11-13")
 	perGroup := flag.Int("pergroup", 20, "nodes per network/membership group")
 	seed := flag.Int64("seed", 42, "simulation RNG seed (per-run seeds derive from it)")
@@ -52,10 +54,14 @@ func main() {
 	svgDir := flag.String("svg", "", "directory to write one SVG per figure (created if missing)")
 	diff := flag.Bool("diff", false, "compare two BENCH json files (old new) and exit non-zero on regressions")
 	diffWall := flag.Float64("diff-wall", 1.5, "with -diff: flag total wall time growing past this factor (0 disables the wall gate)")
+	history := flag.Bool("history", false, "walk git for committed BENCH_*.json files and print each figure's wall/packet trajectory (args restrict to figure names)")
 	flag.Parse()
 
 	if *diff {
 		os.Exit(runDiff(flag.Args(), *diffWall))
+	}
+	if *history {
+		os.Exit(runHistory(flag.Args(), *diffWall))
 	}
 
 	sz, err := parseSizes(*sizes)
@@ -123,8 +129,8 @@ func main() {
 		// its own BENCH file; regenerate it explicitly with -fig scale.
 		todo = order
 	} else {
-		if _, ok := runners[*fig]; !ok && *fig != "chaos" && *fig != "scale" {
-			fmt.Fprintf(os.Stderr, "tampbench: unknown figure %q (want one of %s, scale, all)\n", *fig, strings.Join(order, ", "))
+		if _, ok := runners[*fig]; !ok && *fig != "chaos" && *fig != "scale" && *fig != "scale4k" {
+			fmt.Fprintf(os.Stderr, "tampbench: unknown figure %q (want one of %s, scale, scale4k, all)\n", *fig, strings.Join(order, ", "))
 			os.Exit(2)
 		}
 		todo = []string{*fig}
@@ -163,12 +169,12 @@ func main() {
 			fmt.Println()
 			continue
 		}
-		if name == "scale" {
-			if err := runScale(sw, *seed, log); err != nil {
+		if name == "scale" || name == "scale4k" {
+			if err := runScale(sw, *seed, log, name); err != nil {
 				fmt.Fprintln(os.Stderr, "tampbench:", err)
 				code = 1
 			}
-			fmt.Fprintf(os.Stderr, "(scale regenerated in %v)\n", time.Since(start).Round(time.Millisecond))
+			fmt.Fprintf(os.Stderr, "(%s regenerated in %v)\n", name, time.Since(start).Round(time.Millisecond))
 			fmt.Println()
 			continue
 		}
@@ -245,21 +251,26 @@ func runChaos(sw harness.Sweep, seed int64, log *metrics.ReportLog) error {
 	return nil
 }
 
-// runScale executes the N=1000 churn run and always records its RunReport
-// in BENCH_scale.json, so O(N^2) audit or protocol regressions surface in
-// `tampbench -diff` as event/packet/wall growth.
-func runScale(sw harness.Sweep, seed int64, log *metrics.ReportLog) error {
+// runScale executes the churn run — N=1000 for "scale", N=4000 (the
+// paper's Figure 2 ceiling) for "scale4k" — and always records its
+// RunReport in BENCH_<fig>.json, so O(N^2) audit or protocol regressions
+// surface in `tampbench -diff` as event/packet/wall growth.
+func runScale(sw harness.Sweep, seed int64, log *metrics.ReportLog, fig string) error {
 	o := harness.DefaultScaleOptions()
+	if fig == "scale4k" {
+		o = harness.Scale4kOptions()
+	}
 	o.Seed = seed
 	o.Sweep = sw
 	rep := harness.ScaleChurn(o)
 	fmt.Println(harness.RenderScale(o, rep))
 	runs := log.Reports()
-	b := metrics.BenchJSON{Fig: "scale", Seed: seed, Runs: runs, Summary: metrics.Summarize(runs)}
-	if err := metrics.WriteBenchJSON("BENCH_scale.json", b); err != nil {
+	b := metrics.BenchJSON{Fig: fig, Seed: seed, Runs: runs, Summary: metrics.Summarize(runs)}
+	file := "BENCH_" + fig + ".json"
+	if err := metrics.WriteBenchJSON(file, b); err != nil {
 		return err
 	}
-	fmt.Println("(json: BENCH_scale.json)")
+	fmt.Println("(json: " + file + ")")
 	return nil
 }
 

@@ -86,15 +86,20 @@ func main() {
 	var c *harness.Cluster
 	var fed *harness.FederatedCluster
 	if scheme == harness.HierarchicalProxy {
-		// The federated scheme always spans two DCs: the intra-DC protocol
-		// is plain hierarchical, and the proxy layer bridges the WAN.
-		fed = harness.NewFederatedCluster(harness.DefaultFederatedOptions(*groups, *perGroup), *seed)
+		// The federated scheme spans the scenario's DC count (two unless the
+		// scenario asks for more): the intra-DC protocol is plain
+		// hierarchical, and the proxy layer bridges the WAN.
+		fo := harness.DefaultFederatedOptions(*groups, *perGroup)
+		if scenario != nil {
+			fo.DCs = scenario.NumDCs()
+		}
+		fed = harness.NewFederatedCluster(fo, *seed)
 		c = fed.Cluster
 		top = c.Top
 	} else {
 		switch {
 		case scenario != nil && scenario.MultiDC:
-			top = topology.MultiDC(2, *groups, *perGroup)
+			top = topology.MultiDC(scenario.NumDCs(), *groups, *perGroup)
 		case *groups <= 1:
 			top = topology.FlatLAN(*perGroup)
 		default:

@@ -163,7 +163,7 @@ func (n *Node) receive(pkt netsim.Packet) {
 	if !n.running {
 		return
 	}
-	msg, err := wire.Decode(pkt.Payload)
+	msg, err := pkt.Decode()
 	if err != nil {
 		n.ep.NoteReject()
 		return
@@ -195,7 +195,7 @@ func (n *Node) track() {
 		return
 	}
 	now := n.eng.Now()
-	dead := n.dir.Expired(now, func(*membership.Entry) time.Duration { return n.cfg.DeadAfter() })
+	dead, _ := n.dir.Expired(now, func(*membership.Entry) time.Duration { return n.cfg.DeadAfter() })
 	for _, id := range dead {
 		n.dir.Remove(id, now)
 	}

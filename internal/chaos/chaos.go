@@ -140,7 +140,20 @@ type Scenario struct {
 	// MultiDC asks the harness to run the scenario on a multi-data-center
 	// topology (WAN scenarios are meaningless on a single-DC tree).
 	MultiDC bool
-	Steps   []Step
+	// DCs is how many data centers a MultiDC scenario spans; 0 means the
+	// harness default of 2. Three or more exercise the proxy layer's
+	// remote-DC fallback order, which two DCs can never reach.
+	DCs   int
+	Steps []Step
+}
+
+// NumDCs returns the data-center count the scenario asks for (2 unless
+// the scenario overrides it).
+func (s *Scenario) NumDCs() int {
+	if s.DCs > 0 {
+		return s.DCs
+	}
+	return 2
 }
 
 // End returns the offset at which the last action (including ramps and

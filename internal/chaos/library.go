@@ -13,7 +13,8 @@ var wanBadProfile = netsim.LinkProfile{Loss: 0.3, Jitter: 0.4}
 
 // Library returns the named built-in scenarios, parameterized by the
 // harness cluster shape (groups of perGroup hosts on the Clustered
-// topology; the multidc scenarios run on MultiDC(2, groups, perGroup)).
+// topology; the multidc scenarios run on MultiDC(NumDCs, groups,
+// perGroup), two data centers unless the scenario asks for more).
 // Faults start no earlier than 20s in, leaving the cluster a warm-up
 // window to converge from a cold start.
 //
@@ -203,6 +204,25 @@ func Library(groups, perGroup int) []*Scenario {
 			},
 		},
 	)
+	// dc-fallback: the first scenario to span three data centers. Killing
+	// both of DC1's proxies (leader first, then the promoted backup) removes
+	// an entire remote summary source, so DC0's cross-DC lookups must walk
+	// the remote-DC fallback order past DC1's expired summaries to DC2 — a
+	// path a two-DC federation can never exercise. Non-proxy schemes fall
+	// back to killing DC1's lowest running hosts, so the same script still
+	// stresses every scheme.
+	scenarios = append(scenarios, &Scenario{
+		Name:        "dc-fallback",
+		Description: "three data centers; DC1 loses both proxies in turn, then everything restarts",
+		Expect:      "DC1's summaries expire everywhere instead of lingering; cross-DC invocation falls back to the next advertised DC; summaries re-converge after restart",
+		MultiDC:     true,
+		DCs:         3,
+		Steps: []Step{
+			{At: 20 * time.Second, Act: KillProxyLeader{DC: 1}},
+			{At: 28 * time.Second, Act: KillProxyLeader{DC: 1}},
+			{At: 50 * time.Second, Act: RestartDown{}},
+		},
+	})
 	return scenarios
 }
 

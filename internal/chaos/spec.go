@@ -16,7 +16,7 @@ import (
 //	scenario partition-heal
 //	desc cut a group switch uplink, heal it later
 //	expect gossip re-merges; multicast schemes cannot cross the cut
-//	multidc                       # request a multi-data-center topology
+//	multidc [K]                   # request a multi-data-center topology (K DCs, default 2)
 //	@20s fail-link sw1 core
 //	@60s repair-link sw1 core
 //
@@ -74,10 +74,15 @@ func ParseSpec(text string) (*Scenario, error) {
 		case word == "expect":
 			s.Expect = rest
 		case word == "multidc":
-			if rest != "" {
-				err = fmt.Errorf("multidc takes no arguments")
-			}
 			s.MultiDC = true
+			if rest != "" {
+				k, convErr := strconv.Atoi(rest)
+				if convErr != nil || k < 2 {
+					err = fmt.Errorf("multidc count %q must be an integer >= 2", rest)
+				} else {
+					s.DCs = k
+				}
+			}
 		case strings.HasPrefix(word, "@"):
 			var st Step
 			st, i, err = parseStep(word[1:], rest, lines, i)
@@ -116,7 +121,11 @@ func (s *Scenario) Spec() string {
 		fmt.Fprintf(&b, "expect %s\n", s.Expect)
 	}
 	if s.MultiDC {
-		b.WriteString("multidc\n")
+		if s.DCs != 0 {
+			fmt.Fprintf(&b, "multidc %d\n", s.DCs)
+		} else {
+			b.WriteString("multidc\n")
+		}
 	}
 	for _, st := range s.Steps {
 		fmt.Fprintf(&b, "@%v %s\n", st.At, st.Act)

@@ -222,6 +222,33 @@ func TestParseSpecCommentsAndBlanks(t *testing.T) {
 	}
 }
 
+func TestMultiDCCount(t *testing.T) {
+	s, err := ParseSpec("multidc 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.MultiDC || s.DCs != 3 || s.NumDCs() != 3 {
+		t.Fatalf("multidc 3 parsed as MultiDC=%v DCs=%d", s.MultiDC, s.DCs)
+	}
+	if got := s.Spec(); got != "multidc 3\n" {
+		t.Fatalf("Spec() = %q", got)
+	}
+	// Bare multidc keeps the 2-DC default, and the default stays implicit in
+	// the rendered spec so pre-existing scenario files stay byte-stable.
+	s, err = ParseSpec("multidc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.DCs != 0 || s.NumDCs() != 2 || s.Spec() != "multidc\n" {
+		t.Fatalf("bare multidc: DCs=%d NumDCs=%d spec=%q", s.DCs, s.NumDCs(), s.Spec())
+	}
+	for _, bad := range []string{"multidc 1", "multidc 0", "multidc -2"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted invalid DC count", bad)
+		}
+	}
+}
+
 func TestLibraryNamesUnique(t *testing.T) {
 	seen := map[string]bool{}
 	for _, name := range Names(3, 8) {

@@ -51,8 +51,17 @@ type Node struct {
 	republish *sim.Ticker
 	running   bool
 
-	// lastTTLScan throttles the full-directory stale-entry sweep.
+	// lastTTLScan throttles the full-directory stale-entry sweep;
+	// ttlScanDue skips sweeps that provably cannot find anything (the
+	// earliest-deadline bound returned by Directory.Expired).
 	lastTTLScan time.Duration
+	ttlScanDue  time.Duration
+
+	// enc frames outgoing packets without a per-send writer allocation;
+	// hbHint remembers the last heartbeat's encoded size so the payload
+	// buffer is allocated exactly once per send.
+	enc    wire.Encoder
+	hbHint int
 
 	stats Stats
 
@@ -60,8 +69,7 @@ type Node struct {
 	updCounter uint32                 // my UpdateID counter
 	outSeq     []uint64               // per-level update stream sequences (survive restarts)
 	recent     []wire.Update          // my last PiggybackDepth+1 emitted updates, newest first
-	seen       map[wire.UpdateID]bool // applied update IDs
-	seenOrder  []wire.UpdateID        // FIFO for bounding seen
+	seen *seenSet // applied update IDs, FIFO-bounded (lazily allocated)
 	// peerSeq tracks the highest update sequence seen per (sender, level):
 	// sequences are per channel, because an emit may skip the channel the
 	// triggering information arrived on, and a global sequence would make
@@ -104,7 +112,6 @@ func NewNode(cfg Config, ep netsim.Transport) *Node {
 		id:      id,
 		dir:     membership.NewDirectory(id),
 		info:    membership.MemberInfo{Node: id},
-		seen:    make(map[wire.UpdateID]bool),
 		peerSeq: make(map[peerKey]uint64),
 		hbSeen:  make(map[peerKey]hbMark),
 		outSeq:  make([]uint64, cfg.MaxTTL),
@@ -444,14 +451,18 @@ func (n *Node) sendHeartbeat(level int) {
 		n.info.Beat++
 	}
 	hb := &wire.Heartbeat{
-		Info:   n.info.Clone(),
+		Info:   n.info, // encoded synchronously below, so no defensive clone
 		Level:  uint8(level),
 		Leader: lv.isLeader,
 		Backup: lv.backup,
 		Seq:    lv.hbSeq,
 		Pad:    uint16(n.cfg.HeartbeatPad),
 	}
-	n.ep.Multicast(n.cfg.channel(level), n.cfg.ttl(level), wire.Encode(hb))
+	payload := n.enc.AppendEncode(make([]byte, 0, n.hbHint), hb)
+	if len(payload) > n.hbHint {
+		n.hbHint = len(payload)
+	}
+	n.ep.Multicast(n.cfg.channel(level), n.cfg.ttl(level), payload)
 }
 
 // publishDirectory multicasts a full snapshot into one group; receivers
@@ -461,7 +472,7 @@ func (n *Node) publishDirectory(level int) {
 		return
 	}
 	msg := &wire.DirectoryMsg{From: n.id, Infos: n.dir.Snapshot()}
-	n.ep.Multicast(n.cfg.channel(level), n.cfg.ttl(level), wire.Encode(msg))
+	n.ep.Multicast(n.cfg.channel(level), n.cfg.ttl(level), n.enc.AppendEncode(nil, msg))
 }
 
 // Receive feeds one delivered packet into the protocol. The node installs
@@ -475,7 +486,7 @@ func (n *Node) receive(pkt netsim.Packet) {
 	if !n.running {
 		return
 	}
-	msg, err := wire.Decode(pkt.Payload)
+	msg, err := pkt.Decode()
 	if err != nil {
 		// UDP: corrupt packets are dropped, but the drop is observable.
 		n.stats.PacketsRejected++
@@ -618,17 +629,37 @@ func (n *Node) track() {
 	// full sweep is O(directory), so it runs at a fraction of the TTL, not
 	// on every tracker tick.
 	if n.cfg.RelayedTTL > 0 && now-n.lastTTLScan >= n.cfg.RelayedTTL/8 {
+		// Advance the throttle even when the sweep below is skipped, so
+		// sweep instants (and hence purge timestamps) stay on the exact
+		// same grid whether or not the skip fires.
 		n.lastTTLScan = now
-		stale := n.dir.Expired(now, func(e *membership.Entry) time.Duration {
-			if e.Origin == membership.OriginRelayed {
-				return n.cfg.RelayedTTL
+		if now >= n.ttlScanDue {
+			stale, next := n.dir.Expired(now, func(e *membership.Entry) time.Duration {
+				if e.Origin == membership.OriginRelayed {
+					return n.cfg.RelayedTTL
+				}
+				return 4 * n.cfg.RelayedTTL // backstop for orphaned direct entries
+			})
+			spared := false
+			for _, id := range stale {
+				if !n.hearsDirectly(id) {
+					n.dir.Remove(id, now)
+					n.stats.RelayedPurged++
+				} else {
+					spared = true
+				}
 			}
-			return 4 * n.cfg.RelayedTTL // backstop for orphaned direct entries
-		})
-		for _, id := range stale {
-			if !n.hearsDirectly(id) {
-				n.dir.Remove(id, now)
-				n.stats.RelayedPurged++
+			// Refreshes only push deadlines later and post-sweep entries
+			// start fresh, so nothing can expire before min(next,
+			// now+RelayedTTL): sweeps before then provably find nothing
+			// and are skipped. An expired-but-directly-heard entry keeps
+			// its past deadline, so its presence disables the skip.
+			n.ttlScanDue = 0
+			if !spared {
+				n.ttlScanDue = now + n.cfg.RelayedTTL
+				if next < n.ttlScanDue {
+					n.ttlScanDue = next
+				}
 			}
 		}
 	}

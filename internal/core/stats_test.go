@@ -93,21 +93,30 @@ func TestMarkSeenBounded(t *testing.T) {
 	for i := uint32(0); i < maxSeen+100; i++ {
 		n.markSeen(wire.UpdateID{Origin: 7, Counter: i})
 	}
-	if len(n.seen) != maxSeen || len(n.seenOrder) != maxSeen {
-		t.Fatalf("dedup set unbounded: %d/%d", len(n.seen), len(n.seenOrder))
+	if n.seen.count != maxSeen {
+		t.Fatalf("dedup set unbounded: %d", n.seen.count)
 	}
 	// Oldest evicted, newest retained.
-	if n.seen[wire.UpdateID{Origin: 7, Counter: 0}] {
+	if n.seen.has(wire.UpdateID{Origin: 7, Counter: 0}) {
 		t.Fatal("oldest UID not evicted")
 	}
-	if !n.seen[wire.UpdateID{Origin: 7, Counter: maxSeen + 99}] {
+	if !n.seen.has(wire.UpdateID{Origin: 7, Counter: maxSeen + 99}) {
 		t.Fatal("newest UID missing")
 	}
 	// Re-marking a seen UID is a no-op.
-	before := len(n.seenOrder)
 	n.markSeen(wire.UpdateID{Origin: 7, Counter: maxSeen + 99})
-	if len(n.seenOrder) != before {
-		t.Fatal("re-marking grew the FIFO")
+	if n.seen.count != maxSeen || n.seen.oldest != 100 {
+		t.Fatal("re-marking disturbed the FIFO")
+	}
+	// Every entry in the 100..maxSeen+99 window answers has(), and the
+	// FIFO window boundary is exact.
+	for i := uint32(100); i < maxSeen+100; i++ {
+		if !n.seen.has(wire.UpdateID{Origin: 7, Counter: i}) {
+			t.Fatalf("UID %d missing from window", i)
+		}
+	}
+	if n.seen.has(wire.UpdateID{Origin: 7, Counter: 99}) {
+		t.Fatal("UID 99 should have been evicted")
 	}
 }
 

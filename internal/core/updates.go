@@ -30,22 +30,23 @@ func (n *Node) originateUpdate(kind wire.UpdateKind, subject membership.NodeID, 
 // channel, so this realizes the paper's relay pattern: updates travel up to
 // the parent group and down into every group the receiving members lead.
 func (n *Node) emitUpdate(u wire.Update, exceptLevel int) {
-	// recent is newest-first.
-	n.recent = append([]wire.Update{u}, n.recent...)
-	if max := n.cfg.PiggybackDepth + 1; len(n.recent) > max {
-		n.recent = n.recent[:max]
+	// recent is newest-first; shift in place instead of re-allocating the
+	// prepend on every originated update.
+	if max := n.cfg.PiggybackDepth + 1; len(n.recent) < max {
+		n.recent = append(n.recent, wire.Update{})
 	}
-	updates := make([]wire.Update, len(n.recent))
-	copy(updates, n.recent)
+	copy(n.recent[1:], n.recent)
+	n.recent[0] = u
 	// Sequences are per channel so a channel skipped by one emit does not
-	// look lossy to its subscribers.
+	// look lossy to its subscribers. The messages borrow n.recent directly:
+	// encoding consumes it synchronously and nothing below mutates it.
 	for _, lv := range n.levels {
 		if !lv.joined || lv.level == exceptLevel {
 			continue
 		}
 		n.outSeq[lv.level]++
-		msg := &wire.UpdateMsg{Sender: n.id, Seq: n.outSeq[lv.level], Updates: updates}
-		n.ep.Multicast(n.cfg.channel(lv.level), n.cfg.ttl(lv.level), wire.Encode(msg))
+		msg := &wire.UpdateMsg{Sender: n.id, Seq: n.outSeq[lv.level], Updates: n.recent}
+		n.ep.Multicast(n.cfg.channel(lv.level), n.cfg.ttl(lv.level), n.enc.AppendEncode(nil, msg))
 	}
 }
 
@@ -81,7 +82,7 @@ func (n *Node) onUpdateMsg(level int, m *wire.UpdateMsg) {
 
 // applyUpdate applies one membership change if unseen and relays it.
 func (n *Node) applyUpdate(u wire.Update, level int, relayer membership.NodeID) {
-	if n.seen[u.ID] {
+	if n.seen.has(u.ID) {
 		n.stats.DuplicateUpdates++
 		return
 	}
@@ -161,16 +162,76 @@ func (n *Node) joinedChannels() int {
 	return c
 }
 
-// markSeen records an update ID with FIFO eviction.
+// markSeen records an update ID with FIFO eviction. Re-marking a present ID
+// does not refresh its eviction order.
 func (n *Node) markSeen(id wire.UpdateID) {
-	if n.seen[id] {
+	if n.seen == nil {
+		n.seen = new(seenSet)
+	}
+	if n.seen.has(id) {
 		return
 	}
-	n.seen[id] = true
-	n.seenOrder = append(n.seenOrder, id)
-	if len(n.seenOrder) > maxSeen {
-		evict := n.seenOrder[0]
-		n.seenOrder = n.seenOrder[1:]
-		delete(n.seen, evict)
+	n.seen.add(id)
+}
+
+// seenSet is an exact fixed-capacity set of update IDs with FIFO eviction —
+// the same semantics as a map[wire.UpdateID]bool plus an eviction queue, but
+// the membership test runs for every piggybacked update on every delivery,
+// so it must not pay generic map-hashing costs. Entries live in an insertion
+// ring; per-bucket chains of ring indices make lookups O(1). Allocated
+// lazily so idle nodes cost nothing.
+type seenSet struct {
+	count  int                    // live entries, ≤ maxSeen
+	oldest int                    // ring index of the oldest entry once full
+	ring   [maxSeen]wire.UpdateID // entries in insertion order
+	bucket [maxSeen]int32         // 1-based chain heads into ring; 0 = empty
+	link   [maxSeen]int32         // 1-based chain successors; 0 = end
+}
+
+func seenBucket(id wire.UpdateID) uint32 {
+	h := uint64(uint32(id.Origin))<<32 | uint64(id.Counter)
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd // 64-bit finalizer-style mix
+	h ^= h >> 33
+	return uint32(h) & (maxSeen - 1)
+}
+
+func (s *seenSet) has(id wire.UpdateID) bool {
+	if s == nil {
+		return false
+	}
+	for i := s.bucket[seenBucket(id)]; i != 0; i = s.link[i-1] {
+		if s.ring[i-1] == id {
+			return true
+		}
+	}
+	return false
+}
+
+// add inserts an ID known to be absent, evicting the oldest entry when full.
+func (s *seenSet) add(id wire.UpdateID) {
+	slot := int32(s.count)
+	if s.count == maxSeen {
+		slot = int32(s.oldest)
+		s.unlink(s.ring[slot])
+		s.oldest = (s.oldest + 1) % maxSeen
+	} else {
+		s.count++
+	}
+	s.ring[slot] = id
+	b := seenBucket(id)
+	s.link[slot] = s.bucket[b]
+	s.bucket[b] = slot + 1
+}
+
+func (s *seenSet) unlink(id wire.UpdateID) {
+	p := &s.bucket[seenBucket(id)]
+	for *p != 0 {
+		i := *p - 1
+		if s.ring[i] == id {
+			*p = s.link[i]
+			return
+		}
+		p = &s.link[i]
 	}
 }

@@ -179,7 +179,8 @@ func (n *Node) round() {
 
 	// Expire members whose counters stagnated.
 	tf := n.cfg.failTimeout()
-	for _, id := range n.dir.Expired(now, func(*membership.Entry) time.Duration { return tf }) {
+	stale, _ := n.dir.Expired(now, func(*membership.Entry) time.Duration { return tf })
+	for _, id := range stale {
 		n.dir.Remove(id, now)
 	}
 
@@ -250,7 +251,7 @@ func (n *Node) receive(pkt netsim.Packet) {
 	if !n.running {
 		return
 	}
-	msg, err := wire.Decode(pkt.Payload)
+	msg, err := pkt.Decode()
 	if err != nil {
 		n.ep.NoteReject()
 		return

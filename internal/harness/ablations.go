@@ -38,7 +38,7 @@ func countPacketType(net *netsim.Network, n int, t wire.Type) *int {
 	count := new(int)
 	for h := 0; h < n; h++ {
 		net.Endpoint(topology.HostID(h)).SetFilter(func(pkt netsim.Packet) bool {
-			if msg, err := wire.Decode(pkt.Payload); err == nil {
+			if msg, err := pkt.Decode(); err == nil {
 				if msgType(msg) == t {
 					*count++
 				}

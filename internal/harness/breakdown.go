@@ -36,7 +36,7 @@ func BandwidthBreakdown(o Options) *metrics.Figure {
 			bytesBy := map[wire.Type]int{}
 			for h := 0; h < n; h++ {
 				c.Net.Endpoint(topology.HostID(h)).SetFilter(func(pkt netsim.Packet) bool {
-					if m, err := wire.Decode(pkt.Payload); err == nil {
+					if m, err := pkt.Decode(); err == nil {
 						bytesBy[msgType(m)] += pkt.WireSize()
 					}
 					return true

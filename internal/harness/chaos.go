@@ -138,12 +138,15 @@ func RunScenario(scheme Scheme, sc *chaos.Scenario, o ChaosOptions, seed int64) 
 	var c *Cluster
 	var fed *FederatedCluster
 	if scheme == HierarchicalProxy {
-		// The federated stack always deploys across two data centers —
-		// single-DC scenarios then exercise it with an idle-but-audited WAN.
-		fed = NewFederatedCluster(DefaultFederatedOptions(o.Groups, o.PerGroup), seed)
+		// The federated stack deploys across the scenario's data-center
+		// count (two unless the scenario asks for more) — single-DC
+		// scenarios then exercise it with an idle-but-audited WAN.
+		fo := DefaultFederatedOptions(o.Groups, o.PerGroup)
+		fo.DCs = sc.NumDCs()
+		fed = NewFederatedCluster(fo, seed)
 		c = fed.Cluster
 	} else if sc.MultiDC {
-		c = NewCluster(scheme, topology.MultiDC(2, o.Groups, o.PerGroup), seed)
+		c = NewCluster(scheme, topology.MultiDC(sc.NumDCs(), o.Groups, o.PerGroup), seed)
 	} else {
 		c = NewCluster(scheme, topology.Clustered(o.Groups, o.PerGroup), seed)
 	}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -54,6 +55,51 @@ func TestFederationConverges(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestFederationRemoteDCFallback drives the proxy layer's remote-DC
+// fallback order end to end on three data centers: a service advertised by
+// both DC1 and DC2 is first served from DC1 (pickRemoteDC prefers the
+// lowest advertised DC index), then — after every DC1 host dies and its
+// summary expires out of DC0's proxies — the same DC0 invocation must fall
+// back to DC2. Two DCs can never reach this path.
+func TestFederationRemoteDCFallback(t *testing.T) {
+	o := DefaultFederatedOptions(2, 4)
+	o.DCs = 3
+	f := NewFederatedCluster(o, 13)
+	for dc := 1; dc <= 2; dc++ {
+		tag := []byte(fmt.Sprintf("dc%d", dc))
+		for _, h := range f.Top.HostsInDC(dc) {
+			inst := f.Nodes[h].(*fedInstance)
+			if err := inst.rt.Register("shared", "0", time.Millisecond,
+				func(p int32, b []byte) ([]byte, error) { return tag, nil }); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	f.StartAll()
+	f.Run(30 * time.Second)
+
+	client := f.Nodes[f.Top.HostsInDC(0)[0]].(*fedInstance)
+	invoke := func() (string, error) {
+		var got []byte
+		var gotErr error
+		client.rt.Invoke("shared", 0, nil, func(b []byte, err error) { got, gotErr = b, err })
+		f.Run(3 * time.Second)
+		return string(got), gotErr
+	}
+	if got, err := invoke(); err != nil || got != "dc1" {
+		t.Fatalf("initial invocation served by %q (%v), want dc1 (lowest advertised DC)", got, err)
+	}
+	for _, h := range f.Top.HostsInDC(1) {
+		f.Nodes[h].Stop()
+	}
+	// Long enough for DC1's summary to pass the staleness bound everywhere
+	// and be dropped from the remote tables.
+	f.Run(60 * time.Second)
+	if got, err := invoke(); err != nil || got != "dc2" {
+		t.Fatalf("after DC1 outage served by %q (%v), want fallback to dc2", got, err)
 	}
 }
 

@@ -37,6 +37,12 @@ func DefaultScaleOptions() ScaleOptions {
 	return ScaleOptions{Seed: 42, Groups: 50, PerGroup: 20, Churn: 5}
 }
 
+// Scale4kOptions is the N=4000 variant — the cluster size the paper's
+// Figure 2 sweep tops out at. Same rolling-churn shape as the N=1000 run.
+func Scale4kOptions() ScaleOptions {
+	return ScaleOptions{Seed: 42, Groups: 200, PerGroup: 20, Churn: 5}
+}
+
 // scaleScenario builds the churn timeline: every 5s another group's second
 // member dies and restarts 2s later, striding one group per iteration.
 func scaleScenario(o ScaleOptions) *chaos.Scenario {

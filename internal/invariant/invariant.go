@@ -114,6 +114,17 @@ type Auditor struct {
 	lastEpoch   uint64
 	stopped     bool
 
+	// Ground-truth caches. dc is each audited host's data center (fixed
+	// for a run). reach is a pairwise reachability bitset recomputed only
+	// when the topology epoch moves — between faults it turns both the
+	// per-mutation hook's reachability test and the sampler's O(N^2)
+	// completeness pass into bit probes instead of path lookups.
+	dc         []int
+	reachBits  []uint64
+	reachWords int // words per row
+	reachEpoch uint64
+	reachValid bool
+
 	fed *Federation
 
 	invs [numInvariants]inv
@@ -143,7 +154,42 @@ func New(eng *sim.Engine, top *topology.Topology, nodes []Node, o Options) *Audi
 	for i := range a.invs {
 		a.invs[i].first = -1
 	}
+	a.dc = make([]int, n)
+	for i := range a.dc {
+		a.dc[i] = top.HostDC(topology.HostID(i))
+	}
+	a.reachWords = (n + 63) / 64
+	a.reachBits = make([]uint64, n*a.reachWords)
 	return a
+}
+
+// reachable reports whether unicast between two audited hosts currently
+// works, answering from the epoch-keyed bitset. Hosts outside the audited
+// range (proxy endpoints in federated runs) fall back to a path lookup.
+func (a *Auditor) reachable(x, y topology.HostID) bool {
+	n := len(a.nodes)
+	if int(x) >= n || int(y) >= n || x < 0 || y < 0 {
+		lat, _ := a.top.UnicastPath(x, y)
+		return lat >= 0
+	}
+	if ep := a.top.Epoch(); !a.reachValid || ep != a.reachEpoch {
+		a.rebuildReach(ep)
+	}
+	w := int(x)*a.reachWords + int(y)/64
+	return a.reachBits[w]&(1<<(uint(y)%64)) != 0
+}
+
+func (a *Auditor) rebuildReach(epoch uint64) {
+	clear(a.reachBits)
+	for x := range a.nodes {
+		row := a.reachBits[x*a.reachWords : (x+1)*a.reachWords]
+		for y := range a.nodes {
+			if lat, _ := a.top.UnicastPath(topology.HostID(x), topology.HostID(y)); lat >= 0 {
+				row[y/64] |= 1 << (uint(y) % 64)
+			}
+		}
+	}
+	a.reachEpoch, a.reachValid = epoch, true
 }
 
 // Start records the initial ground truth and schedules periodic sampling
@@ -280,7 +326,7 @@ func (a *Auditor) onEvent(i int, e membership.Event) {
 		if now < a.o.Deadline || !a.nodes[j].Running() {
 			return
 		}
-		if a.o.IntraDCOnly && a.top.HostDC(topology.HostID(i)) != a.top.HostDC(topology.HostID(j)) {
+		if a.o.IntraDCOnly && a.dc[i] != a.dc[j] {
 			return
 		}
 		if !a.reachable(topology.HostID(i), topology.HostID(j)) {
@@ -292,11 +338,6 @@ func (a *Auditor) onEvent(i int, e membership.Event) {
 	}
 }
 
-// reachable reports whether unicast between two hosts currently works.
-func (a *Auditor) reachable(x, y topology.HostID) bool {
-	lat, _ := a.top.UnicastPath(x, y)
-	return lat >= 0
-}
 
 func (a *Auditor) checkCompleteness(now time.Duration) {
 	if now < a.o.Deadline {
@@ -312,7 +353,7 @@ func (a *Auditor) checkCompleteness(now time.Duration) {
 			if i == j || !subj.Running() {
 				continue
 			}
-			if a.o.IntraDCOnly && a.top.HostDC(topology.HostID(i)) != a.top.HostDC(topology.HostID(j)) {
+			if a.o.IntraDCOnly && a.dc[i] != a.dc[j] {
 				continue
 			}
 			if !a.reachable(topology.HostID(i), topology.HostID(j)) {
@@ -334,12 +375,11 @@ func (a *Auditor) checkPhantomsAndSeq(now time.Duration) {
 			continue
 		}
 		dir := obs.Directory()
-		for _, id := range dir.Nodes() {
+		dir.Range(func(id membership.NodeID, e *membership.Entry) {
 			j := int(id)
 			if j < 0 || j >= len(a.nodes) {
-				continue
+				return
 			}
-			e := dir.Get(id)
 			if j != i {
 				ph.checks++
 				// The phantom clock starts at whichever is later: the
@@ -366,7 +406,7 @@ func (a *Auditor) checkPhantomsAndSeq(now time.Duration) {
 			}
 			st.seen = true
 			st.inc, st.ver, st.beat = e.Info.Incarnation, e.Info.Version, e.Info.Beat
-		}
+		})
 	}
 }
 

@@ -100,8 +100,16 @@ type tombstone struct {
 // a single goroutine (the simulation loop or the real-transport receive
 // loop); the public tamp API wraps it with locking for client access.
 type Directory struct {
-	owner    NodeID
+	owner NodeID
+	// dense holds entries for IDs in [0, maxDense) — every ID real
+	// deployments mint — indexed directly; entries is the exact-semantics
+	// fallback for IDs outside that window (hostile or misconfigured), so
+	// a wild ID in a CRC-valid packet costs at most the bounded dense
+	// slice, never an attacker-sized allocation. Lookups on the heartbeat
+	// path are array loads instead of map probes.
+	dense    []*Entry
 	entries  map[NodeID]*Entry
+	sorted   []NodeID // entry keys in ascending order, maintained incrementally
 	tombs    map[NodeID]tombstone
 	tombTTL  time.Duration // 0 disables tombstones
 	observer func(Event)
@@ -212,18 +220,62 @@ func (d *Directory) emit(t EventType, n NodeID, now time.Duration) {
 	}
 }
 
-// Len returns the number of known-alive nodes (including the owner if
-// present).
-func (d *Directory) Len() int { return len(d.entries) }
+// maxDense bounds the directly-indexed entry window; see Directory.dense.
+const maxDense = 1 << 16
 
-// Has reports whether node n is currently in the directory.
-func (d *Directory) Has(n NodeID) bool {
-	_, ok := d.entries[n]
-	return ok
+func (d *Directory) get(n NodeID) *Entry {
+	if uint32(n) < uint32(len(d.dense)) {
+		return d.dense[n]
+	}
+	return d.entries[n]
 }
 
+func (d *Directory) put(n NodeID, e *Entry) {
+	if n >= 0 && n < maxDense {
+		if int(n) >= len(d.dense) {
+			grown := make([]*Entry, growTo(int(n)+1))
+			copy(grown, d.dense)
+			d.dense = grown
+		}
+		d.dense[n] = e
+		return
+	}
+	if d.entries == nil {
+		d.entries = make(map[NodeID]*Entry)
+	}
+	d.entries[n] = e
+}
+
+func (d *Directory) del(n NodeID) {
+	if uint32(n) < uint32(len(d.dense)) {
+		d.dense[n] = nil
+		return
+	}
+	delete(d.entries, n)
+}
+
+// growTo rounds a needed dense length up so repeated joins with ascending
+// IDs reallocate O(log n) times, capped at the bounded window.
+func growTo(need int) int {
+	size := 64
+	for size < need {
+		size *= 2
+	}
+	if size > maxDense {
+		size = maxDense
+	}
+	return size
+}
+
+// Len returns the number of known-alive nodes (including the owner if
+// present).
+func (d *Directory) Len() int { return len(d.sorted) }
+
+// Has reports whether node n is currently in the directory.
+func (d *Directory) Has(n NodeID) bool { return d.get(n) != nil }
+
 // Get returns the entry for n, or nil.
-func (d *Directory) Get(n NodeID) *Entry { return d.entries[n] }
+func (d *Directory) Get(n NodeID) *Entry { return d.get(n) }
 
 // Upsert merges info into the directory. The entry's origin bookkeeping is
 // set from the arguments. Stale info (older incarnation/version for a
@@ -238,12 +290,13 @@ func (d *Directory) Upsert(info MemberInfo, origin Origin, level int, relayer No
 		// Direct observation proves liveness and clears any tombstone.
 		delete(d.tombs, info.Node)
 	}
-	e, ok := d.entries[info.Node]
-	if !ok {
-		d.entries[info.Node] = &Entry{
+	e := d.get(info.Node)
+	if e == nil {
+		d.put(info.Node, &Entry{
 			Info: info, Origin: origin, Level: level, Relayer: relayer,
 			LastRefresh: now, Counter: info.Beat,
-		}
+		})
+		d.sortedInsert(info.Node)
 		d.emit(EventJoin, info.Node, now)
 		return true
 	}
@@ -281,19 +334,19 @@ func (d *Directory) Upsert(info MemberInfo, origin Origin, level int, relayer No
 // Refresh bumps LastRefresh for n if present (a heartbeat with unchanged
 // info); reports whether the node was present.
 func (d *Directory) Refresh(n NodeID, now time.Duration) bool {
-	e, ok := d.entries[n]
-	if ok {
+	e := d.get(n)
+	if e != nil {
 		e.LastRefresh = now
 	}
-	return ok
+	return e != nil
 }
 
 // Remove deletes node n; reports whether it was present. When tombstones
 // are enabled, the removal is remembered so stale relayed snapshots cannot
 // resurrect the node.
 func (d *Directory) Remove(n NodeID, now time.Duration) bool {
-	e, ok := d.entries[n]
-	if !ok {
+	e := d.get(n)
+	if e == nil {
 		return false
 	}
 	if d.tombTTL > 0 {
@@ -305,58 +358,90 @@ func (d *Directory) Remove(n NodeID, now time.Duration) bool {
 			}
 		}
 	}
-	delete(d.entries, n)
+	d.del(n)
+	d.sortedDelete(n)
 	d.emit(EventLeave, n, now)
 	return true
 }
 
+// sortedInsert and sortedDelete keep d.sorted in ascending order so reads
+// (Nodes, Snapshot, Expired, Lookup) never re-sort the whole key set.
+func (d *Directory) sortedInsert(n NodeID) {
+	i := sort.Search(len(d.sorted), func(i int) bool { return d.sorted[i] >= n })
+	d.sorted = append(d.sorted, 0)
+	copy(d.sorted[i+1:], d.sorted[i:])
+	d.sorted[i] = n
+}
+
+func (d *Directory) sortedDelete(n NodeID) {
+	i := sort.Search(len(d.sorted), func(i int) bool { return d.sorted[i] >= n })
+	if i < len(d.sorted) && d.sorted[i] == n {
+		d.sorted = append(d.sorted[:i], d.sorted[i+1:]...)
+	}
+}
+
 // Nodes returns the known node IDs in ascending order.
 func (d *Directory) Nodes() []NodeID {
-	out := make([]NodeID, 0, len(d.entries))
-	for n := range d.entries {
-		out = append(out, n)
+	return append([]NodeID(nil), d.sorted...)
+}
+
+// Range calls fn for every entry in ascending node order without allocating
+// a key slice — the auditor walks every directory every sampling tick, so
+// the copy Nodes() makes matters there. fn must not add or remove entries.
+func (d *Directory) Range(fn func(NodeID, *Entry)) {
+	for _, n := range d.sorted {
+		fn(n, d.get(n))
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
 }
 
 // Snapshot returns deep copies of all member infos, in node order. This is
 // what bootstrap and sync replies carry.
 func (d *Directory) Snapshot() []MemberInfo {
-	nodes := d.Nodes()
-	out := make([]MemberInfo, 0, len(nodes))
-	for _, n := range nodes {
-		out = append(out, d.entries[n].Info.Clone())
+	out := make([]MemberInfo, 0, len(d.sorted))
+	for _, n := range d.sorted {
+		out = append(out, d.get(n).Info.Clone())
 	}
 	return out
 }
 
-// Expired returns the nodes whose entries have not been refreshed within
-// their timeout, given a per-entry timeout function. The owner's own entry
-// never expires.
-func (d *Directory) Expired(now time.Duration, timeout func(*Entry) time.Duration) []NodeID {
+// Expired returns, in ascending order, the nodes whose entries have not
+// been refreshed within their timeout, given a per-entry timeout function.
+// The owner's own entry never expires. The second result is the earliest
+// future instant any surviving entry could expire (MaxDeadline when none
+// can): refreshes only push deadlines later and new entries start fresh, so
+// the caller may skip every scan before that instant — the sweep stays
+// O(directory) but runs only when it can find something.
+func (d *Directory) Expired(now time.Duration, timeout func(*Entry) time.Duration) ([]NodeID, time.Duration) {
 	var out []NodeID
-	for n, e := range d.entries {
+	next := MaxDeadline
+	for _, n := range d.sorted {
+		e := d.get(n)
 		if n == d.owner || e.Origin == OriginSelf {
 			continue
 		}
-		if now-e.LastRefresh > timeout(e) {
+		deadline := e.LastRefresh + timeout(e)
+		if deadline < now {
 			out = append(out, n)
+		} else if deadline < next {
+			next = deadline
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return out, next
 }
 
-// RelayedBy returns the nodes whose entries were learned via relayer.
+// MaxDeadline is the "never" sentinel returned by Expired when no current
+// entry has a future expiry deadline.
+const MaxDeadline = time.Duration(1<<63 - 1)
+
+// RelayedBy returns, in ascending order, the nodes whose entries were
+// learned via relayer.
 func (d *Directory) RelayedBy(relayer NodeID) []NodeID {
 	var out []NodeID
-	for n, e := range d.entries {
-		if e.Origin == OriginRelayed && e.Relayer == relayer {
+	for _, n := range d.sorted {
+		if e := d.get(n); e.Origin == OriginRelayed && e.Relayer == relayer {
 			out = append(out, n)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -391,8 +476,8 @@ func (d *Directory) Lookup(servicePattern, partitionSpec string) ([]Match, error
 		}
 	}
 	var out []Match
-	for _, n := range d.Nodes() {
-		e := d.entries[n]
+	for _, n := range d.sorted {
+		e := d.get(n)
 		for _, svc := range e.Info.Services {
 			if !re.MatchString(svc.Name) {
 				continue

@@ -145,13 +145,19 @@ func TestExpired(t *testing.T) {
 	d.Upsert(info(1), OriginDirect, 0, NoNode, 0)
 	d.Upsert(info(2), OriginDirect, 0, NoNode, 4*time.Second)
 	fixed := func(*Entry) time.Duration { return 5 * time.Second }
-	got := d.Expired(6*time.Second, fixed)
+	got, next := d.Expired(6*time.Second, fixed)
 	if len(got) != 1 || got[0] != 1 {
 		t.Fatalf("Expired = %v, want [1]", got)
 	}
-	got = d.Expired(20*time.Second, fixed)
+	if want := 9 * time.Second; next != want {
+		t.Fatalf("next deadline = %v, want %v (node 2's)", next, want)
+	}
+	got, next = d.Expired(20*time.Second, fixed)
 	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
 		t.Fatalf("Expired = %v, want [1 2] (owner exempt)", got)
+	}
+	if next != MaxDeadline {
+		t.Fatalf("next deadline = %v, want MaxDeadline (all expired)", next)
 	}
 }
 

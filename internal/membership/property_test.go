@@ -94,7 +94,7 @@ func TestPropertyExpiryNeverTouchesSelf(t *testing.T) {
 		for _, id := range ids {
 			d.Upsert(MemberInfo{Node: NodeID(id % 8)}, OriginDirect, 0, NoNode, 0)
 		}
-		expired := d.Expired(time.Hour, func(*Entry) time.Duration {
+		expired, _ := d.Expired(time.Hour, func(*Entry) time.Duration {
 			return time.Duration(timeoutMS) * time.Millisecond
 		})
 		for _, n := range expired {

@@ -1,0 +1,44 @@
+package metrics
+
+// The trajectory view behind `tampbench -history`: committed BENCH_*.json
+// snapshots of one figure, oldest first, rendered as one wall/packet row
+// per commit so perf or robustness drift is visible without checking
+// anything out. Consecutive snapshots also run through the -diff
+// comparator, so the row where a regression landed is annotated in place.
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// HistorySnapshot is one committed revision of a BENCH_*.json file.
+type HistorySnapshot struct {
+	Commit  string // abbreviated hash
+	Date    string // commit date, YYYY-MM-DD
+	Subject string // first line of the commit message
+	Bench   BenchJSON
+}
+
+// RenderHistory renders one figure's trajectory, oldest snapshot first:
+// run count, total wall time, delivered packets, events, and — indented
+// under each row — whatever CompareBench flags against the previous
+// snapshot.
+func RenderHistory(fig string, snaps []HistorySnapshot, o DiffOptions) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s: %d committed snapshot(s)\n", fig, len(snaps))
+	fmt.Fprintf(&b, "%-10s %-11s %5s %10s %14s %12s  %s\n",
+		"commit", "date", "runs", "wall", "pkts", "events", "subject")
+	for i, s := range snaps {
+		sum := s.Bench.Summary
+		fmt.Fprintf(&b, "%-10s %-11s %5d %10v %14d %12d  %s\n",
+			s.Commit, s.Date, sum.Runs, sum.Wall.Round(100*time.Millisecond),
+			sum.PktsDelivered, sum.Events, s.Subject)
+		if i > 0 {
+			for _, r := range CompareBench(snaps[i-1].Bench, s.Bench, o) {
+				fmt.Fprintf(&b, "%10s   ^ %s: %s\n", "", r.Key, r.What)
+			}
+		}
+	}
+	return b.String()
+}

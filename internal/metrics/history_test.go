@@ -1,0 +1,41 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRenderHistory(t *testing.T) {
+	old := BenchJSON{
+		Fig:  "scale",
+		Runs: []RunReport{{Key: "scale/churn/hierarchical/n=1000", PktsDelivered: 100}},
+		Summary: SweepSummary{
+			Runs: 1, Wall: 90 * time.Second, PktsDelivered: 100, Events: 5000,
+		},
+	}
+	grown := old
+	grown.Runs = []RunReport{{Key: "scale/churn/hierarchical/n=1000", PktsDelivered: 400}}
+	grown.Summary.PktsDelivered = 400
+	snaps := []HistorySnapshot{
+		{Commit: "aaaaaaa", Date: "2026-01-01", Subject: "seed", Bench: old},
+		{Commit: "bbbbbbb", Date: "2026-02-01", Subject: "blowup", Bench: grown},
+	}
+	out := RenderHistory("scale", snaps, DefaultDiffOptions())
+	if !strings.Contains(out, "# scale: 2 committed snapshot(s)") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "aaaaaaa") || !strings.Contains(out, "bbbbbbb") {
+		t.Fatalf("missing commit rows:\n%s", out)
+	}
+	// The second snapshot quadruples packets, so the consecutive-pair
+	// comparator must annotate its row.
+	if !strings.Contains(out, "packets delivered 100 -> 400") {
+		t.Fatalf("missing regression annotation:\n%s", out)
+	}
+	// A single snapshot has no previous point to diff against.
+	out = RenderHistory("scale", snaps[:1], DefaultDiffOptions())
+	if strings.Contains(out, "packets delivered") {
+		t.Fatalf("unexpected annotation on single snapshot:\n%s", out)
+	}
+}

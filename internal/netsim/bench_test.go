@@ -1,0 +1,62 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// BenchmarkMulticastFanout40 measures one TTL-scoped multicast into a
+// 2-group cluster (39 receivers) plus the delivery drain — the hot loop of
+// every heartbeat in the simulator. The receiver set comes from the
+// epoch-keyed fan-out cache, so per-send cost must not rescan the topology.
+func BenchmarkMulticastFanout40(b *testing.B) {
+	eng := sim.NewEngine(1)
+	n := New(eng, topology.Clustered(2, 20))
+	for h := topology.HostID(0); h < 40; h++ {
+		ep := n.Endpoint(h)
+		ep.Join(3)
+		ep.SetHandler(func(pkt Packet) {})
+	}
+	payload := make([]byte, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Endpoint(0).Multicast(3, 4, payload)
+		eng.RunAll()
+	}
+}
+
+// BenchmarkPacketDecodeShared measures the memoized decode path: one
+// multicast parsed by 19 same-group receivers must run the real decoder
+// once and hand the remaining 18 receivers the cached message.
+func BenchmarkPacketDecodeShared(b *testing.B) {
+	eng := sim.NewEngine(1)
+	n := New(eng, topology.Clustered(1, 20))
+	hb := &wire.Heartbeat{Seq: 7}
+	hb.Info.Node = 1
+	payload := wire.Encode(hb)
+	decodes := 0
+	for h := topology.HostID(0); h < 20; h++ {
+		ep := n.Endpoint(h)
+		ep.Join(3)
+		ep.SetHandler(func(pkt Packet) {
+			if _, err := pkt.Decode(); err != nil {
+				b.Fatal(err)
+			}
+			decodes++
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Endpoint(0).Multicast(3, 1, payload)
+		eng.RunAll()
+	}
+	b.StopTimer()
+	if want := 19 * b.N; decodes != want {
+		b.Fatalf("decodes = %d, want %d", decodes, want)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/sim"
 	"repro/internal/topology"
+	"repro/internal/wire"
 )
 
 // ChannelID names a multicast channel. The hierarchical protocol derives
@@ -26,6 +27,34 @@ type Packet struct {
 	Channel ChannelID       // 0 and Dst >= 0 means unicast
 	TTL     int
 	Payload []byte
+
+	// memo caches the first successful wire decode of this payload: the
+	// pointer is shared by every delivery copy of the packet, so a
+	// multicast parsed by one receiver is not re-parsed by its ~group-size
+	// other receivers. Deliveries that tamper with the payload (corrupt,
+	// truncate) drop the memo and parse their own bytes.
+	memo *pktMemo
+}
+
+type pktMemo struct {
+	done bool
+	msg  wire.Message
+	err  error
+}
+
+// Decode parses the packet payload, memoizing the result across all
+// receivers of the same untampered bytes. The returned message is shared:
+// callers must treat it — including nested slices — as immutable.
+func (p *Packet) Decode() (wire.Message, error) {
+	m := p.memo
+	if m == nil {
+		return wire.Decode(p.Payload)
+	}
+	if !m.done {
+		m.msg, m.err = wire.Decode(p.Payload)
+		m.done = true
+	}
+	return m.msg, m.err
 }
 
 // Multicast reports whether the packet was sent to a channel.
@@ -175,12 +204,40 @@ type Network struct {
 	// its RNG draws), keeping pre-existing scenarios byte-identical.
 	hasFaults bool
 
+	// fans caches, per (sender, channel, TTL), the subscription-filtered
+	// receiver list a multicast fans out to, so the steady-state beat path
+	// skips both the topology scope lookup and the per-host subscription
+	// scan. Entries are validated against the topology epoch (fault
+	// injection) and subEpoch (Join/Leave) and rebuilt in place on mismatch.
+	fans     map[fanKey]*fanout
+	subEpoch uint64
+
+	freeDel *delivery // pooled delivery callbacks, linked via next
+
 	wanBytes uint64 // bytes that crossed data centers (unicast only)
+}
+
+// fanKey identifies one cached multicast fan-out.
+type fanKey struct {
+	src topology.HostID
+	ch  ChannelID
+	ttl int
+}
+
+// fanout is the cached receiver set: scope order filtered by subscription,
+// with per-receiver latency and path marks. The slices are reused across
+// rebuilds.
+type fanout struct {
+	topEpoch uint64
+	subEpoch uint64
+	dsts     []*Endpoint
+	lat      []time.Duration
+	marks    []topology.MarkSet // empty when no links are marked
 }
 
 // New creates a network with one endpoint per host in the topology.
 func New(eng *sim.Engine, top *topology.Topology) *Network {
-	n := &Network{eng: eng, top: top}
+	n := &Network{eng: eng, top: top, fans: make(map[fanKey]*fanout)}
 	n.eps = make([]*Endpoint, top.NumHosts())
 	for i := range n.eps {
 		n.eps[i] = &Endpoint{
@@ -265,19 +322,29 @@ func (n *Network) installProfile(bit int, p LinkProfile) {
 // compose folds the profiles of every marked link on a delivery path over
 // the network-wide defaults. Loss and duplication compose as independent
 // events (1-(1-a)(1-b)); jitter takes the maximum fraction.
-func (n *Network) compose(marks uint64) (loss, jitter, dup float64) {
+func (n *Network) compose(marks topology.MarkSet) (loss, jitter, dup float64) {
 	loss, jitter, dup = n.loss, n.jitter, n.dup
-	for m := marks; m != 0; m &= m - 1 {
-		bit := bits.TrailingZeros64(m)
-		if bit >= len(n.profiles) {
-			continue
+	lo, hi := marks.Words()
+	for m := lo; m != 0; m &= m - 1 {
+		loss, jitter, dup = n.composeBit(bits.TrailingZeros64(m), loss, jitter, dup)
+	}
+	for w, word := range hi {
+		for m := word; m != 0; m &= m - 1 {
+			loss, jitter, dup = n.composeBit(64*(w+1)+bits.TrailingZeros64(m), loss, jitter, dup)
 		}
-		p := n.profiles[bit]
-		loss = 1 - (1-loss)*(1-p.Loss)
-		dup = 1 - (1-dup)*(1-p.Dup)
-		if p.Jitter > jitter {
-			jitter = p.Jitter
-		}
+	}
+	return loss, jitter, dup
+}
+
+func (n *Network) composeBit(bit int, loss, jitter, dup float64) (float64, float64, float64) {
+	if bit >= len(n.profiles) {
+		return loss, jitter, dup
+	}
+	p := n.profiles[bit]
+	loss = 1 - (1-loss)*(1-p.Loss)
+	dup = 1 - (1-dup)*(1-p.Dup)
+	if p.Jitter > jitter {
+		jitter = p.Jitter
 	}
 	return loss, jitter, dup
 }
@@ -294,19 +361,28 @@ func (f faults) any() bool {
 // composeFaults folds the byte-fault probabilities of every marked link on
 // a delivery path; like loss/dup they compose as independent events. There
 // are no network-wide byte-fault defaults — damage is always per-link.
-func (n *Network) composeFaults(marks uint64) (f faults) {
-	for m := marks; m != 0; m &= m - 1 {
-		bit := bits.TrailingZeros64(m)
-		if bit >= len(n.profiles) {
-			continue
+func (n *Network) composeFaults(marks topology.MarkSet) (f faults) {
+	lo, hi := marks.Words()
+	for m := lo; m != 0; m &= m - 1 {
+		n.composeFaultBit(bits.TrailingZeros64(m), &f)
+	}
+	for w, word := range hi {
+		for m := word; m != 0; m &= m - 1 {
+			n.composeFaultBit(64*(w+1)+bits.TrailingZeros64(m), &f)
 		}
-		p := n.profiles[bit]
-		f.corrupt = 1 - (1-f.corrupt)*(1-p.Corrupt)
-		f.truncate = 1 - (1-f.truncate)*(1-p.Truncate)
-		f.replay = 1 - (1-f.replay)*(1-p.Replay)
-		f.stale = 1 - (1-f.stale)*(1-p.Stale)
 	}
 	return f
+}
+
+func (n *Network) composeFaultBit(bit int, f *faults) {
+	if bit >= len(n.profiles) {
+		return
+	}
+	p := n.profiles[bit]
+	f.corrupt = 1 - (1-f.corrupt)*(1-p.Corrupt)
+	f.truncate = 1 - (1-f.truncate)*(1-p.Truncate)
+	f.replay = 1 - (1-f.replay)*(1-p.Replay)
+	f.stale = 1 - (1-f.stale)*(1-p.Stale)
 }
 
 // Endpoint returns the endpoint of host h.
@@ -420,10 +496,20 @@ func (ep *Endpoint) SetUp(up bool) { ep.up = up }
 func (ep *Endpoint) Up() bool { return ep.up }
 
 // Join subscribes the endpoint to a multicast channel.
-func (ep *Endpoint) Join(ch ChannelID) { ep.subs[ch] = true }
+func (ep *Endpoint) Join(ch ChannelID) {
+	if !ep.subs[ch] {
+		ep.subs[ch] = true
+		ep.net.subEpoch++
+	}
+}
 
 // Leave unsubscribes from a channel.
-func (ep *Endpoint) Leave(ch ChannelID) { delete(ep.subs, ch) }
+func (ep *Endpoint) Leave(ch ChannelID) {
+	if ep.subs[ch] {
+		delete(ep.subs, ch)
+		ep.net.subEpoch++
+	}
+}
 
 // Joined reports whether the endpoint is subscribed to ch.
 func (ep *Endpoint) Joined(ch ChannelID) bool { return ep.subs[ch] }
@@ -434,21 +520,49 @@ func (ep *Endpoint) Multicast(ch ChannelID, ttl int, payload []byte) {
 	if !ep.up {
 		return
 	}
-	pkt := Packet{Src: ep.id, Dst: topology.NoHost, Channel: ch, TTL: ttl, Payload: payload}
+	pkt := Packet{Src: ep.id, Dst: topology.NoHost, Channel: ch, TTL: ttl, Payload: payload, memo: &pktMemo{}}
 	ep.stats.PktsSent++
 	ep.stats.BytesSent += uint64(pkt.WireSize())
-	scope := ep.net.top.MulticastScope(ep.id, ttl)
+	f := ep.net.fanoutFor(ep.id, ch, ttl)
+	for i, dst := range f.dsts {
+		var marks topology.MarkSet
+		if len(f.marks) > 0 {
+			marks = f.marks[i]
+		}
+		ep.deliver(dst, pkt, f.lat[i], marks)
+	}
+}
+
+// fanoutFor returns the cached receiver set for one (sender, channel, TTL),
+// rebuilding it when fault injection has changed the topology epoch or a
+// Join/Leave has changed subscriptions. The rebuild preserves exactly the
+// order a direct scope walk produces: scope order, filtered by subscription.
+func (n *Network) fanoutFor(src topology.HostID, ch ChannelID, ttl int) *fanout {
+	key := fanKey{src: src, ch: ch, ttl: ttl}
+	f := n.fans[key]
+	epoch := n.top.Epoch()
+	if f != nil && f.topEpoch == epoch && f.subEpoch == n.subEpoch {
+		return f
+	}
+	if f == nil {
+		f = &fanout{}
+		n.fans[key] = f
+	}
+	f.topEpoch, f.subEpoch = epoch, n.subEpoch
+	f.dsts, f.lat, f.marks = f.dsts[:0], f.lat[:0], f.marks[:0]
+	scope := n.top.MulticastScope(src, ttl)
 	for i, h := range scope.Hosts {
-		dst := ep.net.eps[h]
+		dst := n.eps[h]
 		if !dst.subs[ch] {
 			continue
 		}
-		var marks uint64
+		f.dsts = append(f.dsts, dst)
+		f.lat = append(f.lat, scope.Latency[i])
 		if scope.Marks != nil {
-			marks = scope.Marks[i]
+			f.marks = append(f.marks, scope.Marks[i])
 		}
-		ep.deliver(dst, pkt, scope.Latency[i], marks)
 	}
+	return f
 }
 
 // Unicast sends payload to a specific host. Returns false if the
@@ -462,7 +576,7 @@ func (ep *Endpoint) Unicast(dst topology.HostID, payload []byte) bool {
 	if int(dst) < 0 || int(dst) >= len(ep.net.eps) {
 		return false
 	}
-	pkt := Packet{Src: ep.id, Dst: dst, Payload: payload}
+	pkt := Packet{Src: ep.id, Dst: dst, Payload: payload, memo: &pktMemo{}}
 	ep.stats.PktsSent++
 	ep.stats.BytesSent += uint64(pkt.WireSize())
 	lat, marks := ep.net.top.UnicastPath(ep.id, dst)
@@ -476,14 +590,14 @@ func (ep *Endpoint) Unicast(dst topology.HostID, payload []byte) bool {
 	return true
 }
 
-func (ep *Endpoint) deliver(dst *Endpoint, pkt Packet, latency time.Duration, marks uint64) {
+func (ep *Endpoint) deliver(dst *Endpoint, pkt Packet, latency time.Duration, marks topology.MarkSet) {
 	n := ep.net
 	loss, jitter, dup := n.loss, n.jitter, n.dup
-	if marks != 0 {
+	if !marks.Empty() {
 		loss, jitter, dup = n.compose(marks)
 	}
 	var fl faults
-	if marks != 0 && n.hasFaults {
+	if !marks.Empty() && n.hasFaults {
 		fl = n.composeFaults(marks)
 	}
 	if dup > 0 && n.eng.Rand().Float64() < dup {
@@ -511,62 +625,101 @@ func (ep *Endpoint) deliverOnce(dst *Endpoint, pkt Packet, latency time.Duration
 		latency += time.Duration(n.eng.Rand().Int63n(int64(dst.grayLag)))
 		dst.stats.GrayDelayed++
 	}
-	n.eng.Schedule(latency, func() {
-		if !dst.up {
-			return
-		}
-		if pkt.Multicast() && !dst.subs[pkt.Channel] {
-			// Unsubscribed between send and delivery.
-			return
-		}
-		// Loss is drawn at delivery time, dup/jitter at send time; this
-		// draw order is part of the deterministic-replay contract and
-		// must not change (documented sweep outputs depend on it). The
-		// byte-fault draws below likewise happen at delivery time, in the
-		// fixed order corrupt → truncate → (handler) → replay → stale —
-		// and only when the composed probability is nonzero, so scenarios
-		// without adversarial profiles replay bit-identically.
-		if loss > 0 && n.eng.Rand().Float64() < loss {
-			dst.stats.Dropped++
-			return
-		}
-		if dst.filter != nil && !dst.filter(pkt) {
-			dst.stats.Dropped++
-			return
-		}
-		if fl.corrupt > 0 && n.eng.Rand().Float64() < fl.corrupt {
-			pkt.Payload = corruptBytes(n.eng, pkt.Payload)
-			dst.stats.Corrupted++
-		}
-		if fl.truncate > 0 && n.eng.Rand().Float64() < fl.truncate {
-			// Keep a strict prefix; zero-length datagrams are legal UDP.
-			pkt.Payload = pkt.Payload[:n.eng.Rand().Intn(len(pkt.Payload)+1)]
-			dst.stats.Truncated++
-		}
+	d := n.newDelivery()
+	d.dst, d.pkt, d.loss, d.fl = dst, pkt, loss, fl
+	n.eng.ScheduleCall(latency, d)
+}
+
+// delivery is a pooled in-flight packet: the engine fires it at arrival
+// time via the Callback interface, so the send path allocates nothing per
+// packet (no closure, no timer handle). Instances are recycled through
+// Network.freeDel the moment they fire.
+type delivery struct {
+	n     *Network
+	dst   *Endpoint
+	pkt   Packet
+	loss  float64
+	fl    faults
+	stale bool      // set on the bounded re-delivery of a stale fault
+	next  *delivery // free-list link
+}
+
+func (n *Network) newDelivery() *delivery {
+	d := n.freeDel
+	if d != nil {
+		n.freeDel = d.next
+		d.next = nil
+	} else {
+		d = &delivery{n: n}
+	}
+	return d
+}
+
+func (n *Network) releaseDelivery(d *delivery) {
+	*d = delivery{n: n, next: n.freeDel}
+	n.freeDel = d
+}
+
+// Fire implements sim.Callback: it is the arrival half of deliverOnce. The
+// struct returns to the pool before the handler runs — handlers send more
+// packets, and those sends reuse it.
+func (d *delivery) Fire() {
+	n, dst, pkt, loss, fl, stale := d.n, d.dst, d.pkt, d.loss, d.fl, d.stale
+	n.releaseDelivery(d)
+	if !dst.up {
+		return
+	}
+	if pkt.Multicast() && !dst.subs[pkt.Channel] {
+		// Unsubscribed between send and delivery.
+		return
+	}
+	if stale {
+		dst.stats.Stale++
 		dst.receive(pkt)
-		if n.hasFaults {
-			dst.recordRecent(pkt, n.eng.Now())
+		return
+	}
+	// Loss is drawn at delivery time, dup/jitter at send time; this
+	// draw order is part of the deterministic-replay contract and
+	// must not change (documented sweep outputs depend on it). The
+	// byte-fault draws below likewise happen at delivery time, in the
+	// fixed order corrupt → truncate → (handler) → replay → stale —
+	// and only when the composed probability is nonzero, so scenarios
+	// without adversarial profiles replay bit-identically.
+	if loss > 0 && n.eng.Rand().Float64() < loss {
+		dst.stats.Dropped++
+		return
+	}
+	if dst.filter != nil && !dst.filter(pkt) {
+		dst.stats.Dropped++
+		return
+	}
+	if fl.corrupt > 0 && n.eng.Rand().Float64() < fl.corrupt {
+		pkt.Payload = corruptBytes(n.eng, pkt.Payload)
+		pkt.memo = nil // tampered bytes must not share the clean parse
+		dst.stats.Corrupted++
+	}
+	if fl.truncate > 0 && n.eng.Rand().Float64() < fl.truncate {
+		// Keep a strict prefix; zero-length datagrams are legal UDP.
+		pkt.Payload = pkt.Payload[:n.eng.Rand().Intn(len(pkt.Payload)+1)]
+		pkt.memo = nil
+		dst.stats.Truncated++
+	}
+	dst.receive(pkt)
+	if n.hasFaults {
+		dst.recordRecent(pkt, n.eng.Now())
+	}
+	if fl.replay > 0 && n.eng.Rand().Float64() < fl.replay {
+		if old, ok := dst.pickRecent(n.eng.Now(), n.eng); ok {
+			dst.stats.Replayed++
+			dst.receive(old)
 		}
-		if fl.replay > 0 && n.eng.Rand().Float64() < fl.replay {
-			if old, ok := dst.pickRecent(n.eng.Now(), n.eng); ok {
-				dst.stats.Replayed++
-				dst.receive(old)
-			}
-		}
-		if fl.stale > 0 && n.eng.Rand().Float64() < fl.stale {
-			extra := time.Duration(1 + n.eng.Rand().Int63n(int64(staleDelayMax)))
-			n.eng.Schedule(extra, func() {
-				if !dst.up {
-					return
-				}
-				if pkt.Multicast() && !dst.subs[pkt.Channel] {
-					return
-				}
-				dst.stats.Stale++
-				dst.receive(pkt)
-			})
-		}
-	})
+	}
+	if fl.stale > 0 && n.eng.Rand().Float64() < fl.stale {
+		extra := time.Duration(1 + n.eng.Rand().Int63n(int64(staleDelayMax)))
+		sd := n.newDelivery()
+		sd.dst, sd.pkt, sd.stale = dst, pkt, true
+		n.eng.ScheduleCall(extra, sd)
+	}
 }
 
 // receive accounts and hands one packet (original, replayed, or stale) to

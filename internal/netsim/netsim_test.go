@@ -338,12 +338,12 @@ func TestLinkProfileComposesWithGlobal(t *testing.T) {
 	_, n := newNet(t, topology.FlatLAN(2))
 	n.SetLossProbability(0.5)
 	n.SetLatencyJitter(0.1)
-	bit := n.top.MarkLink(devID(t, n.top, "sw0"), topology.DeviceID(0))
+	bit := n.top.MarkLink(devID(t, n.top, "sw0"), devID(t, n.top, "node000"))
 	for len(n.profiles) <= bit {
 		n.profiles = append(n.profiles, LinkProfile{})
 	}
 	n.profiles[bit] = LinkProfile{Loss: 0.5, Jitter: 0.4, Dup: 0.25}
-	loss, jitter, dup := n.compose(1 << uint(bit))
+	loss, jitter, dup := n.compose(topology.MarkSetOf(bit))
 	if loss != 0.75 {
 		t.Fatalf("composed loss = %v, want 0.75", loss)
 	}
@@ -354,9 +354,9 @@ func TestLinkProfileComposesWithGlobal(t *testing.T) {
 		t.Fatalf("composed dup = %v, want 0.25", dup)
 	}
 	// Unmarked paths keep the global knobs.
-	loss, jitter, dup = n.compose(0)
+	loss, jitter, dup = n.compose(topology.MarkSet{})
 	if loss != 0.5 || jitter != 0.1 || dup != 0 {
-		t.Fatalf("compose(0) = %v/%v/%v, want globals 0.5/0.1/0", loss, jitter, dup)
+		t.Fatalf("compose(empty) = %v/%v/%v, want globals 0.5/0.1/0", loss, jitter, dup)
 	}
 }
 
@@ -396,3 +396,84 @@ func TestLinkProfileValidation(t *testing.T) {
 		}()
 	}
 }
+
+// TestFanoutCacheRebuildsOnRouterFailure drives the cached multicast fan-out
+// across a mid-run router failure: the cache must be rebuilt when the
+// topology epoch bumps (no stale deliveries across the dead router, no
+// missed hosts after the repair) and when subscriptions change.
+func TestFanoutCacheRebuildsOnRouterFailure(t *testing.T) {
+	eng, n := newNet(t, topology.Clustered(2, 3)) // hosts 0-2 on sw0, 3-5 on sw1
+	const ch = ChannelID(7)
+	recv := map[topology.HostID]int{}
+	for h := topology.HostID(1); h < 6; h++ {
+		h := h
+		n.Endpoint(h).Join(ch)
+		n.Endpoint(h).SetHandler(func(pkt Packet) { recv[h]++ })
+	}
+	send := func() map[topology.HostID]int {
+		clear(recv)
+		n.Endpoint(0).Multicast(ch, 2, []byte("x"))
+		eng.RunAll()
+		return recv
+	}
+
+	if got := send(); len(got) != 5 { // warm the cache
+		t.Fatalf("warm-up multicast reached %v, want all 5 receivers", got)
+	}
+	core := devID(t, n.top, "core")
+	n.top.FailDevice(core)
+	if got := send(); got[1] != 1 || got[2] != 1 || len(got) != 2 {
+		t.Fatalf("with core failed, multicast reached %v, want only hosts 1,2 (stale fan-out cache?)", got)
+	}
+	n.top.RepairDevice(core)
+	if got := send(); len(got) != 5 {
+		t.Fatalf("after repair, multicast reached %v, want all 5 receivers again", got)
+	}
+
+	// Subscription changes must invalidate the cache too.
+	n.Endpoint(2).Leave(ch)
+	if got := send(); got[2] != 0 || len(got) != 4 {
+		t.Fatalf("after Leave, multicast reached %v, want hosts 1,3,4,5", got)
+	}
+	n.Endpoint(2).Join(ch)
+	if got := send(); len(got) != 5 {
+		t.Fatalf("after re-Join, multicast reached %v, want all 5 receivers", got)
+	}
+}
+
+// TestLinkProfilesBeyond64Marks exercises the growable mark namespace end to
+// end: with more than 64 marked links, a profile installed on a high-bit
+// link must still gate deliveries whose path crosses it.
+func TestLinkProfilesBeyond64Marks(t *testing.T) {
+	eng, n := newNet(t, topology.FlatLAN(70))
+	sw := devID(t, n.top, "sw0")
+	// Burn 69 mark bits on healthy links, then install a drop-everything
+	// profile on host 69's uplink — its bit index is 69, past the old cap.
+	for i := 0; i < 69; i++ {
+		n.SetLinkProfile(sw, devID(t, n.top, fmtNode(i)), LinkProfile{})
+	}
+	bit := n.top.MarkLink(sw, devID(t, n.top, fmtNode(69)))
+	if bit != 69 {
+		t.Fatalf("mark bit = %d, want 69", bit)
+	}
+	n.installProfile(bit, LinkProfile{Loss: 0.999999999})
+	recv := map[topology.HostID]int{}
+	for _, h := range []topology.HostID{1, 69} {
+		h := h
+		n.Endpoint(h).SetHandler(func(pkt Packet) { recv[h]++ })
+	}
+	const rounds = 20
+	for i := 0; i < rounds; i++ {
+		n.Endpoint(0).Unicast(1, []byte("x"))
+		n.Endpoint(0).Unicast(69, []byte("x"))
+	}
+	eng.RunAll()
+	if recv[1] != rounds {
+		t.Fatalf("unaffected path lost packets: recv[1] = %d, want %d", recv[1], rounds)
+	}
+	if recv[69] > 1 {
+		t.Fatalf("high-bit profile not applied: recv[69] = %d, want ~0", recv[69])
+	}
+}
+
+func fmtNode(i int) string { return "node" + string([]byte{'0' + byte(i/100), '0' + byte(i/10%10), '0' + byte(i%10)}) }

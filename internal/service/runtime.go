@@ -189,7 +189,7 @@ func (r *Runtime) Load() uint32 { return uint32(r.queued) }
 // dispatch demultiplexes endpoint packets between the service layer and the
 // membership daemon.
 func (r *Runtime) dispatch(pkt netsim.Packet) {
-	msg, err := wire.Decode(pkt.Payload)
+	msg, err := pkt.Decode()
 	if err != nil {
 		r.ep.NoteReject()
 		return

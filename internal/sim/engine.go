@@ -1,88 +1,91 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
 )
 
-// Event is a scheduled callback. The zero Event is invalid.
+// Event is a scheduled callback owned by the engine. Events are pooled and
+// reused after they fire or are reaped, so external code must never hold a
+// bare *Event; Timer (which carries a generation stamp) is the safe handle.
+// The zero Event is invalid.
 type Event struct {
 	at   time.Duration
 	seq  uint64 // tie-break so equal-time events fire in schedule order
 	fn   func()
-	idx  int // heap index, -1 when not queued
-	dead bool
+	call Callback // non-closure alternative to fn (exactly one is set)
+	next *Event   // intrusive link: wheel slot list, or engine free list
+	gen  uint32   // bumped on every release; stale Timer handles mismatch
+	dead bool     // lazily cancelled; reaped when its slot drains
 }
 
-// Timer is a handle to a scheduled event that can be stopped or rescheduled.
+// Callback is the allocation-free alternative to a func() callback: hot
+// callers (network deliveries, tickers) implement Fire on a pooled or
+// long-lived struct and pass it to ScheduleCall, avoiding the per-event
+// closure the func() form costs.
+type Callback interface {
+	Fire()
+}
+
+// Timer is a handle to a scheduled event that can be stopped or queried.
+// It stays valid after the event fires: the generation stamp makes Stop and
+// Pending harmless no-ops once the underlying Event has been recycled.
 type Timer struct {
-	ev *Event
-	e  *Engine
+	e   *Engine
+	ev  *Event
+	gen uint32
 }
 
 // Stop cancels the timer. It is safe to call on an already-fired or
 // already-stopped timer; it reports whether the timer was still pending.
 func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.dead || t.ev.idx < 0 {
+	if t == nil || t.ev == nil {
 		return false
 	}
-	t.ev.dead = true
-	return true
+	return t.e.cancel(t.ev, t.gen)
 }
 
 // Pending reports whether the timer has not yet fired or been stopped.
 func (t *Timer) Pending() bool {
-	return t != nil && t.ev != nil && !t.ev.dead && t.ev.idx >= 0
-}
-
-// eventQueue implements heap.Interface ordered by (at, seq).
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].idx = i
-	q[j].idx = j
-}
-func (q *eventQueue) Push(x any) {
-	ev := x.(*Event)
-	ev.idx = len(*q)
-	*q = append(*q, ev)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.idx = -1
-	*q = old[:n-1]
-	return ev
+	return t != nil && t.ev != nil && t.ev.gen == t.gen && !t.ev.dead
 }
 
 // Engine is a discrete-event simulator. It is not safe for concurrent use;
 // one goroutine drives it via Run/Step and all callbacks execute on that
 // goroutine.
+//
+// Internally events live in a hierarchical timer wheel (see wheel.go) rather
+// than a global heap: scheduling and cancelling are O(1), periodic tickers
+// rearm without touching other pending events, and the (at, seq) firing
+// order of the old heap is reproduced exactly by sorting each wheel slot as
+// the clock reaches it. Event structs and their slot links are pooled, so a
+// steady-state schedule/fire cycle does not allocate.
 type Engine struct {
 	now     time.Duration
-	queue   eventQueue
 	nextSeq uint64
 	rng     *rand.Rand
 	steps   uint64
 	stopped bool
+	live    int // scheduled and not yet fired or cancelled
+
+	wheel wheel
+
+	// curBuf holds the current slot's events sorted by (at, seq); curPos is
+	// the firing cursor. bufTick is the wheel tick curBuf belongs to, so
+	// same-instant schedules made while the slot fires can be spliced into
+	// the not-yet-fired tail at their correct position.
+	curBuf  []*Event
+	curPos  int
+	bufTick uint64
+
+	free *Event // recycled Event structs, linked via next
 }
 
 // NewEngine returns an engine whose clock starts at zero and whose random
 // source is seeded with seed, so identical schedules replay identically.
 func NewEngine(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed))}
+	return &Engine{rng: rand.New(rand.NewSource(seed)), bufTick: noTick}
 }
 
 // Now returns the current virtual time.
@@ -101,13 +104,8 @@ func (e *Engine) Schedule(delay time.Duration, fn func()) *Timer {
 	if fn == nil {
 		panic("sim: Schedule with nil fn")
 	}
-	if delay < 0 {
-		delay = 0
-	}
-	ev := &Event{at: e.now + delay, seq: e.nextSeq, fn: fn, idx: -1}
-	e.nextSeq++
-	heap.Push(&e.queue, ev)
-	return &Timer{ev: ev, e: e}
+	ev := e.add(delay, fn, nil)
+	return &Timer{e: e, ev: ev, gen: ev.gen}
 }
 
 // ScheduleAt runs fn at absolute virtual time at. Times in the past are
@@ -116,23 +114,110 @@ func (e *Engine) ScheduleAt(at time.Duration, fn func()) *Timer {
 	return e.Schedule(at-e.now, fn)
 }
 
+// ScheduleCall is Schedule for the Callback form: it fires c.Fire() after
+// delay without allocating a closure or a Timer handle. It is the hot-path
+// variant — a pooled delivery struct or a ticker schedules itself here with
+// zero allocations per event. The event cannot be cancelled.
+func (e *Engine) ScheduleCall(delay time.Duration, c Callback) {
+	if c == nil {
+		panic("sim: ScheduleCall with nil callback")
+	}
+	e.add(delay, nil, c)
+}
+
+// add allocates (or recycles) an event, stamps it with the next sequence
+// number, and inserts it into the wheel.
+func (e *Engine) add(delay time.Duration, fn func(), c Callback) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	ev := e.free
+	if ev != nil {
+		e.free = ev.next
+		ev.next = nil
+	} else {
+		ev = &Event{}
+	}
+	ev.at = e.now + delay
+	ev.seq = e.nextSeq
+	ev.fn = fn
+	ev.call = c
+	ev.dead = false
+	e.nextSeq++
+	e.live++
+	e.insert(ev)
+	return ev
+}
+
+// cancel implements Timer.Stop and Ticker.Stop against the pooled events.
+func (e *Engine) cancel(ev *Event, gen uint32) bool {
+	if ev == nil || ev.gen != gen || ev.dead {
+		return false
+	}
+	ev.dead = true
+	e.live--
+	return true
+}
+
+// release returns a fired or reaped event to the free list and invalidates
+// outstanding Timer handles by bumping the generation.
+func (e *Engine) release(ev *Event) {
+	ev.gen++
+	ev.fn = nil
+	ev.call = nil
+	ev.next = e.free
+	e.free = ev
+}
+
+// peek returns the next live event without firing it, advancing the wheel
+// cursor past empty slots and reaping cancelled events along the way. It
+// returns nil when nothing is pending.
+func (e *Engine) peek() *Event {
+	for {
+		for e.curPos < len(e.curBuf) {
+			ev := e.curBuf[e.curPos]
+			if ev.dead {
+				e.curBuf[e.curPos] = nil
+				e.curPos++
+				e.release(ev)
+				continue
+			}
+			return ev
+		}
+		if !e.refill() {
+			return nil
+		}
+	}
+}
+
+// fire executes ev, which must be the event peek just returned.
+func (e *Engine) fire(ev *Event) {
+	if ev.at < e.now {
+		panic(fmt.Sprintf("sim: time went backwards: %v < %v", ev.at, e.now))
+	}
+	e.curBuf[e.curPos] = nil
+	e.curPos++
+	e.now = ev.at
+	e.steps++
+	e.live--
+	fn, call := ev.fn, ev.call
+	e.release(ev)
+	if call != nil {
+		call.Fire()
+	} else {
+		fn()
+	}
+}
+
 // Step executes the next pending event, advancing the clock to its time.
 // It reports whether an event was executed.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.dead {
-			continue
-		}
-		if ev.at < e.now {
-			panic(fmt.Sprintf("sim: time went backwards: %v < %v", ev.at, e.now))
-		}
-		e.now = ev.at
-		e.steps++
-		ev.fn()
-		return true
+	ev := e.peek()
+	if ev == nil {
+		return false
 	}
-	return false
+	e.fire(ev)
+	return true
 }
 
 // Run executes events until the queue is empty or the clock passes until.
@@ -142,19 +227,11 @@ func (e *Engine) Step() bool {
 func (e *Engine) Run(until time.Duration) {
 	e.stopped = false
 	for !e.stopped {
-		if len(e.queue) == 0 {
+		ev := e.peek()
+		if ev == nil || ev.at > until {
 			break
 		}
-		// Peek.
-		next := e.queue[0]
-		if next.dead {
-			heap.Pop(&e.queue)
-			continue
-		}
-		if next.at > until {
-			break
-		}
-		e.Step()
+		e.fire(ev)
 	}
 	if e.now < until {
 		e.now = until
@@ -173,12 +250,4 @@ func (e *Engine) RunAll() {
 func (e *Engine) Stop() { e.stopped = true }
 
 // Pending returns the number of live queued events.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.queue {
-		if !ev.dead {
-			n++
-		}
-	}
-	return n
-}
+func (e *Engine) Pending() int { return e.live }

@@ -5,13 +5,25 @@ import "time"
 // Ticker repeatedly invokes a callback at a fixed virtual-time period,
 // optionally with a random phase so that simulated nodes do not fire in
 // lockstep. Stop is idempotent.
+//
+// The ticker schedules itself through the engine's Callback path and keeps
+// a generation-stamped handle on its pending event, so each rearm recycles
+// a pooled event instead of allocating a fresh timer and closure — the
+// steady-state cost of a periodic timer is O(1) with zero allocations.
 type Ticker struct {
 	e      *Engine
 	period time.Duration
 	fn     func()
-	timer  *Timer
+	ev     *Event
+	gen    uint32
 	stop   bool
 }
+
+// tickerFire adapts the ticker to the engine's Callback interface without
+// widening the Ticker API.
+type tickerFire Ticker
+
+func (t *tickerFire) Fire() { (*Ticker)(t).tick() }
 
 // NewTicker schedules fn every period, with the first firing after an
 // initial delay. A common pattern is a random initial phase in [0, period).
@@ -20,7 +32,7 @@ func NewTicker(e *Engine, initial, period time.Duration, fn func()) *Ticker {
 		panic("sim: ticker period must be positive")
 	}
 	t := &Ticker{e: e, period: period, fn: fn}
-	t.timer = e.Schedule(initial, t.tick)
+	t.arm(initial)
 	return t
 }
 
@@ -31,6 +43,14 @@ func NewJitteredTicker(e *Engine, period time.Duration, fn func()) *Ticker {
 	return NewTicker(e, initial, period, fn)
 }
 
+func (t *Ticker) arm(delay time.Duration) {
+	if delay < 0 {
+		delay = 0
+	}
+	t.ev = t.e.add(delay, nil, (*tickerFire)(t))
+	t.gen = t.ev.gen
+}
+
 func (t *Ticker) tick() {
 	if t.stop {
 		return
@@ -39,15 +59,13 @@ func (t *Ticker) tick() {
 	if t.stop { // fn may have stopped us
 		return
 	}
-	t.timer = t.e.Schedule(t.period, t.tick)
+	t.arm(t.period)
 }
 
 // Stop cancels future firings.
 func (t *Ticker) Stop() {
 	t.stop = true
-	if t.timer != nil {
-		t.timer.Stop()
-	}
+	t.e.cancel(t.ev, t.gen)
 }
 
 // Stopped reports whether Stop has been called.

@@ -1,0 +1,229 @@
+package sim
+
+import (
+	"math/bits"
+	"slices"
+	"time"
+)
+
+// The hierarchical timer wheel. Virtual time is quantised into ticks of
+// 2^tickBits nanoseconds (~65.5µs); each wheel level is a ring of numSlots
+// slots, and a slot at level l spans numSlots^l ticks. Level 0 therefore
+// resolves individual ticks over a ~16.8ms horizon, level 1 covers ~4.3s
+// (one heartbeat rearm lands here and cascades down exactly once), and five
+// levels together span ~834 virtual days; the rare event beyond that waits
+// in an unordered overflow list until the wheel advances far enough.
+//
+// Firing order is the old heap's (at, seq) total order, reproduced exactly:
+// events are quantised only for *placement* — each level-0 slot's contents
+// are sorted by (at, seq) when the cursor reaches it, and an event scheduled
+// into the currently-firing tick is spliced into the unsorted-tail position
+// its key demands. Scheduling, cancelling (lazy), and ticker rearm are O(1);
+// each event cascades down at most numLevels-1 times before it fires.
+const (
+	tickBits  = 16 // 65.536µs of virtual time per tick
+	slotBits  = 8
+	numSlots  = 1 << slotBits // 256
+	slotMask  = numSlots - 1
+	numLevels = 5
+
+	occWords = numSlots / 64
+	noTick   = ^uint64(0) // bufTick sentinel: no slot drained yet
+)
+
+// wheel holds the slot lists and their occupancy bitmaps. cur is the tick
+// the cursor has advanced to; events never land behind it because callbacks
+// only schedule at or after the engine clock.
+type wheel struct {
+	cur      uint64
+	slots    [numLevels][numSlots]*Event
+	occ      [numLevels][occWords]uint64
+	overflow []*Event
+}
+
+func tickOf(at time.Duration) uint64 { return uint64(at) >> tickBits }
+
+// insert places ev into the wheel (or the current firing buffer, or the
+// overflow list) according to its distance from the cursor.
+func (e *Engine) insert(ev *Event) {
+	t := tickOf(ev.at)
+	// The cursor can run ahead of the engine clock: peek advances it to the
+	// next live event before Run decides that event is past its deadline.
+	// Anything scheduled at or behind the cursor's tick after that must go
+	// through the firing buffer, where (at, seq) splicing restores order —
+	// a slot behind the cursor would never be scanned again.
+	if t == e.bufTick || t < e.wheel.cur {
+		e.spliceCurrent(ev)
+		return
+	}
+	w := &e.wheel
+	diff := t ^ w.cur
+	for l := 0; l < numLevels; l++ {
+		if diff>>(slotBits*uint(l+1)) == 0 {
+			idx := int(t>>(slotBits*uint(l))) & slotMask
+			ev.next = w.slots[l][idx]
+			w.slots[l][idx] = ev
+			w.occ[l][idx>>6] |= 1 << (idx & 63)
+			return
+		}
+	}
+	w.overflow = append(w.overflow, ev)
+}
+
+// spliceCurrent inserts ev into the sorted, partially-fired current buffer
+// at the position its (at, seq) key demands among the not-yet-fired tail.
+func (e *Engine) spliceCurrent(ev *Event) {
+	lo, hi := e.curPos, len(e.curBuf)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		b := e.curBuf[mid]
+		if b.at < ev.at || (b.at == ev.at && b.seq < ev.seq) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	e.curBuf = append(e.curBuf, nil)
+	copy(e.curBuf[lo+1:], e.curBuf[lo:])
+	e.curBuf[lo] = ev
+}
+
+// refill advances the cursor to the next occupied slot, drains it into the
+// sorted firing buffer, and reports whether any live event was found. It
+// cascades higher-level slots down and pulls from the overflow list as the
+// cursor crosses their windows.
+func (e *Engine) refill() bool {
+	w := &e.wheel
+	for {
+		// Next occupied level-0 slot within the current window.
+		if idx, ok := nextBit(&w.occ[0], int(w.cur&slotMask)); ok {
+			w.cur = w.cur&^slotMask | uint64(idx)
+			if e.drainSlot(idx) {
+				return true
+			}
+			continue // slot held only cancelled events
+		}
+		// Level-0 window exhausted: cascade the next occupied higher slot.
+		cascaded := false
+		for l := 1; l < numLevels; l++ {
+			pos := int(w.cur>>(slotBits*uint(l))) & slotMask
+			idx, ok := nextBit(&w.occ[l], pos+1)
+			if !ok {
+				continue
+			}
+			span := slotBits * uint(l)
+			base := w.cur &^ (uint64(1)<<(span+slotBits) - 1)
+			w.cur = base | uint64(idx)<<span
+			e.cascade(l, idx)
+			cascaded = true
+			break
+		}
+		if cascaded {
+			continue
+		}
+		if len(w.overflow) > 0 {
+			e.pullOverflow()
+			continue
+		}
+		return false
+	}
+}
+
+// drainSlot moves the level-0 slot's list into the firing buffer, reaping
+// cancelled events, and sorts it by (at, seq). It reports whether any live
+// event survived.
+func (e *Engine) drainSlot(idx int) bool {
+	w := &e.wheel
+	e.curBuf = e.curBuf[:0]
+	e.curPos = 0
+	e.bufTick = w.cur
+	for ev := w.slots[0][idx]; ev != nil; {
+		next := ev.next
+		ev.next = nil
+		if ev.dead {
+			e.release(ev)
+		} else {
+			e.curBuf = append(e.curBuf, ev)
+		}
+		ev = next
+	}
+	w.slots[0][idx] = nil
+	w.occ[0][idx>>6] &^= 1 << (idx & 63)
+	if len(e.curBuf) == 0 {
+		return false
+	}
+	slices.SortFunc(e.curBuf, func(a, b *Event) int {
+		switch {
+		case a.at != b.at:
+			return int(a.at - b.at)
+		case a.seq < b.seq:
+			return -1
+		default:
+			return 1
+		}
+	})
+	return true
+}
+
+// cascade re-inserts the events of a higher-level slot now that the cursor
+// has entered its window; every event lands at a strictly lower level.
+func (e *Engine) cascade(l, idx int) {
+	w := &e.wheel
+	ev := w.slots[l][idx]
+	w.slots[l][idx] = nil
+	w.occ[l][idx>>6] &^= 1 << (idx & 63)
+	for ev != nil {
+		next := ev.next
+		ev.next = nil
+		if ev.dead {
+			e.release(ev)
+		} else {
+			e.insert(ev)
+		}
+		ev = next
+	}
+}
+
+// pullOverflow advances the cursor to the earliest overflow event's tick and
+// re-inserts every overflow event that now fits inside the wheel's horizon.
+func (e *Engine) pullOverflow() {
+	w := &e.wheel
+	min := noTick
+	for _, ev := range w.overflow {
+		if t := tickOf(ev.at); t < min {
+			min = t
+		}
+	}
+	w.cur = min
+	rest := w.overflow[:0]
+	for _, ev := range w.overflow {
+		if ev.dead {
+			e.release(ev)
+			continue
+		}
+		if (tickOf(ev.at)^w.cur)>>(slotBits*numLevels) == 0 {
+			e.insert(ev)
+		} else {
+			rest = append(rest, ev)
+		}
+	}
+	w.overflow = rest
+}
+
+// nextBit returns the first set bit at position >= from in a slot bitmap.
+func nextBit(occ *[occWords]uint64, from int) (int, bool) {
+	if from >= numSlots {
+		return 0, false
+	}
+	w := from >> 6
+	word := occ[w] >> (from & 63)
+	if word != 0 {
+		return from + bits.TrailingZeros64(word), true
+	}
+	for w++; w < occWords; w++ {
+		if occ[w] != 0 {
+			return w<<6 + bits.TrailingZeros64(occ[w]), true
+		}
+	}
+	return 0, false
+}

@@ -90,15 +90,16 @@ type Topology struct {
 	failedLinks map[linkKey]bool
 	epoch       uint64
 
-	// marked links get a bit index in the path masks reported by scopes
+	// marked links get a bit index in the path mark sets reported by scopes
 	// and unicast rows (per-link loss/jitter overrides in netsim). The
 	// undirected table (MarkLink) and the directed table (MarkLinkDir)
-	// share one 64-bit budget, tracked by nextMarkBit.
+	// share one growable bit namespace, tracked by nextMarkBit.
 	marked      map[linkKey]int
 	markedDir   map[dirLinkKey]int
 	nextMarkBit int
 
 	scopeCache map[scopeKey]*Scope
+	scopeEpoch uint64 // epoch scopeCache entries belong to; older ones are dropped
 	distCache  map[HostID]*distRow
 	uniCache   map[HostID]*uniRow
 }
@@ -106,7 +107,7 @@ type Topology struct {
 type uniRow struct {
 	epoch   uint64
 	latency []time.Duration // per host; -1 disconnected
-	marks   []uint64        // per host: marked links on the chosen path
+	marks   []MarkSet       // per host: marked links on the chosen path
 }
 
 type halfEdge struct {
@@ -140,7 +141,7 @@ type distRow struct {
 	epoch   uint64
 	minTTL  []int16         // per host, routers+1; -1 unreachable
 	latency []time.Duration // per host, latency along a min-latency path
-	marks   []uint64        // per host: marked links on the chosen path (nil when none marked)
+	marks   []MarkSet       // per host: marked links on the chosen path (nil when none marked)
 }
 
 // Scope is the receiver set of a (source, TTL) multicast, excluding the
@@ -148,9 +149,85 @@ type distRow struct {
 type Scope struct {
 	Hosts   []HostID
 	Latency []time.Duration // parallel to Hosts: source->host delivery latency
-	// Marks is parallel to Hosts: the bitmask of marked links (MarkLink)
-	// the delivery path crosses. Nil when no links are marked.
-	Marks []uint64
+	// Marks is parallel to Hosts: the set of marked links (MarkLink) the
+	// delivery path crosses. Nil when no links are marked.
+	Marks []MarkSet
+}
+
+// MarkSet is the set of marked-link bits a path crosses. The first 64 bits
+// live inline, so topologies with up to 64 marked links — every current
+// scenario — pay no allocation; further bits spill into an immutable
+// overflow slice that unions share copy-on-write. The zero MarkSet is empty.
+type MarkSet struct {
+	lo uint64
+	hi []uint64 // bit 64+i*64+j is hi[i] bit j; no trailing zero words
+}
+
+// MarkSetOf builds a set from explicit bit indices; it exists for tests and
+// diagnostics — production sets come out of the path computations.
+func MarkSetOf(bits ...int) MarkSet {
+	var m MarkSet
+	for _, b := range bits {
+		m = m.with(b)
+	}
+	return m
+}
+
+// Empty reports whether no links are marked on the path.
+func (m MarkSet) Empty() bool { return m.lo == 0 && len(m.hi) == 0 }
+
+// Has reports whether the set contains the given mark bit.
+func (m MarkSet) Has(bit int) bool {
+	if bit < 64 {
+		return m.lo&(1<<uint(bit)) != 0
+	}
+	w := bit/64 - 1
+	return w < len(m.hi) && m.hi[w]&(1<<uint(bit%64)) != 0
+}
+
+// Words exposes the raw bitmap — the inline low word plus the overflow
+// words, where overflow word i carries bits 64+i*64 .. 127+i*64. Callers
+// must not mutate the overflow slice. This is the allocation-free iteration
+// surface netsim's per-delivery fault composition uses.
+func (m MarkSet) Words() (lo uint64, hi []uint64) { return m.lo, m.hi }
+
+// with returns m plus one bit, sharing or copying the overflow as needed.
+func (m MarkSet) with(bit int) MarkSet {
+	if bit < 64 {
+		m.lo |= 1 << uint(bit)
+		return m
+	}
+	w := bit/64 - 1
+	hi := make([]uint64, max(w+1, len(m.hi)))
+	copy(hi, m.hi)
+	hi[w] |= 1 << uint(bit%64)
+	m.hi = hi
+	return m
+}
+
+// union returns the bitwise union of two sets without mutating either.
+func (m MarkSet) union(o MarkSet) MarkSet {
+	if o.Empty() {
+		return m
+	}
+	if m.Empty() {
+		return o
+	}
+	out := MarkSet{lo: m.lo | o.lo}
+	if len(m.hi) == 0 {
+		out.hi = o.hi
+		return out
+	}
+	if len(o.hi) == 0 {
+		out.hi = m.hi
+		return out
+	}
+	out.hi = make([]uint64, max(len(m.hi), len(o.hi)))
+	copy(out.hi, m.hi)
+	for i, w := range o.hi {
+		out.hi[i] |= w
+	}
+	return out
 }
 
 // NumHosts returns the number of hosts.
@@ -269,12 +346,13 @@ func (t *Topology) linkFailed(a, b DeviceID) bool {
 
 // MarkLink registers the link between a and b for path tracking and returns
 // its bit index: subsequent scope and unicast computations report, per
-// destination, a bitmask of the marked links the chosen path crosses
+// destination, the set of marked links the chosen path crosses
 // (Scope.Marks, UnicastPath). This is how netsim applies per-link loss and
 // jitter overrides. Marking the same link again returns the existing bit.
 // The bit applies to traversals in both directions; MarkLinkDir marks one
-// direction only. Undirected and directed marks share a budget of 64 bits;
-// exhausting it panics, naming the offending link.
+// direction only. The bit namespace grows without bound (the first 64 bits
+// are free of allocation, later ones spill into MarkSet overflow words);
+// marking a link that does not exist in the topology panics, naming it.
 func (t *Topology) MarkLink(a, b DeviceID) int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -313,17 +391,32 @@ func (t *Topology) MarkLinkDir(a, b DeviceID) int {
 	return bit
 }
 
-// allocMarkBitLocked hands out the next free mark bit or fails loudly: a
-// 65th marked link would silently alias an existing bit's fault profile,
-// so the cap is a hard error naming the link that hit it.
+// allocMarkBitLocked hands out the next free mark bit. Bits are unbounded —
+// MarkSet grows past 64 marks — so the only loud failure left is marking a
+// link the topology does not contain, which would otherwise register a bit
+// no path can ever cross and silently disable the caller's fault profile.
 func (t *Topology) allocMarkBitLocked(a, b DeviceID) int {
-	if t.nextMarkBit >= 64 {
-		panic(fmt.Sprintf("topology: mark capacity exhausted (64 bits in use) marking link %s<->%s",
+	if !t.linkExistsLocked(a, b) {
+		panic(fmt.Sprintf("topology: marking nonexistent link %s<->%s",
 			t.deviceName(a), t.deviceName(b)))
 	}
 	bit := t.nextMarkBit
 	t.nextMarkBit++
 	return bit
+}
+
+// linkExistsLocked reports whether an edge joins a and b in the graph
+// (failure state is irrelevant: marking a currently-failed link is legal).
+func (t *Topology) linkExistsLocked(a, b DeviceID) bool {
+	if int(a) < 0 || int(a) >= len(t.adj) {
+		return false
+	}
+	for _, e := range t.adj[a] {
+		if e.to == b {
+			return true
+		}
+	}
+	return false
 }
 
 // deviceName is a best-effort name for diagnostics; it tolerates bogus IDs
@@ -335,18 +428,19 @@ func (t *Topology) deviceName(id DeviceID) string {
 	return fmt.Sprintf("device(%d)", id)
 }
 
-// markBit must be called with t.mu held; returns the mask contribution of
-// traversing the link from a to b (undirected marks plus the a→b direction).
-func (t *Topology) markBit(a, b DeviceID) uint64 {
-	var m uint64
+// markBit must be called with t.mu held; returns the mark-set contribution
+// of traversing the link from a to b (undirected marks plus the a→b
+// direction).
+func (t *Topology) markBit(a, b DeviceID) MarkSet {
+	var m MarkSet
 	if len(t.marked) > 0 {
 		if bit, ok := t.marked[mkLinkKey(a, b)]; ok {
-			m |= 1 << uint(bit)
+			m = m.with(bit)
 		}
 	}
 	if len(t.markedDir) > 0 {
 		if bit, ok := t.markedDir[dirLinkKey{from: a, to: b}]; ok {
-			m |= 1 << uint(bit)
+			m = m.with(bit)
 		}
 	}
 	return m
@@ -381,9 +475,9 @@ func (t *Topology) distancesLocked(src HostID) *distRow {
 	const inf = int32(1 << 30)
 	routers := make([]int32, n)
 	lat := make([]time.Duration, n)
-	var mask []uint64
+	var mask []MarkSet
 	if len(t.marked) > 0 || len(t.markedDir) > 0 {
-		mask = make([]uint64, n)
+		mask = make([]MarkSet, n)
 	}
 	for i := range routers {
 		routers[i] = inf
@@ -424,7 +518,7 @@ func (t *Topology) distancesLocked(src HostID) *distRow {
 				routers[e.to] = nr
 				lat[e.to] = nl
 				if mask != nil {
-					mask[e.to] = mask[d] | t.markBit(e.from, e.to)
+					mask[e.to] = mask[d].union(t.markBit(e.from, e.to))
 				}
 				if !inQueue[e.to] {
 					if cost == 0 {
@@ -443,7 +537,7 @@ func (t *Topology) distancesLocked(src HostID) *distRow {
 		latency: make([]time.Duration, len(t.hosts)),
 	}
 	if mask != nil {
-		row.marks = make([]uint64, len(t.hosts))
+		row.marks = make([]MarkSet, len(t.hosts))
 	}
 	for h, dev := range t.hosts {
 		if routers[dev] >= inf || t.failed[dev] {
@@ -486,6 +580,13 @@ func (t *Topology) MulticastLatency(a, b HostID) time.Duration {
 func (t *Topology) MulticastScope(src HostID, ttl int) *Scope {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.scopeEpoch != t.epoch {
+		// Fault injection bumps the epoch; entries keyed on older epochs can
+		// never be hit again, so drop them rather than let a long chaos run
+		// accumulate one dead scope per (source, TTL) per fault event.
+		clear(t.scopeCache)
+		t.scopeEpoch = t.epoch
+	}
 	key := scopeKey{src, ttl, t.epoch}
 	if s, ok := t.scopeCache[key]; ok {
 		return s
@@ -522,14 +623,14 @@ func (t *Topology) UnicastLatency(a, b HostID) time.Duration {
 }
 
 // UnicastPath returns the unicast latency from a to b (or -1 if
-// disconnected) together with the bitmask of marked links (MarkLink) the
-// chosen path crosses.
-func (t *Topology) UnicastPath(a, b HostID) (time.Duration, uint64) {
+// disconnected) together with the set of marked links (MarkLink) the chosen
+// path crosses.
+func (t *Topology) UnicastPath(a, b HostID) (time.Duration, MarkSet) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	row := t.unicastRowLocked(a)
 	if row.marks == nil {
-		return row.latency[b], 0
+		return row.latency[b], MarkSet{}
 	}
 	return row.latency[b], row.marks[b]
 }
@@ -544,9 +645,9 @@ func (t *Topology) unicastRowLocked(a HostID) *uniRow {
 	const inf = time.Duration(1<<62 - 1)
 	dist := make([]time.Duration, n)
 	done := make([]bool, n)
-	var mask []uint64
+	var mask []MarkSet
 	if len(t.marked) > 0 || len(t.markedDir) > 0 {
-		mask = make([]uint64, n)
+		mask = make([]MarkSet, n)
 	}
 	for i := range dist {
 		dist[i] = inf
@@ -573,7 +674,7 @@ func (t *Topology) unicastRowLocked(a HostID) *uniRow {
 				if nd := dist[best] + e.latency; nd < dist[e.to] {
 					dist[e.to] = nd
 					if mask != nil {
-						mask[e.to] = mask[best] | t.markBit(e.from, e.to)
+						mask[e.to] = mask[best].union(t.markBit(e.from, e.to))
 					}
 				}
 			}
@@ -581,7 +682,7 @@ func (t *Topology) unicastRowLocked(a HostID) *uniRow {
 	}
 	row := &uniRow{epoch: t.epoch, latency: make([]time.Duration, len(t.hosts))}
 	if mask != nil {
-		row.marks = make([]uint64, len(t.hosts))
+		row.marks = make([]MarkSet, len(t.hosts))
 	}
 	for h, dev := range t.hosts {
 		if dist[dev] >= inf || t.failed[dev] {

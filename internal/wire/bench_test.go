@@ -58,3 +58,39 @@ func BenchmarkEncodeGossip100(b *testing.B) {
 		Encode(g)
 	}
 }
+
+// BenchmarkAppendEncodeHeartbeat measures the pooled-buffer encode path the
+// hot senders use: with a warm reused buffer it must not allocate at all.
+func BenchmarkAppendEncodeHeartbeat(b *testing.B) {
+	hb := &Heartbeat{Info: sampleInfo(), Leader: true, Backup: 2, Seq: 7}
+	var enc Encoder
+	buf := enc.AppendEncode(nil, hb)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = enc.AppendEncode(buf[:0], hb)
+	}
+	_ = buf
+}
+
+// BenchmarkAppendEncodeUpdate measures the pooled encode of an update with
+// full piggyback depth, the second-hottest packet on the beat path.
+func BenchmarkAppendEncodeUpdate(b *testing.B) {
+	msg := &UpdateMsg{Sender: 3, Seq: 42}
+	for i := 0; i < 4; i++ {
+		msg.Updates = append(msg.Updates, Update{
+			ID:      UpdateID{Origin: 3, Counter: uint32(40 + i)},
+			Kind:    UChange,
+			Subject: membership.NodeID(i),
+			Info:    sampleInfo(),
+		})
+	}
+	var enc Encoder
+	buf := enc.AppendEncode(nil, msg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = enc.AppendEncode(buf[:0], msg)
+	}
+	_ = buf
+}

@@ -75,13 +75,40 @@ type Message interface {
 // over the encoded body and written into the header after encoding.
 func Encode(m Message) []byte {
 	w := &writer{buf: make([]byte, 0, 256)}
+	encodeInto(w, m)
+	return w.buf
+}
+
+// encodeInto appends one framed packet (header + body + patched CRC) to w.
+func encodeInto(w *writer, m Message) {
+	start := len(w.buf)
 	w.u16(Magic)
 	w.u8(Version)
 	w.u8(uint8(m.wireType()))
 	w.u32(0) // checksum placeholder, filled below
 	m.enc(w)
-	binary.LittleEndian.PutUint32(w.buf[4:8], crc32.Checksum(w.buf[HeaderLen:], crcTable))
-	return w.buf
+	binary.LittleEndian.PutUint32(w.buf[start+4:start+8], crc32.Checksum(w.buf[start+HeaderLen:], crcTable))
+}
+
+// Encoder is the reusable, allocation-free encode path: AppendEncode writes
+// into a caller-supplied buffer, and the Encoder owns the scratch writer
+// whose address would otherwise escape into the Message interface call and
+// cost one heap allocation per packet. A long-lived sender keeps one Encoder
+// (it is not safe for concurrent use) and recycles its output buffers; the
+// framing is byte-identical to Encode.
+type Encoder struct {
+	w writer
+}
+
+// AppendEncode appends the framed encoding of m to dst and returns the
+// extended slice (reallocating like append when dst lacks capacity). With a
+// warm dst this performs zero allocations per packet.
+func (e *Encoder) AppendEncode(dst []byte, m Message) []byte {
+	e.w.buf = dst
+	encodeInto(&e.w, m)
+	buf := e.w.buf
+	e.w.buf = nil // do not retain the caller's buffer
+	return buf
 }
 
 // Decode parses a packet produced by Encode. It never panics and never
@@ -357,6 +384,9 @@ func decUpdateMsg(r *reader) *UpdateMsg {
 	u.Sender = membership.NodeID(r.i32())
 	u.Seq = r.u64()
 	n := r.sliceLen()
+	if n > 0 {
+		u.Updates = make([]Update, 0, n)
+	}
 	for i := 0; i < n && r.err == nil; i++ {
 		var up Update
 		up.ID.Origin = membership.NodeID(r.i32())
@@ -476,6 +506,9 @@ func (g *Gossip) enc(w *writer) {
 func decGossip(r *reader) *Gossip {
 	g := &Gossip{From: membership.NodeID(r.i32())}
 	n := r.sliceLen()
+	if n > 0 {
+		g.Entries = make([]GossipEntry, 0, n)
+	}
 	for i := 0; i < n && r.err == nil; i++ {
 		var e GossipEntry
 		e.Counter = r.u64()
@@ -534,6 +567,9 @@ func decSummaryEntries(r *reader) []SummaryEntry {
 		var e SummaryEntry
 		e.Service = r.str()
 		np := r.sliceLen()
+		if np > 0 {
+			e.Partitions = make([]int32, 0, np)
+		}
 		for j := 0; j < np && r.err == nil; j++ {
 			e.Partitions = append(e.Partitions, r.i32())
 		}

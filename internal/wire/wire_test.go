@@ -220,3 +220,37 @@ func TestHeartbeatSizeReasonable(t *testing.T) {
 		t.Fatalf("heartbeat size = %d bytes; implausible", len(b))
 	}
 }
+
+// TestAppendEncodeMatchesEncode pins the Encoder path to the canonical
+// framing: same bytes, appended after any existing prefix, zero allocations
+// once the buffer is warm.
+func TestAppendEncodeMatchesEncode(t *testing.T) {
+	msgs := []Message{
+		&Heartbeat{Info: sampleInfo(), Level: 1, Leader: true, Backup: 2, Seq: 9, Pad: 16},
+		&UpdateMsg{Sender: 3, Seq: 42, Updates: []Update{{ID: UpdateID{Origin: 3, Counter: 41}, Kind: ULeave, Subject: 7}}},
+		&SyncRequest{From: 5},
+	}
+	var enc Encoder
+	for _, m := range msgs {
+		want := Encode(m)
+		got := enc.AppendEncode(nil, m)
+		if string(got) != string(want) {
+			t.Fatalf("%T: AppendEncode differs from Encode", m)
+		}
+		prefixed := enc.AppendEncode([]byte("prefix"), m)
+		if string(prefixed) != "prefix"+string(want) {
+			t.Fatalf("%T: AppendEncode clobbered the existing prefix", m)
+		}
+		if dec, err := Decode(got); err != nil {
+			t.Fatalf("%T: round trip failed: %v", dec, err)
+		}
+	}
+	hb := msgs[0]
+	buf := enc.AppendEncode(nil, hb)
+	allocs := testing.AllocsPerRun(1000, func() {
+		buf = enc.AppendEncode(buf[:0], hb)
+	})
+	if allocs > 0 {
+		t.Fatalf("warm AppendEncode allocates %.1f per op, want 0", allocs)
+	}
+}
