@@ -17,6 +17,8 @@
 //	tampbench -fig 11 -sizes 20,60,100 -pergroup 20 -seed 7 -loss 0.01
 //	tampbench -fig all -workers 8 -v            # parallel sweep with per-run progress
 //	tampbench -fig 11 -cpuprofile cpu.pprof     # profile the sweep hot spots
+//	tampbench -fig chaos                        # scenario x scheme invariant matrix (BENCH_chaos.json)
+//	tampbench -fig traffic                      # user-level traffic matrix (BENCH_traffic.json)
 //	tampbench -fig scale                        # N=1000 churn run (BENCH_scale.json)
 //	tampbench -fig scale4k                      # N=4000 churn run (BENCH_scale4k.json)
 //	tampbench -diff old.json new.json           # regression gate between two BENCH files
@@ -40,7 +42,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2, 11, 12, 13, 14, 4x, 4b, abl-piggyback, abl-group, abl-maxloss, abl-fanout, accuracy, breakdown, detect-dist, chaos, scale, scale4k, all (scale and scale4k are excluded from all: they are the long N=1000 and N=4000 churn runs)")
+	fig := flag.String("fig", "all", "figure to regenerate: 2, 11, 12, 13, 14, 4x, 4b, abl-piggyback, abl-group, abl-maxloss, abl-fanout, accuracy, breakdown, detect-dist, chaos, traffic, scale, scale4k, all (scale and scale4k are excluded from all: they are the long N=1000 and N=4000 churn runs)")
 	sizes := flag.String("sizes", "20,40,60,80,100", "cluster sizes for figures 11-13")
 	perGroup := flag.Int("pergroup", 20, "nodes per network/membership group")
 	seed := flag.Int64("seed", 42, "simulation RNG seed (per-run seeds derive from it)")
@@ -121,7 +123,7 @@ func main() {
 		},
 	}
 	order := []string{"2", "11", "12", "13", "14", "4x", "4b", "abl-piggyback", "abl-group",
-		"abl-maxloss", "abl-fanout", "accuracy", "breakdown", "detect-dist", "chaos"}
+		"abl-maxloss", "abl-fanout", "accuracy", "breakdown", "detect-dist", "chaos", "traffic"}
 
 	var todo []string
 	if *fig == "all" {
@@ -129,7 +131,7 @@ func main() {
 		// its own BENCH file; regenerate it explicitly with -fig scale.
 		todo = order
 	} else {
-		if _, ok := runners[*fig]; !ok && *fig != "chaos" && *fig != "scale" && *fig != "scale4k" {
+		if _, ok := runners[*fig]; !ok && *fig != "chaos" && *fig != "traffic" && *fig != "scale" && *fig != "scale4k" {
 			fmt.Fprintf(os.Stderr, "tampbench: unknown figure %q (want one of %s, scale, scale4k, all)\n", *fig, strings.Join(order, ", "))
 			os.Exit(2)
 		}
@@ -166,6 +168,15 @@ func main() {
 				code = 1
 			}
 			fmt.Fprintf(os.Stderr, "(chaos regenerated in %v)\n", time.Since(start).Round(time.Millisecond))
+			fmt.Println()
+			continue
+		}
+		if name == "traffic" {
+			if err := runTraffic(sw, *seed, log); err != nil {
+				fmt.Fprintln(os.Stderr, "tampbench:", err)
+				code = 1
+			}
+			fmt.Fprintf(os.Stderr, "(traffic regenerated in %v)\n", time.Since(start).Round(time.Millisecond))
 			fmt.Println()
 			continue
 		}
@@ -248,6 +259,32 @@ func runChaos(sw harness.Sweep, seed int64, log *metrics.ReportLog) error {
 		return err
 	}
 	fmt.Println("(json: BENCH_chaos.json)")
+	return nil
+}
+
+// runTraffic regenerates the traffic matrix (scenario x scheme user-level
+// outcomes: misrouted requests, session migrations, latency tails) and
+// always records it in BENCH_traffic.json so the user-experience trajectory
+// is machine-trackable across commits. docs/TRAFFIC.md defines the model
+// and every reported field.
+func runTraffic(sw harness.Sweep, seed int64, log *metrics.ReportLog) error {
+	to := harness.DefaultTrafficOptions()
+	to.Seed = seed
+	to.Sweep = sw
+	results := harness.TrafficMatrix(to)
+	fmt.Println(harness.RenderTrafficMatrix(results))
+	runs := log.Reports()
+	b := metrics.BenchJSON{
+		Fig:     "traffic",
+		Seed:    seed,
+		Runs:    runs,
+		Summary: metrics.Summarize(runs),
+		Results: results,
+	}
+	if err := metrics.WriteBenchJSON("BENCH_traffic.json", b); err != nil {
+		return err
+	}
+	fmt.Println("(json: BENCH_traffic.json)")
 	return nil
 }
 

@@ -92,6 +92,7 @@ func main() {
 		fo := harness.DefaultFederatedOptions(*groups, *perGroup)
 		if scenario != nil {
 			fo.DCs = scenario.NumDCs()
+			fo.ProxiesPerDC = scenario.NumProxies()
 		}
 		fed = harness.NewFederatedCluster(fo, *seed)
 		c = fed.Cluster

@@ -113,8 +113,15 @@ func (n *Node) RegisterService(name, partitions string, params ...membership.KV)
 		Name: name, Partitions: parts, Params: append([]membership.KV(nil), params...),
 	})
 	n.info.Version++
+	if n.running {
+		n.dir.Upsert(n.info.Clone(), membership.OriginSelf, 0, membership.NoNode, n.eng.Now())
+	}
 	return nil
 }
+
+// Receive handles a membership packet delivered by an outer endpoint mux
+// (e.g. a service runtime that claimed the endpoint before Start).
+func (n *Node) Receive(pkt netsim.Packet) { n.receive(pkt) }
 
 // Start joins the cluster channel and begins heartbeating.
 func (n *Node) Start(eng *sim.Engine) {
@@ -125,7 +132,9 @@ func (n *Node) Start(eng *sim.Engine) {
 	n.running = true
 	n.info.Incarnation++
 	n.dir.Upsert(n.info.Clone(), membership.OriginSelf, 0, membership.NoNode, eng.Now())
-	n.ep.SetHandler(n.receive)
+	if !n.ep.HasHandler() {
+		n.ep.SetHandler(n.receive)
+	}
 	n.ep.SetUp(true)
 	n.ep.Join(n.cfg.Channel)
 	jitter := time.Duration(eng.Rand().Int63n(int64(n.cfg.HeartbeatInterval)))

@@ -10,5 +10,6 @@
 //
 // Node mirrors the surface of core.Node (ID, Directory, Start/Stop,
 // SetInfo, RegisterService, UpdateValue) so the experiment harness can
-// drive all three schemes through one Instance interface.
+// drive all three schemes through one Instance interface, and satisfies
+// service.Member so the service and traffic layers run over it too.
 package alltoall

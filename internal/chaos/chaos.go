@@ -143,8 +143,13 @@ type Scenario struct {
 	// DCs is how many data centers a MultiDC scenario spans; 0 means the
 	// harness default of 2. Three or more exercise the proxy layer's
 	// remote-DC fallback order, which two DCs can never reach.
-	DCs   int
-	Steps []Step
+	DCs int
+	// ProxiesPerDC is how many membership proxies each data center runs in
+	// a MultiDC scenario; 0 means the harness default of 2. Larger groups
+	// make room for scenarios that kill N-1 proxies and force the VIP
+	// through a chain of failovers.
+	ProxiesPerDC int
+	Steps        []Step
 }
 
 // NumDCs returns the data-center count the scenario asks for (2 unless
@@ -152,6 +157,15 @@ type Scenario struct {
 func (s *Scenario) NumDCs() int {
 	if s.DCs > 0 {
 		return s.DCs
+	}
+	return 2
+}
+
+// NumProxies returns the per-DC proxy-group size the scenario asks for (2
+// unless the scenario overrides it).
+func (s *Scenario) NumProxies() int {
+	if s.ProxiesPerDC > 0 {
+		return s.ProxiesPerDC
 	}
 	return 2
 }

@@ -2,7 +2,10 @@
 // seeded, deterministic timeline of fault and heal actions (daemon kills,
 // switch/router/link outages, loss and jitter ramps, node flapping,
 // leader-targeted kills, correlated group outages, WAN degradation)
-// scheduled on the simulation engine's virtual clock.
+// scheduled on the simulation engine's virtual clock. Multi-DC scenarios
+// pick their data-center count (Scenario.DCs) and per-DC proxy-group size
+// (Scenario.ProxiesPerDC, the spec's `proxies K` directive), and can
+// target proxy leaders directly (KillProxyLeader).
 //
 // Scenarios come from three places: the built-in Library, a text spec
 // (ParseSpec — the format cmd/tampsim accepts via -scenario @file), or

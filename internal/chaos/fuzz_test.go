@@ -20,6 +20,7 @@ func FuzzScenarioSpec(f *testing.F) {
 	f.Add("@5s link-fault a b loss=0.5 jitter=0.25 dup=0.125\n")
 	f.Add("desc spaced   out\nexpect =weird= tokens\nmultidc\n")
 	f.Add("@20s kill-proxy-leader 0\n@30s restart-down\n@40s fail-wan\n@50s repair-wan\n")
+	f.Add("multidc 3\nproxies 3\n@20s kill-proxy-leader 0\n@35s kill-proxy-leader 0\n")
 	f.Add("@20s repeat 3 every 5s step 8 {\n\t@0s kill 1\n\t@3s restart 1\n}\n")
 	f.Add("@0s repeat 2 every 1s {\n\t@0s repeat 2 every 1ms {\n\t\t@0s flap 1 down=1ms up=1ms count=2\n\t}\n}\n")
 	f.Add("@1s repeat 1 every 1ns {\n\t@0s restart-down\n}\n")

@@ -123,6 +123,18 @@ func Library(groups, perGroup int) []*Scenario {
 			},
 		},
 		{
+			Name:         "proxy-quorum-loss",
+			Description:  "with 3 proxies per DC, DC 0 loses its proxy leader twice in a row, leaving one survivor",
+			Expect:       "the VIP walks the failover chain without a gap; one survivor still serves remote lookups",
+			MultiDC:      true,
+			ProxiesPerDC: 3,
+			Steps: []Step{
+				{At: 20 * time.Second, Act: KillProxyLeader{DC: 0}},
+				{At: 35 * time.Second, Act: KillProxyLeader{DC: 0}},
+				{At: 55 * time.Second, Act: RestartDown{}},
+			},
+		},
+		{
 			Name:        "wan-partition-heal",
 			Description: "the WAN is cut outright for 40s, then repaired",
 			Expect:      "remote summaries expire during the cut instead of lingering stale, and refresh after heal",

@@ -17,6 +17,7 @@ import (
 //	desc cut a group switch uplink, heal it later
 //	expect gossip re-merges; multicast schemes cannot cross the cut
 //	multidc [K]                   # request a multi-data-center topology (K DCs, default 2)
+//	proxies K                     # per-DC membership-proxy group size (default 2)
 //	@20s fail-link sw1 core
 //	@60s repair-link sw1 core
 //
@@ -83,6 +84,13 @@ func ParseSpec(text string) (*Scenario, error) {
 					s.DCs = k
 				}
 			}
+		case word == "proxies":
+			k, convErr := strconv.Atoi(rest)
+			if convErr != nil || k < 1 {
+				err = fmt.Errorf("proxies count %q must be an integer >= 1", rest)
+			} else {
+				s.ProxiesPerDC = k
+			}
 		case strings.HasPrefix(word, "@"):
 			var st Step
 			st, i, err = parseStep(word[1:], rest, lines, i)
@@ -126,6 +134,9 @@ func (s *Scenario) Spec() string {
 		} else {
 			b.WriteString("multidc\n")
 		}
+	}
+	if s.ProxiesPerDC != 0 {
+		fmt.Fprintf(&b, "proxies %d\n", s.ProxiesPerDC)
 	}
 	for _, st := range s.Steps {
 		fmt.Fprintf(&b, "@%v %s\n", st.At, st.Act)

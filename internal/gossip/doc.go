@@ -11,6 +11,7 @@
 // digests carry the full membership, which Figure 11 measures.
 //
 // Node mirrors the surface of core.Node (ID, Directory, Start/Stop,
-// SetInfo, UpdateValue) so the experiment harness can drive all three
-// schemes through one Instance interface.
+// SetInfo, RegisterService, UpdateValue) so the experiment harness can
+// drive all three schemes through one Instance interface, and satisfies
+// service.Member so the service and traffic layers run over gossip too.
 package gossip

@@ -138,6 +138,27 @@ func (n *Node) UpdateValue(key, value string) {
 	}
 }
 
+// RegisterService publishes a service hosted by this node. Registrations
+// made while running propagate with the next gossip round.
+func (n *Node) RegisterService(name, partitions string, params ...membership.KV) error {
+	parts, err := membership.ParsePartitions(partitions)
+	if err != nil {
+		return err
+	}
+	n.info.Services = append(n.info.Services, membership.ServiceDecl{
+		Name: name, Partitions: parts, Params: append([]membership.KV(nil), params...),
+	})
+	n.info.Version++
+	if n.running {
+		n.dir.Upsert(n.info.Clone(), membership.OriginSelf, 0, membership.NoNode, n.eng.Now())
+	}
+	return nil
+}
+
+// Receive handles a membership packet delivered by an outer endpoint mux
+// (e.g. a service runtime that claimed the endpoint before Start).
+func (n *Node) Receive(pkt netsim.Packet) { n.receive(pkt) }
+
 // FailTimeout reports the effective failure timeout in use.
 func (n *Node) FailTimeout() time.Duration { return n.cfg.failTimeout() }
 
@@ -151,7 +172,9 @@ func (n *Node) Start(eng *sim.Engine) {
 	n.info.Incarnation++
 	n.dir.SetTombstoneTTL(2 * n.cfg.failTimeout())
 	n.dir.Upsert(n.info.Clone(), membership.OriginSelf, 0, membership.NoNode, eng.Now())
-	n.ep.SetHandler(n.receive)
+	if !n.ep.HasHandler() {
+		n.ep.SetHandler(n.receive)
+	}
 	n.ep.SetUp(true)
 	jitter := time.Duration(eng.Rand().Int63n(int64(n.cfg.GossipInterval)))
 	n.ticker = sim.NewTicker(eng, jitter, n.cfg.GossipInterval, n.round)

@@ -143,6 +143,7 @@ func RunScenario(scheme Scheme, sc *chaos.Scenario, o ChaosOptions, seed int64) 
 		// scenarios then exercise it with an idle-but-audited WAN.
 		fo := DefaultFederatedOptions(o.Groups, o.PerGroup)
 		fo.DCs = sc.NumDCs()
+		fo.ProxiesPerDC = sc.NumProxies()
 		fed = NewFederatedCluster(fo, seed)
 		c = fed.Cluster
 	} else if sc.MultiDC {

@@ -11,7 +11,11 @@
 // routing under a failure), ablations.go (piggyback depth, group size,
 // MaxLoss, gossip fanout), accuracy.go (view completeness/accuracy under
 // churn), and breakdown.go (bandwidth by packet type, detection-time
-// distribution).
+// distribution). Beyond the paper's figures: chaos.go runs the scenario x
+// scheme invariant matrix, multidc.go builds the federated
+// (hierarchical+proxy) cluster, scale.go runs the N=1000/N=4000 churn
+// audits, and traffic.go runs the user-level session-traffic matrix
+// (docs/TRAFFIC.md).
 //
 // The package also contains the parallel sweep engine (runner.go): a
 // Pool fans independent simulation runs out over a bounded set of worker

@@ -142,6 +142,16 @@ func NewFederatedCluster(o FederatedOptions, seed int64) *FederatedCluster {
 	return f
 }
 
+// Runtimes returns every host's service runtime in host order, for layers
+// (the traffic matrix) that invoke services through the federated stack.
+func (f *FederatedCluster) Runtimes() []*service.Runtime {
+	out := make([]*service.Runtime, len(f.Nodes))
+	for i, n := range f.Nodes {
+		out[i] = n.(*fedInstance).rt
+	}
+	return out
+}
+
 // ProxyHandles adapts the proxies for chaos.Env.
 func (f *FederatedCluster) ProxyHandles() []chaos.ProxyHandle {
 	out := make([]chaos.ProxyHandle, len(f.Proxies))

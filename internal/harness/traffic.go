@@ -1,0 +1,249 @@
+package harness
+
+// The traffic matrix drives virtual client sessions through every chaos
+// fault timeline on every scheme and reports user-level outcomes —
+// misrouted requests, session-migration latency, request-latency tails —
+// instead of protocol-level counters. Cells run through the same
+// deterministic worker pool as the figures: seeds derive from the sweep
+// seed and the cell key, so the rendered table is byte-identical for any
+// -workers count.
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/membership"
+	"repro/internal/metrics"
+	"repro/internal/service"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// TrafficOptions parametrize the scenario x scheme traffic matrix.
+type TrafficOptions struct {
+	Seed     int64
+	Groups   int
+	PerGroup int
+	// Sessions is the virtual-client population per cell.
+	Sessions int
+	// Partitions is the app's partition-space size; each host serves
+	// partition (host index mod Partitions), so every partition has
+	// Groups replicas spread across groups.
+	Partitions int
+	// Scenarios restricts the matrix to the named library scenarios;
+	// empty means the default traffic-relevant subset.
+	Scenarios []string
+	Sweep     Sweep
+}
+
+// DefaultTrafficOptions mirrors the chaos matrix shape (3 groups of 8) with
+// a thousand closed-loop sessions per cell.
+func DefaultTrafficOptions() TrafficOptions {
+	return TrafficOptions{
+		Seed:       42,
+		Groups:     3,
+		PerGroup:   8,
+		Sessions:   1000,
+		Partitions: 8,
+	}
+}
+
+// TrafficScenarioNames is the default scenario subset: the fault timelines
+// whose user-visible cost is the point of the comparison. Pure telemetry
+// scenarios (bit-rot, replay-storm) stay in the chaos matrix.
+var TrafficScenarioNames = []string{
+	"steady", "kill-restart", "leader-kill", "group-outage",
+	"partition-heal", "flapping", "proxy-failover", "proxy-quorum-loss",
+	"dc-fallback",
+}
+
+// trafficWarmup delays session opening past cluster bootstrap, so measured
+// failures are caused by the scenario's faults, not by empty directories.
+// Every library scenario's first fault lands at 20s, after the warmup.
+const trafficWarmup = 10 * time.Second
+
+// trafficDrain lets in-flight requests resolve after the measurement
+// window closes (the client timeout is 2s; 5s covers relayed paths).
+const trafficDrain = 5 * time.Second
+
+// trafficAppName is the service the sessions invoke.
+const trafficAppName = "app"
+
+// trafficSettle is the measurement tail after the last fault: the largest
+// ChaosSettle bound across the compared schemes, so every scheme in a row
+// runs for the same virtual duration.
+func trafficSettle(n int) time.Duration {
+	var max time.Duration
+	for _, s := range ChaosSchemes {
+		if d := ChaosSettle(s, n); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+func (o TrafficOptions) scenarios() []*chaos.Scenario {
+	names := o.Scenarios
+	if len(names) == 0 {
+		names = TrafficScenarioNames
+	}
+	var out []*chaos.Scenario
+	for _, name := range names {
+		sc, err := chaos.Find(name, o.Groups, o.PerGroup)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, sc)
+	}
+	return out
+}
+
+// attachRuntimes layers a service runtime over every node of a plain
+// cluster. Must run before StartAll: the runtime's mux claims the endpoint
+// handler and delegates membership packets to the daemon.
+func attachRuntimes(c *Cluster) []*service.Runtime {
+	rts := make([]*service.Runtime, len(c.Nodes))
+	for h, n := range c.Nodes {
+		m, ok := n.(service.Member)
+		if !ok {
+			panic(fmt.Sprintf("harness: %T does not implement service.Member", n))
+		}
+		rts[h] = service.NewRuntime(service.DefaultConfig(), c.Eng, c.Net.Endpoint(topology.HostID(h)), m)
+	}
+	return rts
+}
+
+// registerApp publishes the traffic app on every host: host h serves
+// partition h mod partitions, giving each partition one replica per group.
+func registerApp(rts []*service.Runtime, partitions int) {
+	for h, rt := range rts {
+		err := rt.Register(trafficAppName, fmt.Sprintf("%d", h%partitions), time.Millisecond,
+			func(p int32, b []byte) ([]byte, error) { return b, nil })
+		if err != nil {
+			panic(err)
+		}
+	}
+}
+
+// RunTrafficScenario executes one (scenario, scheme) traffic cell: build
+// the cluster with a service runtime on every host, open the session
+// population after warmup, install the fault timeline, run to the chaos
+// settle bound, and report the cluster counters with user-level traffic
+// stats attached.
+func RunTrafficScenario(scheme Scheme, sc *chaos.Scenario, o TrafficOptions, seed int64) metrics.RunReport {
+	var c *Cluster
+	var fed *FederatedCluster
+	if scheme == HierarchicalProxy {
+		fo := DefaultFederatedOptions(o.Groups, o.PerGroup)
+		fo.DCs = sc.NumDCs()
+		fo.ProxiesPerDC = sc.NumProxies()
+		fed = NewFederatedCluster(fo, seed)
+		c = fed.Cluster
+	} else if sc.MultiDC {
+		c = NewCluster(scheme, topology.MultiDC(sc.NumDCs(), o.Groups, o.PerGroup), seed)
+	} else {
+		c = NewCluster(scheme, topology.Clustered(o.Groups, o.PerGroup), seed)
+	}
+	var rts []*service.Runtime
+	if fed != nil {
+		rts = fed.Runtimes()
+	} else {
+		rts = attachRuntimes(c)
+	}
+	registerApp(rts, o.Partitions)
+	n := c.Top.NumHosts()
+	c.StartAll()
+
+	env := chaos.NewEnv(c.Eng, c.Net, c.Top, chaosNodes(c.Nodes))
+	if fed != nil {
+		env.Proxies = fed.ProxyHandles()
+	}
+	if err := sc.Install(env); err != nil {
+		panic(err) // library scenarios are valid by construction
+	}
+
+	topt := traffic.DefaultOptions()
+	topt.Service = trafficAppName
+	topt.Sessions = o.Sessions
+	topt.Partitions = o.Partitions
+	l := traffic.New(c.Eng, topt, rts, func(id membership.NodeID) bool {
+		return c.Nodes[int(id)].Running()
+	})
+	c.Eng.Schedule(trafficWarmup, l.Start)
+
+	// Unlike the chaos matrix (whose deadline is each scheme's own settle
+	// bound), every scheme measures over the same window — the slowest
+	// scheme's bound — so per-row request counts and failure totals are
+	// directly comparable across schemes.
+	deadline := c.Eng.Now() + sc.End() + trafficSettle(n)
+	c.Eng.Run(deadline)
+	l.Stop()
+	c.Eng.Run(deadline + trafficDrain)
+
+	rep := c.Observe()
+	st := l.Stats()
+	rep.Traffic = &st
+	return rep
+}
+
+// TrafficResult is one traffic-matrix cell.
+type TrafficResult struct {
+	Scenario string               `json:"scenario"`
+	Scheme   string               `json:"scheme"`
+	Traffic  metrics.TrafficStats `json:"traffic"`
+}
+
+// TrafficMatrix runs every (scenario, scheme) cell through the worker pool
+// and returns results in scenario-major, scheme-minor order.
+func TrafficMatrix(o TrafficOptions) []TrafficResult {
+	scenarios := o.scenarios()
+	pool := NewPool(o.Sweep, o.Seed)
+	reports := make([][]metrics.RunReport, len(scenarios))
+	for si, sc := range scenarios {
+		reports[si] = make([]metrics.RunReport, len(ChaosSchemes))
+		for hi, scheme := range ChaosSchemes {
+			si, hi, sc, scheme := si, hi, sc, scheme
+			pool.Go(fmt.Sprintf("traffic/%s/%s", sc.Name, scheme), func(seed int64) metrics.RunReport {
+				rep := RunTrafficScenario(scheme, sc, o, seed)
+				reports[si][hi] = rep
+				return rep
+			})
+		}
+	}
+	pool.Wait()
+
+	var out []TrafficResult
+	for si, sc := range scenarios {
+		for hi, scheme := range ChaosSchemes {
+			rep := reports[si][hi]
+			out = append(out, TrafficResult{
+				Scenario: sc.Name,
+				Scheme:   scheme.String(),
+				Traffic:  *rep.Traffic,
+			})
+		}
+	}
+	return out
+}
+
+// RenderTrafficMatrix renders the user-level outcome table: one row per
+// cell. Output is deterministic and byte-identical for any worker count
+// (no wall times, all quantiles from deterministic histograms).
+func RenderTrafficMatrix(results []TrafficResult) string {
+	var b strings.Builder
+	b.WriteString("# Traffic matrix: what each fault timeline cost the users\n")
+	fmt.Fprintf(&b, "%-18s %-18s %9s %9s %8s %8s %7s %5s %10s %9s %9s %9s\n",
+		"scenario", "scheme", "requests", "ok", "misroute", "timeout", "unavail", "migr",
+		"mig-p99", "req-p50", "req-p99", "req-p999")
+	for _, r := range results {
+		t := r.Traffic
+		fmt.Fprintf(&b, "%-18s %-18s %9d %9d %8d %8d %7d %5d %10v %9v %9v %9v\n",
+			r.Scenario, r.Scheme, t.Requests, t.OK, t.Misrouted, t.Timeouts, t.Unavailable,
+			t.Migrations, t.MigP99.Round(time.Millisecond),
+			t.ReqP50.Round(time.Millisecond), t.ReqP99.Round(time.Millisecond),
+			t.ReqP999.Round(time.Millisecond))
+	}
+	return b.String()
+}

@@ -79,6 +79,42 @@ func chaosVerdicts(results any) map[string]bool {
 	return out
 }
 
+// trafficCell is the slice of harness.TrafficResult the comparator needs,
+// decoded the same way as chaos verdicts so metrics stays harness-free.
+type trafficCell struct {
+	Scenario string `json:"scenario"`
+	Scheme   string `json:"scheme"`
+	Traffic  struct {
+		Requests uint64 `json:"requests"`
+		OK       uint64 `json:"ok"`
+	} `json:"traffic"`
+}
+
+// trafficOutcomes maps cell key -> "every request succeeded". Cells with no
+// traffic payload (chaos results, scale runs) decode to zero requests and are
+// dropped.
+func trafficOutcomes(results any) map[string]bool {
+	if results == nil {
+		return nil
+	}
+	data, err := json.Marshal(results)
+	if err != nil {
+		return nil
+	}
+	var cells []trafficCell
+	if err := json.Unmarshal(data, &cells); err != nil {
+		return nil
+	}
+	out := make(map[string]bool, len(cells))
+	for _, c := range cells {
+		if c.Traffic.Requests == 0 {
+			continue
+		}
+		out[c.Scenario+"/"+c.Scheme] = c.Traffic.OK == c.Traffic.Requests
+	}
+	return out
+}
+
 // CompareBench diffs two bench files, old first. Findings come back sorted
 // by run key (summary findings last) so the rendered table is deterministic.
 func CompareBench(oldB, newB BenchJSON, o DiffOptions) []Regression {
@@ -108,6 +144,13 @@ func CompareBench(oldB, newB BenchJSON, o DiffOptions) []Regression {
 	for cell, pass := range oldCells {
 		if np, ok := newCells[cell]; pass && ok && !np {
 			regs = append(regs, Regression{Key: cell, What: "verdict PASS -> FAIL"})
+		}
+	}
+	oldTraffic := trafficOutcomes(oldB.Results)
+	newTraffic := trafficOutcomes(newB.Results)
+	for cell, clean := range oldTraffic {
+		if nc, ok := newTraffic[cell]; clean && ok && !nc {
+			regs = append(regs, Regression{Key: cell, What: "traffic clean -> user-visible failures"})
 		}
 	}
 	sort.Slice(regs, func(i, j int) bool {

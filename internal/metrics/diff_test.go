@@ -79,6 +79,29 @@ func TestCompareBenchRegressions(t *testing.T) {
 	}
 }
 
+func TestCompareBenchTrafficCleanToDirty(t *testing.T) {
+	cell := func(ok uint64) []map[string]any {
+		return []map[string]any{
+			{"scenario": "steady", "scheme": "Gossip",
+				"traffic": map[string]any{"requests": 100, "ok": ok}},
+		}
+	}
+	oldB := BenchJSON{Fig: "traffic", Results: cell(100)}
+	newB := BenchJSON{Fig: "traffic", Results: cell(97)}
+	regs := CompareBench(oldB, newB, DefaultDiffOptions())
+	if len(regs) != 1 || !strings.Contains(regs[0].What, "traffic clean -> user-visible failures") {
+		t.Fatalf("clean->dirty traffic cell not flagged: %v", regs)
+	}
+	// Dirty -> dirty is not a regression (fault scenarios always fail some
+	// requests), and dirty -> clean is an improvement.
+	if regs := CompareBench(newB, newB, DefaultDiffOptions()); len(regs) != 0 {
+		t.Fatalf("dirty self-compare flagged: %v", regs)
+	}
+	if regs := CompareBench(newB, oldB, DefaultDiffOptions()); len(regs) != 0 {
+		t.Fatalf("dirty->clean flagged: %v", regs)
+	}
+}
+
 func TestReadBenchJSONRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_x.json")
 	b := benchFixture()

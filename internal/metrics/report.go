@@ -44,6 +44,10 @@ type RunReport struct {
 	// Invariants holds the invariant auditor's verdicts when the run was
 	// audited (the chaos matrix); empty otherwise.
 	Invariants []InvariantResult `json:"invariants,omitempty"`
+
+	// Traffic holds user-level outcomes when the run drove client sessions
+	// (the traffic matrix); nil otherwise.
+	Traffic *TrafficStats `json:"traffic,omitempty"`
 }
 
 // InvariantResult is one invariant's verdict over a whole audited run.
@@ -73,6 +77,9 @@ func (r RunReport) String() string {
 	}
 	if len(r.Invariants) > 0 {
 		s += fmt.Sprintf(" violations=%d", r.TotalViolations())
+	}
+	if r.Traffic != nil {
+		s += " " + r.Traffic.String()
 	}
 	return s
 }

@@ -3,7 +3,10 @@
 // located via the membership directory and invoked over the simulated
 // network (#10 in DESIGN.md's system inventory).
 //
-// A Runtime sits on one host next to a core.Node. Servers Register a
+// A Runtime sits on one host next to a membership node — anything
+// implementing the Member seam (core.Node, gossip.Node, alltoall.Node),
+// so the same service and traffic layers run over all three schemes.
+// Servers Register a
 // named service with a partition list, a per-request service time, and a
 // Handler; registration publishes the service through the membership
 // protocol, so no separate service-discovery tier exists. Clients call
@@ -17,5 +20,7 @@
 // loadinfo.Reporter, closing the loop the paper describes between
 // membership, load dissemination, and request routing. SetRelayHandler
 // lets the multi-DC proxy intercept requests whose partition lives in
-// another data center.
+// another data center. Candidates exposes the raw directory lookup and
+// InvokeNode dispatches to a chosen replica, the seams the session-traffic
+// layer (internal/traffic) uses to model replica-pinned clients.
 package service

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/loadinfo"
 	"repro/internal/membership"
 	"repro/internal/netsim"
@@ -16,6 +15,21 @@ import (
 
 // Handler processes one application request on a provider.
 type Handler func(partition int32, payload []byte) ([]byte, error)
+
+// Member is the membership-daemon surface the runtime layers over: any
+// protocol node that publishes services into a yellow-page directory and
+// accepts delegated membership packets. *core.Node, *gossip.Node, and
+// *alltoall.Node all satisfy it, which is what lets the same service and
+// traffic layers run over every compared scheme.
+type Member interface {
+	ID() membership.NodeID
+	Directory() *membership.Directory
+	RegisterService(name, partitions string, params ...membership.KV) error
+	// Receive handles a membership packet the runtime's endpoint mux did
+	// not consume (heartbeats, updates, bootstrap/sync exchanges).
+	Receive(pkt netsim.Packet)
+	Running() bool
+}
 
 // Errors returned through invocation callbacks.
 var (
@@ -87,7 +101,7 @@ type Runtime struct {
 	cfg   Config
 	eng   *sim.Engine
 	ep    netsim.Transport
-	node  *core.Node
+	node  Member
 	insts map[string]*instance
 
 	// The node is one server: requests for all local instances share one
@@ -112,7 +126,7 @@ type Runtime struct {
 // NewRuntime wires a runtime over a started-or-not membership node. It
 // takes over the endpoint handler; membership packets are delegated to the
 // node.
-func NewRuntime(cfg Config, eng *sim.Engine, ep netsim.Transport, node *core.Node) *Runtime {
+func NewRuntime(cfg Config, eng *sim.Engine, ep netsim.Transport, node Member) *Runtime {
 	if cfg.PollSize < 1 {
 		cfg.PollSize = 1
 	}
@@ -146,7 +160,7 @@ func (r *Runtime) LoadCache() *loadinfo.Cache { return r.loadCache }
 func (r *Runtime) Reporter() *loadinfo.Reporter { return r.reporter }
 
 // Node returns the underlying membership node.
-func (r *Runtime) Node() *core.Node { return r.node }
+func (r *Runtime) Node() Member { return r.node }
 
 // AllocReqID hands out a request ID from the runtime's space, so layered
 // protocols (proxies) that correlate replies on the same endpoint never
@@ -345,6 +359,24 @@ func (r *Runtime) Invoke(serviceName string, partition int32, payload []byte, cb
 	}
 	pp.decideEarly = decide
 	r.eng.Schedule(r.cfg.PollTimeout, decide)
+}
+
+// Candidates returns the directory's current view of who hosts (service,
+// partition) — the same candidate set Invoke balances over. Callers that pin
+// long-lived sessions to one replica (the traffic layer) use it to choose a
+// home and to detect when the local view has gone empty.
+func (r *Runtime) Candidates(serviceName string, partition int32) []membership.NodeID {
+	return r.lookupCandidates(serviceName, partition)
+}
+
+// HasProxy reports whether requests with no local candidates can be relayed
+// to a membership proxy.
+func (r *Runtime) HasProxy() bool {
+	if r.cfg.ProxyAddr == nil {
+		return false
+	}
+	_, ok := r.cfg.ProxyAddr()
+	return ok
 }
 
 // InvokeNode sends the request to one specific provider, bypassing lookup

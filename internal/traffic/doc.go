@@ -1,0 +1,16 @@
+// Package traffic drives large populations of virtual client sessions
+// against a simulated cluster and measures what membership staleness costs
+// them: requests misrouted to dead replicas, session-migration latency, and
+// the request-latency tail users actually experience.
+//
+// Sessions are flat pooled structs batched through a tick wheel — one
+// simulation event per tick drains every due session — so a million virtual
+// clients add one slice and no per-session timers to the event budget. Each
+// session opens against a (service, partition), pins itself to one replica
+// from its gateway's directory, streams closed-loop requests, and re-homes
+// (locally, or through the cross-DC proxy relay) when its replica dies.
+//
+// The full model — the session lifecycle state machine, the batching and
+// pooling design, the exact definition of every reported metric, and how to
+// reproduce BENCH_traffic.json — is specified in docs/TRAFFIC.md.
+package traffic

@@ -1,0 +1,209 @@
+package traffic
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/service"
+	"repro/internal/sim"
+	"repro/internal/topology"
+
+	"repro/internal/membership"
+)
+
+// fixture is a flat cluster where every host runs a core membership node
+// and a service runtime; hosts 1..replicas register the "app" service.
+type fixture struct {
+	eng      *sim.Engine
+	net      *netsim.Network
+	nodes    []*core.Node
+	runtimes []*service.Runtime
+}
+
+func newFixture(t *testing.T, hosts, replicas, partitions int) *fixture {
+	t.Helper()
+	top := topology.FlatLAN(hosts)
+	eng := sim.NewEngine(17)
+	net := netsim.New(eng, top)
+	cfg := core.DefaultConfig()
+	cfg.MaxTTL = top.Diameter()
+	if cfg.MaxTTL < 1 {
+		cfg.MaxTTL = 1
+	}
+	f := &fixture{eng: eng, net: net}
+	for h := 0; h < hosts; h++ {
+		ep := net.Endpoint(topology.HostID(h))
+		node := core.NewNode(cfg, ep)
+		rt := service.NewRuntime(service.DefaultConfig(), eng, ep, node)
+		f.nodes = append(f.nodes, node)
+		f.runtimes = append(f.runtimes, rt)
+	}
+	spec := "0"
+	if partitions > 1 {
+		spec = fmt.Sprintf("0-%d", partitions-1)
+	}
+	for r := 1; r <= replicas; r++ {
+		err := f.runtimes[r].Register("app", spec, time.Millisecond,
+			func(int32, []byte) ([]byte, error) { return []byte("ok"), nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, n := range f.nodes {
+		n.Start(eng)
+	}
+	eng.Run(10 * time.Second) // converge membership before traffic starts
+	return f
+}
+
+func (f *fixture) alive(id membership.NodeID) bool {
+	return f.nodes[int(id)].Running()
+}
+
+func (f *fixture) run(d time.Duration) { f.eng.Run(f.eng.Now() + d) }
+
+func testOptions(sessions, partitions int) Options {
+	o := DefaultOptions()
+	o.Sessions = sessions
+	o.Partitions = partitions
+	o.OpenOver = 500 * time.Millisecond
+	return o
+}
+
+func TestSteadyTrafficAllOK(t *testing.T) {
+	f := newFixture(t, 4, 2, 2)
+	l := New(f.eng, testOptions(40, 2), f.runtimes[:1], f.alive)
+	l.Start()
+	f.run(30 * time.Second)
+	l.Stop()
+	f.run(5 * time.Second) // drain in-flight requests
+	st := l.Stats()
+	if st.Sessions != 40 {
+		t.Fatalf("opened %d sessions, want 40", st.Sessions)
+	}
+	if st.Requests < 500 {
+		t.Fatalf("only %d requests in 30s of 40 closed-loop sessions", st.Requests)
+	}
+	if st.OK != st.Requests {
+		t.Fatalf("healthy cluster: ok=%d != requests=%d (timeouts=%d unavailable=%d)",
+			st.OK, st.Requests, st.Timeouts, st.Unavailable)
+	}
+	if st.Misrouted != 0 || st.Migrations != 0 {
+		t.Fatalf("healthy cluster saw misrouted=%d migrations=%d", st.Misrouted, st.Migrations)
+	}
+	if st.ReqP50 <= 0 || st.ReqP999 < st.ReqP99 || st.ReqP99 < st.ReqP50 {
+		t.Fatalf("quantiles not monotone: p50=%v p99=%v p999=%v", st.ReqP50, st.ReqP99, st.ReqP999)
+	}
+}
+
+func TestSessionsMigrateWhenReplicaDies(t *testing.T) {
+	// Two replicas both hosting partition 0 (single partition); kill one
+	// mid-run and every session pinned to it must re-home to the survivor.
+	f := newFixture(t, 4, 2, 1)
+	l := New(f.eng, testOptions(40, 1), f.runtimes[:1], f.alive)
+	l.Start()
+	f.run(10 * time.Second)
+	f.nodes[1].Stop()
+	f.run(40 * time.Second)
+	st := l.Stats()
+	if st.Migrations == 0 {
+		t.Fatal("no sessions migrated after replica death")
+	}
+	if st.Misrouted == 0 {
+		t.Fatal("no misroutes counted while the directory was stale")
+	}
+	if st.Timeouts == 0 {
+		t.Fatal("requests to the dead replica should have timed out")
+	}
+	if st.Misrouted > st.Timeouts+st.Unavailable {
+		t.Fatalf("misrouted=%d exceeds failed requests (timeouts=%d unavailable=%d)",
+			st.Misrouted, st.Timeouts, st.Unavailable)
+	}
+	if st.MigMax <= 0 || st.MigP50 <= 0 || st.MigP99 < st.MigP50 {
+		t.Fatalf("migration quantiles: p50=%v p99=%v max=%v", st.MigP50, st.MigP99, st.MigMax)
+	}
+	// After detection, traffic must be fully healthy again: issue a fresh
+	// measurement window and require zero new failures.
+	before := l.Stats()
+	f.run(20 * time.Second)
+	after := l.Stats()
+	if after.Timeouts != before.Timeouts || after.Unavailable != before.Unavailable {
+		t.Fatalf("failures still accruing long after failover: %+v -> %+v", before, after)
+	}
+	if after.OK == before.OK {
+		t.Fatal("no successful traffic after failover")
+	}
+}
+
+func TestUnroutableSessionsCountUnavailable(t *testing.T) {
+	// Sessions bound to a partition nobody hosts fail fast as unavailable
+	// and keep probing without wedging the layer.
+	f := newFixture(t, 3, 1, 1)
+	o := testOptions(10, 4) // partitions 1..3 unhosted
+	l := New(f.eng, o, f.runtimes[:1], f.alive)
+	l.Start()
+	f.run(20 * time.Second)
+	st := l.Stats()
+	if st.Unavailable == 0 {
+		t.Fatal("no unavailable requests recorded for unhosted partitions")
+	}
+	if st.OK == 0 {
+		t.Fatal("hosted partition 0 sessions should still succeed")
+	}
+	if st.Migrations != 0 {
+		t.Fatalf("never-pinned sessions cannot migrate, got %d", st.Migrations)
+	}
+}
+
+func TestRequestBudgetClosesSessions(t *testing.T) {
+	f := newFixture(t, 4, 2, 2)
+	o := testOptions(25, 2)
+	o.RequestsPerSession = 3
+	l := New(f.eng, o, f.runtimes[:1], f.alive)
+	l.Start()
+	f.run(30 * time.Second)
+	st := l.Stats()
+	if l.Closed() != 25 {
+		t.Fatalf("closed %d of 25 sessions", l.Closed())
+	}
+	if st.Requests != 75 {
+		t.Fatalf("requests = %d, want exactly 25*3", st.Requests)
+	}
+	if st.OK != 75 {
+		t.Fatalf("ok = %d, want 75", st.OK)
+	}
+}
+
+func TestStopHaltsIssue(t *testing.T) {
+	f := newFixture(t, 4, 2, 2)
+	l := New(f.eng, testOptions(20, 2), f.runtimes[:1], f.alive)
+	l.Start()
+	f.run(10 * time.Second)
+	l.Stop()
+	n := l.Stats().Requests
+	f.run(10 * time.Second)
+	if got := l.Stats().Requests; got != n {
+		t.Fatalf("requests grew after Stop: %d -> %d", n, got)
+	}
+}
+
+func TestTrafficDeterministicAcrossRuns(t *testing.T) {
+	run := func() (uint64, uint64, time.Duration) {
+		f := newFixture(t, 4, 2, 2)
+		l := New(f.eng, testOptions(40, 2), f.runtimes[:1], f.alive)
+		l.Start()
+		f.run(10 * time.Second)
+		f.nodes[1].Stop()
+		f.run(30 * time.Second)
+		st := l.Stats()
+		return st.Requests, st.Misrouted, st.ReqP999
+	}
+	r1, m1, p1 := run()
+	r2, m2, p2 := run()
+	if r1 != r2 || m1 != m2 || p1 != p2 {
+		t.Fatalf("same seed diverged: (%d,%d,%v) vs (%d,%d,%v)", r1, m1, p1, r2, m2, p2)
+	}
+}
