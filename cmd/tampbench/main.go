@@ -52,6 +52,7 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole regeneration to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after regeneration to this file")
 	jsonOut := flag.Bool("json", false, "also write BENCH_<fig>.json with per-run reports (chaos and scale always write it)")
+	dclocal := flag.Bool("dclocal", false, "with -fig traffic: DC-local serving policy (multi-DC topology, sessions route only to same-DC replicas); writes BENCH_traffic-dclocal.json")
 	chart := flag.Bool("chart", false, "also render sparkline charts")
 	svgDir := flag.String("svg", "", "directory to write one SVG per figure (created if missing)")
 	diff := flag.Bool("diff", false, "compare two BENCH json files (old new) and exit non-zero on regressions")
@@ -172,7 +173,7 @@ func main() {
 			continue
 		}
 		if name == "traffic" {
-			if err := runTraffic(sw, *seed, log); err != nil {
+			if err := runTraffic(sw, *seed, log, *dclocal); err != nil {
 				fmt.Fprintln(os.Stderr, "tampbench:", err)
 				code = 1
 			}
@@ -267,24 +268,33 @@ func runChaos(sw harness.Sweep, seed int64, log *metrics.ReportLog) error {
 // always records it in BENCH_traffic.json so the user-experience trajectory
 // is machine-trackable across commits. docs/TRAFFIC.md defines the model
 // and every reported field.
-func runTraffic(sw harness.Sweep, seed int64, log *metrics.ReportLog) error {
+func runTraffic(sw harness.Sweep, seed int64, log *metrics.ReportLog, dclocal bool) error {
 	to := harness.DefaultTrafficOptions()
 	to.Seed = seed
 	to.Sweep = sw
+	to.DCLocal = dclocal
+	fig := "traffic"
+	if dclocal {
+		// The DC-local policy is a different deployment, not a new baseline
+		// for the default matrix: it gets its own figure name and BENCH file
+		// so -diff never compares across policies.
+		fig = "traffic-dclocal"
+	}
 	results := harness.TrafficMatrix(to)
 	fmt.Println(harness.RenderTrafficMatrix(results))
 	runs := log.Reports()
 	b := metrics.BenchJSON{
-		Fig:     "traffic",
+		Fig:     fig,
 		Seed:    seed,
 		Runs:    runs,
 		Summary: metrics.Summarize(runs),
 		Results: results,
 	}
-	if err := metrics.WriteBenchJSON("BENCH_traffic.json", b); err != nil {
+	file := "BENCH_" + fig + ".json"
+	if err := metrics.WriteBenchJSON(file, b); err != nil {
 		return err
 	}
-	fmt.Println("(json: BENCH_traffic.json)")
+	fmt.Println("(json: " + file + ")")
 	return nil
 }
 

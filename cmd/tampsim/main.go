@@ -26,7 +26,7 @@ import (
 )
 
 func main() {
-	schemeName := flag.String("scheme", "hierarchical", "membership scheme: alltoall, gossip, hierarchical, hierarchical+proxy")
+	schemeName := flag.String("scheme", "hierarchical", "membership scheme: alltoall, gossip, hierarchical, hierarchical+proxy, rapid")
 	groups := flag.Int("groups", 3, "number of networks (switch groups)")
 	perGroup := flag.Int("pergroup", 10, "nodes per network")
 	duration := flag.Duration("duration", 60*time.Second, "virtual run time")
@@ -60,6 +60,8 @@ func main() {
 		scheme = harness.Hierarchical
 	case "hierarchical+proxy", "proxy", "fed":
 		scheme = harness.HierarchicalProxy
+	case "rapid":
+		scheme = harness.Rapid
 	default:
 		fmt.Fprintf(os.Stderr, "tampsim: unknown scheme %q\n", *schemeName)
 		os.Exit(2)
@@ -236,6 +238,8 @@ func main() {
 	}
 	violations := uint64(0)
 	if aud != nil {
+		vc, sp := aud.Stability()
+		fmt.Printf("view stability: %d transitions after warmup, %d spurious evictions\n", vc, sp)
 		fmt.Printf("\ninvariant audit:\n%s", aud.Report())
 		for _, r := range aud.Results() {
 			violations += r.Violations

@@ -18,6 +18,7 @@ import (
 	"repro/internal/invariant"
 	"repro/internal/metrics"
 	"repro/internal/proxy"
+	"repro/internal/rapid"
 	"repro/internal/topology"
 )
 
@@ -76,8 +77,24 @@ func ChaosSettle(scheme Scheme, n int) time.Duration {
 		pc := proxy.DefaultConfig(0, nil)
 		return m.DetectionTime + m.ConvergenceTime + core.DefaultConfig().RelayedTTL +
 			pc.SummaryTimeout + time.Duration(pc.SummaryEvery)*pc.HeartbeatInterval + margin
+	case Rapid:
+		// After the last heal, a stale or evicted node must re-adopt the
+		// current configuration and re-admit itself (one full pipeline in
+		// the worst case: detect, arbitrate, probe, batch, ratify), then
+		// records re-propagate on the info cadence.
+		rc := rapid.DefaultConfig()
+		return rapidPipeline(rc) + rc.JoinRetry + rc.JoinBatchWindow + rc.InfoInterval + margin
 	}
 	panic("harness: unknown scheme")
+}
+
+// rapidPipeline is the worst-case single-cut eviction latency of the rapid
+// scheme: beat silence, the unstable-region wait, a full probe cycle, the
+// steady batch window, and the ratification round.
+func rapidPipeline(rc rapid.Config) time.Duration {
+	return rc.DeadAfter() + rc.ArbitrateAfter +
+		time.Duration(rc.ProbeRetries+2)*rc.ProbeTimeout +
+		rc.BatchWindow + rc.VoteWindow + rc.ProposeRetry
 }
 
 // ChaosPurgeBound bounds how long a dead daemon may linger in any view:
@@ -97,6 +114,13 @@ func ChaosPurgeBound(scheme Scheme, n int) time.Duration {
 		// federated scheme purges exactly like plain hierarchical.
 		m := analysis.HierarchicalFixedFrequency(p)
 		return m.DetectionTime + core.DefaultConfig().RelayedTTL + margin
+	case Rapid:
+		// A view change waits for the WHOLE cut to resolve: overlapping
+		// faults (the cascade scenario kills on a DeadAfter-scale cadence)
+		// extend an early victim's linger by the later victims' detection
+		// lag, so the bound buys the pipeline plus two extra detections.
+		rc := rapid.DefaultConfig()
+		return rapidPipeline(rc) + 2*rc.DeadAfter() + margin
 	}
 	panic("harness: unknown scheme")
 }
@@ -106,12 +130,16 @@ func ChaosPurgeBound(scheme Scheme, n int) time.Duration {
 // grace plus a few heartbeat rounds.
 const ChaosLeaderGrace = 15 * time.Second
 
-// ChaosResult is one matrix cell's verdict.
+// ChaosResult is one matrix cell's verdict, plus the view-stability
+// counters behind it: every post-warmup membership transition, and the
+// subset that evicted a member healthy and reachable at ground truth.
 type ChaosResult struct {
-	Scenario   string                    `json:"scenario"`
-	Scheme     string                    `json:"scheme"`
-	Pass       bool                      `json:"pass"`
-	Invariants []metrics.InvariantResult `json:"invariants"`
+	Scenario          string                    `json:"scenario"`
+	Scheme            string                    `json:"scheme"`
+	Pass              bool                      `json:"pass"`
+	ViewChanges       uint64                    `json:"view_changes"`
+	SpuriousEvictions uint64                    `json:"spurious_evictions"`
+	Invariants        []metrics.InvariantResult `json:"invariants"`
 }
 
 func (o ChaosOptions) scenarios() []*chaos.Scenario {
@@ -182,6 +210,7 @@ func RunScenario(scheme Scheme, sc *chaos.Scenario, o ChaosOptions, seed int64) 
 
 	rep := c.Observe()
 	rep.Invariants = aud.Results()
+	rep.ViewChanges, rep.SpuriousEvictions = aud.Stability()
 	return rep
 }
 
@@ -225,10 +254,12 @@ func ChaosMatrix(o ChaosOptions) []ChaosResult {
 		for hi, scheme := range ChaosSchemes {
 			rep := reports[si][hi]
 			out = append(out, ChaosResult{
-				Scenario:   sc.Name,
-				Scheme:     scheme.String(),
-				Pass:       rep.TotalViolations() == 0,
-				Invariants: rep.Invariants,
+				Scenario:          sc.Name,
+				Scheme:            scheme.String(),
+				Pass:              rep.TotalViolations() == 0,
+				ViewChanges:       rep.ViewChanges,
+				SpuriousEvictions: rep.SpuriousEvictions,
+				Invariants:        rep.Invariants,
 			})
 		}
 	}
@@ -247,7 +278,7 @@ func RenderChaosMatrix(results []ChaosResult) string {
 			invNames = append(invNames, inv.Name)
 		}
 	}
-	fmt.Fprintf(&b, "%-18s %-18s %-8s", "scenario", "scheme", "verdict")
+	fmt.Fprintf(&b, "%-18s %-18s %-8s %6s %8s", "scenario", "scheme", "verdict", "views", "spurious")
 	for _, name := range invNames {
 		fmt.Fprintf(&b, " %14s", name)
 	}
@@ -257,7 +288,7 @@ func RenderChaosMatrix(results []ChaosResult) string {
 		if !r.Pass {
 			verdict = "FAIL"
 		}
-		fmt.Fprintf(&b, "%-18s %-18s %-8s", r.Scenario, r.Scheme, verdict)
+		fmt.Fprintf(&b, "%-18s %-18s %-8s %6d %8d", r.Scenario, r.Scheme, verdict, r.ViewChanges, r.SpuriousEvictions)
 		for _, inv := range r.Invariants {
 			fmt.Fprintf(&b, " %14s", fmt.Sprintf("%d/%d", inv.Violations, inv.Checks))
 		}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/gossip"
 	"repro/internal/membership"
 	"repro/internal/netsim"
+	"repro/internal/rapid"
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/wire"
@@ -18,12 +19,15 @@ import (
 type Scheme int
 
 // The three compared schemes, plus the federated §5 stack (hierarchical
-// inside each data center, membership proxies across them).
+// inside each data center, membership proxies across them), plus the
+// Rapid-style stable membership scheme (consistent whole-view changes
+// filtered through multi-node cut detection).
 const (
 	AllToAll Scheme = iota
 	Gossip
 	Hierarchical
 	HierarchicalProxy
+	Rapid
 )
 
 func (s Scheme) String() string {
@@ -36,18 +40,21 @@ func (s Scheme) String() string {
 		return "Hierarchical"
 	case HierarchicalProxy:
 		return "hierarchical+proxy"
+	case Rapid:
+		return "rapid"
 	}
 	return fmt.Sprintf("scheme(%d)", int(s))
 }
 
 // Schemes lists the paper's three compared schemes in presentation order;
-// the §4 figures sweep exactly these. The federated stack is not a point in
-// those analyses — it joins the comparison only in the chaos matrix.
+// the §4 figures sweep exactly these. The federated stack and the rapid
+// scheme are not points in those analyses — they join the comparison only in
+// the chaos and traffic matrices.
 var Schemes = []Scheme{AllToAll, Gossip, Hierarchical}
 
-// ChaosSchemes is the chaos matrix's column set: the three compared schemes
-// plus the federated hierarchical+proxy stack.
-var ChaosSchemes = []Scheme{AllToAll, Gossip, Hierarchical, HierarchicalProxy}
+// ChaosSchemes is the chaos matrix's column set: the three compared schemes,
+// the federated hierarchical+proxy stack, and rapid.
+var ChaosSchemes = []Scheme{AllToAll, Gossip, Hierarchical, HierarchicalProxy, Rapid}
 
 // Instance is the common surface of the three protocol nodes.
 type Instance interface {
@@ -58,11 +65,12 @@ type Instance interface {
 	Running() bool
 }
 
-// Statically assert the three implementations satisfy Instance.
+// Statically assert the implementations satisfy Instance.
 var (
 	_ Instance = (*core.Node)(nil)
 	_ Instance = (*alltoall.Node)(nil)
 	_ Instance = (*gossip.Node)(nil)
+	_ Instance = (*rapid.Node)(nil)
 )
 
 // HeartbeatWireTarget is the paper's measured average membership packet
@@ -140,6 +148,15 @@ func NewCluster(scheme Scheme, top *topology.Topology, seed int64) *Cluster {
 		cfg.HeartbeatPad = pad
 		for h := 0; h < n; h++ {
 			c.Nodes = append(c.Nodes, core.NewNode(cfg, net.Endpoint(topology.HostID(h))))
+		}
+	case Rapid:
+		cfg := rapid.DefaultConfig()
+		cfg.HeartbeatPad = pad
+		for h := 0; h < n; h++ {
+			cfg.Seeds = append(cfg.Seeds, membership.NodeID(h))
+		}
+		for h := 0; h < n; h++ {
+			c.Nodes = append(c.Nodes, rapid.NewNode(cfg, net.Endpoint(topology.HostID(h))))
 		}
 	default:
 		panic("harness: unknown scheme")

@@ -35,7 +35,15 @@ type TrafficOptions struct {
 	// Scenarios restricts the matrix to the named library scenarios;
 	// empty means the default traffic-relevant subset.
 	Scenarios []string
-	Sweep     Sweep
+	// DCLocal switches every cell to the DC-local serving policy: all
+	// schemes run on the multi-DC topology (single-DC scenarios get the
+	// default two data centers) and sessions route only to replicas in
+	// their gateway's own DC — the deployment where cross-DC reads are
+	// forbidden and a stale local view cannot be papered over by a WAN
+	// fallback. Cell keys gain a "+dclocal" suffix so the variant never
+	// collides with the default matrix in diffs or seed derivation.
+	DCLocal bool
+	Sweep   Sweep
 }
 
 // DefaultTrafficOptions mirrors the chaos matrix shape (3 groups of 8) with
@@ -141,7 +149,7 @@ func RunTrafficScenario(scheme Scheme, sc *chaos.Scenario, o TrafficOptions, see
 		fo.ProxiesPerDC = sc.NumProxies()
 		fed = NewFederatedCluster(fo, seed)
 		c = fed.Cluster
-	} else if sc.MultiDC {
+	} else if sc.MultiDC || o.DCLocal {
 		c = NewCluster(scheme, topology.MultiDC(sc.NumDCs(), o.Groups, o.PerGroup), seed)
 	} else {
 		c = NewCluster(scheme, topology.Clustered(o.Groups, o.PerGroup), seed)
@@ -168,6 +176,11 @@ func RunTrafficScenario(scheme Scheme, sc *chaos.Scenario, o TrafficOptions, see
 	topt.Service = trafficAppName
 	topt.Sessions = o.Sessions
 	topt.Partitions = o.Partitions
+	if o.DCLocal {
+		topt.Local = func(gw int, id membership.NodeID) bool {
+			return c.Top.HostDC(topology.HostID(gw)) == c.Top.HostDC(topology.HostID(id))
+		}
+	}
 	l := traffic.New(c.Eng, topt, rts, func(id membership.NodeID) bool {
 		return c.Nodes[int(id)].Running()
 	})
@@ -205,7 +218,11 @@ func TrafficMatrix(o TrafficOptions) []TrafficResult {
 		reports[si] = make([]metrics.RunReport, len(ChaosSchemes))
 		for hi, scheme := range ChaosSchemes {
 			si, hi, sc, scheme := si, hi, sc, scheme
-			pool.Go(fmt.Sprintf("traffic/%s/%s", sc.Name, scheme), func(seed int64) metrics.RunReport {
+			key := fmt.Sprintf("traffic/%s/%s", sc.Name, scheme)
+			if o.DCLocal {
+				key += "+dclocal"
+			}
+			pool.Go(key, func(seed int64) metrics.RunReport {
 				rep := RunTrafficScenario(scheme, sc, o, seed)
 				reports[si][hi] = rep
 				return rep
@@ -216,10 +233,14 @@ func TrafficMatrix(o TrafficOptions) []TrafficResult {
 
 	var out []TrafficResult
 	for si, sc := range scenarios {
+		name := sc.Name
+		if o.DCLocal {
+			name += "+dclocal"
+		}
 		for hi, scheme := range ChaosSchemes {
 			rep := reports[si][hi]
 			out = append(out, TrafficResult{
-				Scenario: sc.Name,
+				Scenario: name,
 				Scheme:   scheme.String(),
 				Traffic:  *rep.Traffic,
 			})

@@ -46,6 +46,10 @@ type Options struct {
 	// keeps running as the fallback path (absence — a view that never
 	// re-adds a node — produces no events to hook).
 	EventDriven bool
+	// FlapWarmup is the boot grace before view-stability accounting starts
+	// (initial convergence churn is not instability). Default 15s. The
+	// stability counters and the flap-freedom invariant need EventDriven.
+	FlapWarmup time.Duration
 }
 
 // Invariant names, in report order. The federation invariants
@@ -57,6 +61,7 @@ const (
 	invNoPhantoms
 	invLeaderUnique
 	invSeqMonotone
+	invFlapFreedom
 	invSummaryFresh
 	invSummaryTruth
 	invVIPUnique
@@ -65,7 +70,7 @@ const (
 
 var invNames = [numInvariants]string{
 	"completeness", "no-phantoms", "leader-unique", "seq-monotone",
-	"summary-fresh", "summary-truth", "vip-unique",
+	"flap-freedom", "summary-fresh", "summary-truth", "vip-unique",
 }
 
 const maxExamples = 3
@@ -127,6 +132,17 @@ type Auditor struct {
 
 	fed *Federation
 
+	// View-stability accounting (event-driven only): membership transitions
+	// observed after the warmup, spurious evictions (a healthy, reachable,
+	// steady member dropped from a steady observer's view), and the
+	// per-(observer, subject) spurious counts behind the flap-freedom
+	// invariant — one mistaken eviction per pair is instability the
+	// stability metric charges, a REPEAT is a protocol flap and a violation.
+	startedAt   time.Duration
+	viewChanges uint64
+	spurious    uint64
+	flaps       [][]uint8
+
 	invs [numInvariants]inv
 }
 
@@ -157,6 +173,13 @@ func New(eng *sim.Engine, top *topology.Topology, nodes []Node, o Options) *Audi
 	a.dc = make([]int, n)
 	for i := range a.dc {
 		a.dc[i] = top.HostDC(topology.HostID(i))
+	}
+	if a.o.FlapWarmup <= 0 {
+		a.o.FlapWarmup = 15 * time.Second
+	}
+	a.flaps = make([][]uint8, n)
+	for i := range a.flaps {
+		a.flaps[i] = make([]uint8, n)
 	}
 	a.reachWords = (n + 63) / 64
 	a.reachBits = make([]uint64, n*a.reachWords)
@@ -206,6 +229,7 @@ func (a *Auditor) Start() {
 		}
 	}
 	a.stableSince = now
+	a.startedAt = now
 	a.lastEpoch = a.top.Epoch()
 	if a.o.EventDriven {
 		for i, n := range a.nodes {
@@ -291,8 +315,12 @@ func (a *Auditor) onEvent(i int, e membership.Event) {
 	now := a.eng.Now()
 	a.noteRunning(i, now)
 	a.noteRunning(j, now)
+	warm := now-a.startedAt >= a.o.FlapWarmup
 	switch e.Type {
 	case membership.EventJoin, membership.EventUpdate:
+		if e.Type == membership.EventJoin && warm {
+			a.viewChanges++
+		}
 		dir := a.nodes[i].Directory()
 		en := dir.Get(e.Node)
 		if en == nil {
@@ -321,6 +349,32 @@ func (a *Auditor) onEvent(i int, e membership.Event) {
 		st.seen = true
 		st.inc, st.ver, st.beat = en.Info.Incarnation, en.Info.Version, en.Info.Beat
 	case membership.EventLeave:
+		if warm {
+			a.viewChanges++
+			a.invs[invFlapFreedom].checks++
+		}
+		// Spurious-eviction accounting runs for the whole fault window, not
+		// just after the settle deadline: dropping a subject that is running
+		// at ground truth, has been up longer than the purge bound (so this
+		// is not the delayed purge of its previous death), from an observer
+		// itself steady that long (not a restart flushing a stale view),
+		// with the pair mutually reachable, is the view instability the
+		// stability metric charges — and a REPEAT for the same pair is a
+		// flap-freedom violation.
+		if warm && a.nodes[j].Running() && a.downSince[j] < 0 &&
+			now-a.upSince[j] > a.o.PurgeBound &&
+			now-a.upSince[i] > a.o.PurgeBound &&
+			(!a.o.IntraDCOnly || a.dc[i] == a.dc[j]) &&
+			a.reachable(topology.HostID(i), topology.HostID(j)) {
+			a.spurious++
+			if a.flaps[i][j] < 255 {
+				a.flaps[i][j]++
+			}
+			if a.flaps[i][j] >= 2 {
+				a.invs[invFlapFreedom].violate(now,
+					"node %d evicted healthy node %d again (%d times)", i, j, a.flaps[i][j])
+			}
+		}
 		// Dropping a live, reachable peer after the settle deadline is a
 		// completeness violation the sampler would only see a tick later.
 		if now < a.o.Deadline || !a.nodes[j].Running() {
@@ -336,6 +390,14 @@ func (a *Auditor) onEvent(i int, e membership.Event) {
 		v.checks++
 		v.violate(now, "node %d dropped running reachable node %d", i, j)
 	}
+}
+
+// Stability returns the view-stability counters: total membership
+// transitions (joins + leaves across all audited directories) after the
+// warmup, and how many of the leaves were spurious — a member healthy at
+// ground truth evicted from a steady, reachable observer's view.
+func (a *Auditor) Stability() (viewChanges, spurious uint64) {
+	return a.viewChanges, a.spurious
 }
 
 

@@ -63,9 +63,11 @@ func TestChaosAuditAllCleanWhenConverged(t *testing.T) {
 	fakes[3].leader = true
 	a.Start()
 	eng.Run(20 * time.Second)
-	// The federation invariants are inert without an attached Federation
-	// and legitimately report zero checks here.
-	fedOnly := map[string]bool{"summary-fresh": true, "summary-truth": true, "vip-unique": true}
+	// The federation invariants are inert without an attached Federation,
+	// and flap-freedom only checks event-driven leave events; all of them
+	// legitimately report zero checks here.
+	fedOnly := map[string]bool{"summary-fresh": true, "summary-truth": true,
+		"vip-unique": true, "flap-freedom": true}
 	for _, r := range a.Results() {
 		if r.Violations != 0 {
 			t.Fatalf("%s: %d violations on a clean cluster\n%s", r.Name, r.Violations, a.Report())
@@ -203,6 +205,67 @@ func TestChaosAuditLeaderUniqueViolation(t *testing.T) {
 	eng.Run(5 * time.Second)
 	if v, _ := violations(a, "leader-unique"); v == 0 {
 		t.Fatal("reachable co-leaders not reported after grace")
+	}
+}
+
+func TestChaosAuditFlapFreedomViolation(t *testing.T) {
+	top := topology.FlatLAN(3)
+	eng, fakes, nodes := setup(t, top)
+	fill(fakes, 0)
+	a := New(eng, top, nodes, Options{Deadline: time.Hour, PurgeBound: 2 * time.Second,
+		FlapWarmup: 5 * time.Second, EventDriven: true})
+	a.Start()
+	eng.Run(10 * time.Second)
+	// First mistaken eviction of a healthy peer: charged to the stability
+	// metric, but one mistake per pair is not yet a flap.
+	fakes[0].dir.Remove(2, eng.Now())
+	if v, c := violations(a, "flap-freedom"); v != 0 || c != 1 {
+		t.Fatalf("first eviction: violations=%d checks=%d, want 0/1", v, c)
+	}
+	if vc, sp := a.Stability(); vc != 1 || sp != 1 {
+		t.Fatalf("Stability() = (%d, %d), want (1, 1)", vc, sp)
+	}
+	// Readmit, then evict again: the same (observer, subject) pair flapping
+	// is the violation.
+	fakes[0].dir.Upsert(membership.MemberInfo{Node: 2, Incarnation: 2},
+		membership.OriginDirect, 0, membership.NoNode, eng.Now())
+	fakes[0].dir.Remove(2, eng.Now())
+	if v, _ := violations(a, "flap-freedom"); v == 0 {
+		t.Fatalf("repeated eviction of the same healthy node not reported\n%s", a.Report())
+	}
+	if vc, sp := a.Stability(); vc != 3 || sp != 2 {
+		t.Fatalf("Stability() = (%d, %d), want (3, 2)", vc, sp)
+	}
+}
+
+func TestChaosAuditFlapFreedomSkipsWarmupAndDead(t *testing.T) {
+	top := topology.FlatLAN(3)
+	eng, fakes, nodes := setup(t, top)
+	fill(fakes, 0)
+	a := New(eng, top, nodes, Options{Deadline: time.Hour, PurgeBound: 2 * time.Second,
+		FlapWarmup: 5 * time.Second, EventDriven: true})
+	a.Start()
+	// Boot-convergence churn inside the warmup is free.
+	eng.Run(2 * time.Second)
+	fakes[0].dir.Remove(2, eng.Now())
+	fakes[0].dir.Upsert(membership.MemberInfo{Node: 2, Incarnation: 2},
+		membership.OriginDirect, 0, membership.NoNode, eng.Now())
+	fakes[0].dir.Remove(2, eng.Now())
+	if vc, sp := a.Stability(); vc != 0 || sp != 0 {
+		t.Fatalf("warmup churn counted: Stability() = (%d, %d)", vc, sp)
+	}
+	// Purging a genuinely dead subject is correct behavior, however often.
+	eng.Run(10 * time.Second)
+	fakes[2].running = false
+	fakes[1].dir.Remove(2, eng.Now())
+	fakes[1].dir.Upsert(membership.MemberInfo{Node: 2, Incarnation: 3},
+		membership.OriginDirect, 0, membership.NoNode, eng.Now())
+	fakes[1].dir.Remove(2, eng.Now())
+	if v, _ := violations(a, "flap-freedom"); v != 0 {
+		t.Fatalf("purging a dead node reported as a flap\n%s", a.Report())
+	}
+	if _, sp := a.Stability(); sp != 0 {
+		t.Fatalf("purging a dead node counted as spurious: %d", sp)
 	}
 }
 

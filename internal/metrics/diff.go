@@ -55,12 +55,13 @@ func ReadBenchJSON(path string) (BenchJSON, error) {
 // chaosVerdict is the slice of harness.ChaosResult the comparator needs;
 // re-decoding through JSON keeps metrics free of a harness dependency.
 type chaosVerdict struct {
-	Scenario string `json:"scenario"`
-	Scheme   string `json:"scheme"`
-	Pass     bool   `json:"pass"`
+	Scenario          string `json:"scenario"`
+	Scheme            string `json:"scheme"`
+	Pass              bool   `json:"pass"`
+	SpuriousEvictions uint64 `json:"spurious_evictions"`
 }
 
-func chaosVerdicts(results any) map[string]bool {
+func chaosVerdicts(results any) map[string]chaosVerdict {
 	if results == nil {
 		return nil
 	}
@@ -72,9 +73,9 @@ func chaosVerdicts(results any) map[string]bool {
 	if err := json.Unmarshal(data, &cells); err != nil {
 		return nil
 	}
-	out := make(map[string]bool, len(cells))
+	out := make(map[string]chaosVerdict, len(cells))
 	for _, c := range cells {
-		out[c.Scenario+"/"+c.Scheme] = c.Pass
+		out[c.Scenario+"/"+c.Scheme] = c
 	}
 	return out
 }
@@ -141,9 +142,20 @@ func CompareBench(oldB, newB BenchJSON, o DiffOptions) []Regression {
 	}
 	oldCells := chaosVerdicts(oldB.Results)
 	newCells := chaosVerdicts(newB.Results)
-	for cell, pass := range oldCells {
-		if np, ok := newCells[cell]; pass && ok && !np {
+	for cell, oc := range oldCells {
+		nc, ok := newCells[cell]
+		if !ok {
+			continue
+		}
+		if oc.Pass && !nc.Pass {
 			regs = append(regs, Regression{Key: cell, What: "verdict PASS -> FAIL"})
+		}
+		// A previously flap-clean cell starting to evict healthy members is
+		// a stability regression even while every invariant still passes
+		// (flap-freedom only fires on the second eviction of a pair).
+		if oc.SpuriousEvictions == 0 && nc.SpuriousEvictions > 0 {
+			regs = append(regs, Regression{Key: cell, What: fmt.Sprintf(
+				"spurious evictions 0 -> %d", nc.SpuriousEvictions)})
 		}
 	}
 	oldTraffic := trafficOutcomes(oldB.Results)

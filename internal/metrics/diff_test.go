@@ -79,6 +79,29 @@ func TestCompareBenchRegressions(t *testing.T) {
 	}
 }
 
+func TestCompareBenchSpuriousEvictionRegression(t *testing.T) {
+	cell := func(spurious uint64) []map[string]any {
+		return []map[string]any{
+			{"scenario": "bit-rot", "scheme": "Rapid", "pass": true,
+				"spurious_evictions": spurious},
+		}
+	}
+	oldB := BenchJSON{Fig: "chaos", Results: cell(0)}
+	newB := BenchJSON{Fig: "chaos", Results: cell(4)}
+	regs := CompareBench(oldB, newB, DefaultDiffOptions())
+	if len(regs) != 1 || !strings.Contains(regs[0].What, "spurious evictions 0 -> 4") {
+		t.Fatalf("flap-clean cell turning spurious not flagged: %v", regs)
+	}
+	// An already-spurious cell getting worse is noise the PASS/FAIL gate
+	// owns; only the clean -> dirty transition is a stability regression.
+	if regs := CompareBench(newB, newB, DefaultDiffOptions()); len(regs) != 0 {
+		t.Fatalf("spurious self-compare flagged: %v", regs)
+	}
+	if regs := CompareBench(newB, oldB, DefaultDiffOptions()); len(regs) != 0 {
+		t.Fatalf("spurious->clean flagged as regression: %v", regs)
+	}
+}
+
 func TestCompareBenchTrafficCleanToDirty(t *testing.T) {
 	cell := func(ok uint64) []map[string]any {
 		return []map[string]any{

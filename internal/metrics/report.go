@@ -45,6 +45,14 @@ type RunReport struct {
 	// audited (the chaos matrix); empty otherwise.
 	Invariants []InvariantResult `json:"invariants,omitempty"`
 
+	// View-stability counters from the auditor (audited, event-driven runs
+	// only). ViewChanges is every post-warmup membership transition across
+	// all directories; SpuriousEvictions is the subset of leaves that dropped
+	// a member healthy and reachable at ground truth — the user-visible cost
+	// of a flappy failure detector.
+	ViewChanges       uint64 `json:"view_changes,omitempty"`
+	SpuriousEvictions uint64 `json:"spurious_evictions,omitempty"`
+
 	// Traffic holds user-level outcomes when the run drove client sessions
 	// (the traffic matrix); nil otherwise.
 	Traffic *TrafficStats `json:"traffic,omitempty"`
@@ -77,6 +85,9 @@ func (r RunReport) String() string {
 	}
 	if len(r.Invariants) > 0 {
 		s += fmt.Sprintf(" violations=%d", r.TotalViolations())
+	}
+	if r.ViewChanges > 0 || r.SpuriousEvictions > 0 {
+		s += fmt.Sprintf(" views=%d spurious=%d", r.ViewChanges, r.SpuriousEvictions)
 	}
 	if r.Traffic != nil {
 		s += " " + r.Traffic.String()

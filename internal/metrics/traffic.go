@@ -50,6 +50,13 @@ type TrafficStats struct {
 	// cross-DC proxy relay rather than a local replica (hierarchical+proxy
 	// runs only).
 	Relayed uint64 `json:"relayed,omitempty"`
+
+	// AbandonedSessions counts sessions whose client gave up entirely: with
+	// retry backoff enabled (traffic.Options.GiveUpAfter > 0), a session
+	// that stays unroutable or failing past the give-up horizon closes and
+	// never comes back — lost users, the harshest staleness cost. Zero when
+	// backoff is off (the default).
+	AbandonedSessions uint64 `json:"abandoned_sessions,omitempty"`
 }
 
 // FailureRate returns the fraction of requests that did not succeed.
@@ -66,6 +73,9 @@ func (t TrafficStats) String() string {
 		t.Requests, t.OK, t.Misrouted, t.Migrations, t.ReqP99, t.ReqP999)
 	if t.Relayed > 0 {
 		s += fmt.Sprintf(" relayed=%d", t.Relayed)
+	}
+	if t.AbandonedSessions > 0 {
+		s += fmt.Sprintf(" abandoned=%d", t.AbandonedSessions)
 	}
 	return s
 }

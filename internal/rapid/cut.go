@@ -1,0 +1,155 @@
+package rapid
+
+import (
+	"time"
+
+	"repro/internal/membership"
+)
+
+// CutDetector is Rapid's multi-node cut detection filter: it aggregates the
+// per-edge DOWN/UP alerts flowing from the monitoring overlay into a
+// per-subject count of distinct accusing observers, and classifies subjects
+// against the stable low/high watermarks L and H. A subject with at least H
+// accusers is a *stable* cut candidate — almost everywhere agreed dead. A
+// subject stuck between L and H-1 accusers is *unstable*: some observers
+// still hear it, so the configuration change must wait until the unstable
+// region drains (the subject either crosses H or its accusations retract).
+//
+// This implementation adapts Rapid's drain rule to the adversarial regimes
+// the chaos layer generates (one-way loss, bit-rot): instead of waiting
+// indefinitely, the proposer arbitrates lingering subjects with direct
+// probes (see the Node), and the detector supplies the two signals that
+// arbitration needs — how long a subject has been accused (FirstDown) and
+// how recently anyone heard it alive (LastUp). Reports expire after a TTL
+// so a crashed observer's accusations cannot pin a subject forever.
+//
+// The detector is pure state machine — no engine, no I/O — which is what
+// makes it unit-testable against synthetic alert sequences (cut_test.go).
+type CutDetector struct {
+	l, h int
+	ttl  time.Duration
+
+	subjects map[membership.NodeID]*subjectState
+}
+
+type subjectState struct {
+	reports   map[membership.NodeID]time.Duration // accusing observer -> report time
+	firstDown time.Duration                       // oldest live report's arrival
+	lastUp    time.Duration                       // most recent alive evidence, -1 if none
+}
+
+// NewCutDetector builds a detector with watermarks l <= h and a per-report
+// TTL after which unrefreshed accusations lapse.
+func NewCutDetector(l, h int, ttl time.Duration) *CutDetector {
+	if l < 1 {
+		l = 1
+	}
+	if h < l {
+		h = l
+	}
+	return &CutDetector{l: l, h: h, ttl: ttl, subjects: make(map[membership.NodeID]*subjectState)}
+}
+
+// Down records observer's accusation of subject at time now, refreshing the
+// report's TTL if it already exists.
+func (c *CutDetector) Down(subject, observer membership.NodeID, now time.Duration) {
+	s := c.subjects[subject]
+	if s == nil {
+		s = &subjectState{reports: make(map[membership.NodeID]time.Duration), lastUp: -1}
+		c.subjects[subject] = s
+	}
+	if len(s.reports) == 0 {
+		s.firstDown = now
+	}
+	s.reports[observer] = now
+}
+
+// Up retracts observer's accusation of subject (if any) and stamps the
+// subject's last-alive evidence: somebody heard it.
+func (c *CutDetector) Up(subject, observer membership.NodeID, now time.Duration) {
+	s := c.subjects[subject]
+	if s == nil {
+		s = &subjectState{reports: make(map[membership.NodeID]time.Duration), lastUp: -1}
+		c.subjects[subject] = s
+	}
+	delete(s.reports, observer)
+	s.lastUp = now
+}
+
+// Vouch clears every accusation of subject — the arbitration probe proved
+// it alive — and stamps its last-alive evidence. Fresh accusations restart
+// the count from zero.
+func (c *CutDetector) Vouch(subject membership.NodeID, now time.Duration) {
+	s := c.subjects[subject]
+	if s == nil {
+		s = &subjectState{reports: make(map[membership.NodeID]time.Duration), lastUp: -1}
+		c.subjects[subject] = s
+	}
+	clear(s.reports)
+	s.lastUp = now
+}
+
+// LastUp returns when subject was last heard alive by anyone, or -1 never.
+func (c *CutDetector) LastUp(subject membership.NodeID) time.Duration {
+	if s := c.subjects[subject]; s != nil {
+		return s.lastUp
+	}
+	return -1
+}
+
+// FirstDown returns when subject's current run of accusations began — the
+// report that opened the (still open) cut — or -1 if it has none. Report
+// refreshes do not advance it; only draining to zero resets it.
+func (c *CutDetector) FirstDown(subject membership.NodeID) time.Duration {
+	if s := c.subjects[subject]; s != nil && len(s.reports) > 0 {
+		return s.firstDown
+	}
+	return -1
+}
+
+// Count returns the number of distinct observers currently accusing subject.
+func (c *CutDetector) Count(subject membership.NodeID) int {
+	if s := c.subjects[subject]; s != nil {
+		return len(s.reports)
+	}
+	return 0
+}
+
+// Classify expires lapsed reports and splits the accused subjects into the
+// stable (count >= H) and unstable (L <= count < H) regions, both sorted by
+// node ID so downstream iteration is deterministic. Subjects below L are
+// background noise and classify as neither.
+func (c *CutDetector) Classify(now time.Duration) (stable, unstable []membership.NodeID) {
+	for subject, s := range c.subjects {
+		for obs, at := range s.reports {
+			if c.ttl > 0 && now-at > c.ttl {
+				delete(s.reports, obs)
+			}
+		}
+		if len(s.reports) == 0 {
+			// Keep the state (lastUp survives) but track nothing else.
+			if s.lastUp < 0 {
+				delete(c.subjects, subject)
+			}
+			continue
+		}
+		// firstDown deliberately stays at the accusation that opened the
+		// cut: re-alerts refresh report TTLs without resetting the age
+		// signal arbitration gates on.
+		switch {
+		case len(s.reports) >= c.h:
+			stable = append(stable, subject)
+		case len(s.reports) >= c.l:
+			unstable = append(unstable, subject)
+		}
+	}
+	sortIDs(stable)
+	sortIDs(unstable)
+	return stable, unstable
+}
+
+// Reset drops all state; called when a new configuration installs (the
+// overlay's edges, and therefore every report's meaning, changed).
+func (c *CutDetector) Reset() {
+	c.subjects = make(map[membership.NodeID]*subjectState)
+}

@@ -1,0 +1,157 @@
+package rapid
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/membership"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func newCluster(top *topology.Topology, seed int64) (*sim.Engine, *netsim.Network, []*Node) {
+	eng := sim.NewEngine(seed)
+	net := netsim.New(eng, top)
+	cfg := DefaultConfig()
+	for h := 0; h < top.NumHosts(); h++ {
+		cfg.Seeds = append(cfg.Seeds, membership.NodeID(h))
+	}
+	var nodes []*Node
+	for h := 0; h < top.NumHosts(); h++ {
+		nodes = append(nodes, NewNode(cfg, net.Endpoint(topology.HostID(h))))
+	}
+	return eng, net, nodes
+}
+
+// TestRapidConvergence: a cold boot must converge every directory to the
+// full membership without a single view change — the seed configuration is
+// already agreed, only the records flow.
+func TestRapidConvergence(t *testing.T) {
+	eng, _, nodes := newCluster(topology.Clustered(3, 5), 11)
+	for _, n := range nodes {
+		n.Start(eng)
+	}
+	eng.Run(5 * time.Second)
+	for _, n := range nodes {
+		if n.Directory().Len() != len(nodes) {
+			t.Fatalf("node %v sees %d members, want %d", n.ID(), n.Directory().Len(), len(nodes))
+		}
+		if n.ConfigSeq() != 1 {
+			t.Fatalf("node %v installed view %d on a steady boot, want the seed view", n.ID(), n.ConfigSeq())
+		}
+	}
+}
+
+// TestRapidEvictionAndRejoin kills one node: every survivor must install a
+// view change removing it within the detection+arbitration bound, and a
+// restart must re-admit it everywhere.
+func TestRapidEvictionAndRejoin(t *testing.T) {
+	eng, _, nodes := newCluster(topology.Clustered(3, 5), 7)
+	for _, n := range nodes {
+		n.Start(eng)
+	}
+	eng.Run(5 * time.Second)
+	victim := nodes[7]
+	victim.Stop()
+	// detect (5s) + arbitrate-after (5s) + probe retries (~6s) + batch (2s)
+	// + margin
+	eng.Run(eng.Now() + 25*time.Second)
+	for _, n := range nodes {
+		if n == victim {
+			continue
+		}
+		if n.ConfigSeq() < 2 {
+			t.Fatalf("node %v never installed the eviction view", n.ID())
+		}
+		if n.Directory().Has(victim.ID()) {
+			t.Fatalf("node %v still lists the dead node", n.ID())
+		}
+		for _, m := range n.Members() {
+			if m == victim.ID() {
+				t.Fatalf("node %v's configuration still contains the dead node", n.ID())
+			}
+		}
+	}
+	victim.Start(eng)
+	eng.Run(eng.Now() + 15*time.Second)
+	for _, n := range nodes {
+		if !n.Directory().Has(victim.ID()) {
+			t.Fatalf("node %v never re-admitted the restarted node", n.ID())
+		}
+		if n.Directory().Len() != len(nodes) {
+			t.Fatalf("node %v sees %d members after rejoin, want %d", n.ID(), n.Directory().Len(), len(nodes))
+		}
+	}
+}
+
+// TestRapidStabilityUnderOneWayLoss is the scheme's reason to exist: a 90%
+// one-way loss regime makes observers accuse a healthy member, but the
+// up-quiet veto must keep it in every configuration — zero evictions.
+func TestRapidStabilityUnderOneWayLoss(t *testing.T) {
+	top := topology.Clustered(3, 5)
+	eng, net, nodes := newCluster(top, 13)
+	for _, n := range nodes {
+		n.Start(eng)
+	}
+	eng.Run(5 * time.Second)
+	// 90% loss in the sw0→core direction only: group 0's beats to outside
+	// observers mostly vanish, so those observers accuse group 0's
+	// members — while everything flowing into group 0 (including its
+	// members' probe answers crossing back out... which also get lost)
+	// keeps the asymmetric pressure on. The up-quiet veto must absorb it.
+	sw0, ok1 := top.FindDevice("sw0")
+	core, ok2 := top.FindDevice("core")
+	if !ok1 || !ok2 {
+		t.Fatal("topology devices not found")
+	}
+	net.SetLinkProfileDir(sw0.ID, core.ID, netsim.LinkProfile{Loss: 0.9})
+	eng.Run(eng.Now() + 60*time.Second)
+	for _, n := range nodes {
+		if n.ConfigSeq() != 1 {
+			t.Fatalf("node %v installed view %d: a healthy member was evicted under one-way loss",
+				n.ID(), n.ConfigSeq())
+		}
+	}
+}
+
+// TestRapidMinorityCannotEvict pins the majority gate: a fully partitioned
+// minority group must never commit a view change (its proposals cannot reach
+// a quorum of the old configuration), while the majority evicts the minority
+// normally — and after the heal the minority re-adopts the majority chain
+// and rejoins, converging every directory back to full membership.
+func TestRapidMinorityCannotEvict(t *testing.T) {
+	top := topology.Clustered(3, 5)
+	eng, _, nodes := newCluster(top, 17)
+	for _, n := range nodes {
+		n.Start(eng)
+	}
+	eng.Run(5 * time.Second)
+	sw0, _ := top.FindDevice("sw0")
+	core, _ := top.FindDevice("core")
+	top.FailLink(sw0.ID, core.ID)
+	eng.Run(eng.Now() + 40*time.Second)
+	for _, n := range nodes[:5] {
+		if n.ConfigSeq() != 1 {
+			t.Fatalf("minority node %v committed view %d without a quorum", n.ID(), n.ConfigSeq())
+		}
+	}
+	for _, n := range nodes[5:] {
+		if n.ConfigSeq() < 2 {
+			t.Fatalf("majority node %v never evicted the partitioned group", n.ID())
+		}
+		if len(n.Members()) != 10 {
+			t.Fatalf("majority node %v has %d members, want 10", n.ID(), len(n.Members()))
+		}
+	}
+	top.RepairLink(sw0.ID, core.ID)
+	eng.Run(eng.Now() + 30*time.Second)
+	for _, n := range nodes {
+		if len(n.Members()) != len(nodes) {
+			t.Fatalf("node %v has %d members after heal, want %d", n.ID(), len(n.Members()), len(nodes))
+		}
+		if n.Directory().Len() != len(nodes) {
+			t.Fatalf("node %v sees %d records after heal, want %d", n.ID(), n.Directory().Len(), len(nodes))
+		}
+	}
+}

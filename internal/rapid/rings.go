@@ -1,0 +1,124 @@
+package rapid
+
+import (
+	"sort"
+
+	"repro/internal/membership"
+)
+
+// The monitoring overlay is Rapid's K-ring expander: K independent
+// pseudorandom permutations of the configuration's member list, where in
+// each ring every node observes its successor. A subject is therefore
+// monitored by (up to) K distinct observers, and the edge set is a function
+// of nothing but (configuration sequence, ring index, member list) — every
+// member derives the same rings locally, with no negotiation, and the rings
+// reshuffle wholesale at each view change.
+//
+// The derivation must NOT draw from the simulation engine's RNG: different
+// nodes adopt a configuration at different virtual times but must agree on
+// the edges, so the shuffle runs on a keyed splitmix64 stream seeded from
+// the configuration identity alone.
+
+// splitmix64 is the keyed PRNG stream for ring derivation (Steele et al.;
+// the canonical seed-expansion generator, 64 bits of state, full period).
+type splitmix64 uint64
+
+func (s *splitmix64) next() uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// ringSeed keys ring r of configuration seq over members: FNV-1a over the
+// tuple, matching the repo's seed-derivation idiom (harness.DeriveSeed).
+func ringSeed(seq uint64, ring int, members []membership.NodeID) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(seq)
+	mix(uint64(ring))
+	for _, m := range members {
+		mix(uint64(uint32(m)))
+	}
+	return h
+}
+
+// deriveRings computes self's edge sets in the K-ring overlay of
+// configuration seq: observers is who monitors self (the targets of its
+// beats), subjects is who self monitors. Both come back sorted and
+// deduplicated (distinct rings can repeat an edge), and never contain self.
+// members must be sorted; k is clamped to len(members)-1.
+func deriveRings(seq uint64, k int, members []membership.NodeID, self membership.NodeID) (observers, subjects []membership.NodeID) {
+	n := len(members)
+	if n < 2 {
+		return nil, nil
+	}
+	if k > n-1 {
+		k = n - 1
+	}
+	perm := make([]membership.NodeID, n)
+	obs := make(map[membership.NodeID]bool, k)
+	sub := make(map[membership.NodeID]bool, k)
+	for r := 0; r < k; r++ {
+		copy(perm, members)
+		rng := splitmix64(ringSeed(seq, r, members))
+		// Fisher-Yates with the keyed stream; modulo bias is irrelevant
+		// here (uniformity only needs to be good enough for expansion).
+		for i := n - 1; i > 0; i-- {
+			j := int(rng.next() % uint64(i+1))
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		for i, m := range perm {
+			if m != self {
+				continue
+			}
+			succ := perm[(i+1)%n]
+			pred := perm[(i+n-1)%n]
+			if succ != self {
+				sub[succ] = true
+			}
+			if pred != self {
+				obs[pred] = true
+			}
+			break
+		}
+	}
+	return sortedIDs(obs), sortedIDs(sub)
+}
+
+func sortedIDs(set map[membership.NodeID]bool) []membership.NodeID {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]membership.NodeID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sortIDs(out)
+	return out
+}
+
+func sortIDs(ids []membership.NodeID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+// idsEqual reports whether two sorted ID slices are identical.
+func idsEqual(a, b []membership.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -36,6 +36,30 @@ type Options struct {
 	// RequestsPerSession closes a session after that many resolved
 	// requests; zero keeps every session open until Stop.
 	RequestsPerSession int
+
+	// BackoffBase enables exponential retry backoff: after a session's n-th
+	// consecutive failure it waits min(BackoffBase << (n-1), BackoffMax)
+	// before retrying, instead of the flat Retry. Zero (the default, and
+	// what the matrices use) keeps the flat retry — backoff changes the
+	// probing cadence and therefore every migration quantile, so it is
+	// strictly opt-in.
+	BackoffBase time.Duration
+	// BackoffMax caps the backoff delay. Defaults to 8x BackoffBase.
+	BackoffMax time.Duration
+	// GiveUpAfter abandons a session whose consecutive-failure streak has
+	// lasted this long: the client closes and never returns — lost users,
+	// reported as TrafficStats.AbandonedSessions. Zero (default) retries
+	// forever.
+	GiveUpAfter time.Duration
+
+	// Local, when set, restricts every re-home lookup to the candidates it
+	// accepts for the session's gateway (by runtime index) — the DC-local
+	// routing policy: a session whose local replicas all died goes
+	// unavailable instead of silently crossing the WAN. Front-end
+	// reconnection after a gateway death is not filtered (a real user's
+	// geo-failover lands them on the new gateway's locality). Nil routes
+	// to every candidate.
+	Local func(gw int, candidate membership.NodeID) bool
 }
 
 // DefaultOptions returns the matrix defaults: a closed-loop population with
@@ -77,9 +101,11 @@ type session struct {
 	part     int32             // bound partition (fixed at open)
 	replica  membership.NodeID // pinned home; NoNode forces a re-lookup
 	flags    uint8
+	fails    uint8         // consecutive failures (backoff exponent), saturating
 	done     uint32        // resolved requests, for RequestsPerSession
 	sendAt   time.Duration // virtual send time of the outstanding request
 	migStart time.Duration // send time of the first failed request this migration
+	failAt   time.Duration // start of the current failure streak (give-up clock)
 }
 
 // Layer drives a population of virtual client sessions against a running
@@ -127,6 +153,7 @@ type Layer struct {
 	misrouted   uint64
 	migrations  uint64
 	relayed     uint64
+	abandoned   uint64
 }
 
 type memoKey struct {
@@ -151,6 +178,9 @@ func New(eng *sim.Engine, opt Options, gws []*service.Runtime, alive func(member
 	if opt.Partitions < 1 {
 		opt.Partitions = 1
 	}
+	if opt.BackoffBase > 0 && opt.BackoffMax <= 0 {
+		opt.BackoffMax = 8 * opt.BackoffBase
+	}
 	if len(gws) == 0 {
 		panic("traffic: no gateway runtimes")
 	}
@@ -166,6 +196,9 @@ func New(eng *sim.Engine, opt Options, gws []*service.Runtime, alive func(member
 	// think ceiling plus one tick of slack.
 	horizon := int((3*opt.Think/2)/opt.Tick) + 2
 	if r := int(opt.Retry/opt.Tick) + 2; r > horizon {
+		horizon = r
+	}
+	if r := int(opt.BackoffMax/opt.Tick) + 2; r > horizon {
 		horizon = r
 	}
 	l.ring = make([][]int32, horizon)
@@ -273,6 +306,15 @@ func (l *Layer) candidates(gw, part int32) []membership.NodeID {
 	c, ok := l.memo[k]
 	if !ok {
 		c = l.gws[gw].Candidates(l.opt.Service, part)
+		if l.opt.Local != nil {
+			kept := c[:0]
+			for _, id := range c {
+				if l.opt.Local(int(gw), id) {
+					kept = append(kept, id)
+				}
+			}
+			c = kept
+		}
 		l.memo[k] = c
 	}
 	return c
@@ -311,6 +353,7 @@ func (l *Layer) issue(i int32) {
 			l.requests++
 			l.unavailable++
 			l.reqHist.Record(0) // failed fast: no route existed
+			l.noteFailure(s, l.eng.Now())
 			l.resolve(i, false)
 			return
 		}
@@ -338,6 +381,7 @@ func (l *Layer) complete(i int32, err error) {
 	l.reqHist.Record(l.eng.Now() - s.sendAt)
 	if err == nil {
 		l.ok++
+		s.fails = 0
 		if s.flags&fProxied != 0 {
 			l.relayed++
 			// Stay unpinned: each proxied round re-checks the local view so
@@ -362,6 +406,7 @@ func (l *Layer) complete(i int32, err error) {
 	default:
 		l.timeouts++
 	}
+	l.noteFailure(s, s.sendAt)
 	if s.replica != membership.NoNode {
 		// A pinned home failed us: the migration clock starts at the first
 		// failure and runs until the first success somewhere else.
@@ -374,8 +419,34 @@ func (l *Layer) complete(i int32, err error) {
 	l.resolve(i, false)
 }
 
+// noteFailure advances session i's consecutive-failure streak: the give-up
+// clock starts at the streak's first failure and the backoff exponent
+// saturates well below any shift that could overflow.
+func (l *Layer) noteFailure(s *session, at time.Duration) {
+	if s.fails == 0 {
+		s.failAt = at
+	}
+	if s.fails < 30 {
+		s.fails++
+	}
+}
+
+// failTicks is the retry delay after a failure: flat Retry by default,
+// exponential in the streak length when backoff is enabled.
+func (l *Layer) failTicks(s *session) int {
+	if l.opt.BackoffBase <= 0 || s.fails == 0 {
+		return l.retryTicks
+	}
+	d := l.opt.BackoffBase << (s.fails - 1)
+	if d <= 0 || d > l.opt.BackoffMax {
+		d = l.opt.BackoffMax
+	}
+	return l.clampTicks(d)
+}
+
 // resolve finishes one request/response round: close the session if its
-// budget is spent, otherwise schedule the next request.
+// budget is spent (or its client gave up), otherwise schedule the next
+// request.
 func (l *Layer) resolve(i int32, ok bool) {
 	s := &l.sessions[i]
 	s.done++
@@ -384,13 +455,19 @@ func (l *Layer) resolve(i int32, ok bool) {
 		l.closed++
 		return
 	}
+	if !ok && l.opt.GiveUpAfter > 0 && s.fails > 0 &&
+		l.eng.Now()-s.failAt >= l.opt.GiveUpAfter {
+		s.flags |= fClosed
+		l.abandoned++
+		return
+	}
 	if !l.running {
 		return
 	}
 	if ok {
 		l.after(i, l.thinkTicks())
 	} else {
-		l.after(i, l.retryTicks)
+		l.after(i, l.failTicks(s))
 	}
 }
 
@@ -412,6 +489,8 @@ func (l *Layer) Stats() metrics.TrafficStats {
 		ReqP99:      l.reqHist.Quantile(0.99),
 		ReqP999:     l.reqHist.Quantile(0.999),
 		Relayed:     l.relayed,
+
+		AbandonedSessions: l.abandoned,
 	}
 }
 

@@ -190,6 +190,56 @@ func TestStopHaltsIssue(t *testing.T) {
 	}
 }
 
+func TestBackoffSlowsFailedRetries(t *testing.T) {
+	// Same fault, same window: sessions with exponential backoff must issue
+	// strictly fewer requests against an unhosted partition than flat-retry
+	// sessions, and nobody gives up with GiveUpAfter unset.
+	issued := func(backoff time.Duration) uint64 {
+		f := newFixture(t, 3, 1, 1)
+		o := testOptions(10, 4) // partitions 1..3 unhosted: 3/4 of sessions fail forever
+		o.BackoffBase = backoff
+		l := New(f.eng, o, f.runtimes[:1], f.alive)
+		l.Start()
+		f.run(30 * time.Second)
+		st := l.Stats()
+		if st.AbandonedSessions != 0 {
+			t.Fatalf("sessions abandoned without GiveUpAfter: %d", st.AbandonedSessions)
+		}
+		return st.Requests
+	}
+	flat := issued(0)
+	backed := issued(500 * time.Millisecond)
+	if backed >= flat {
+		t.Fatalf("backoff issued %d requests, flat retry %d — backoff did not slow probing", backed, flat)
+	}
+}
+
+func TestGiveUpAbandonsUnroutableSessions(t *testing.T) {
+	f := newFixture(t, 3, 1, 1)
+	o := testOptions(12, 4) // partitions 1..3 unhosted
+	o.BackoffBase = 200 * time.Millisecond
+	o.GiveUpAfter = 5 * time.Second
+	l := New(f.eng, o, f.runtimes[:1], f.alive)
+	l.Start()
+	f.run(30 * time.Second)
+	st := l.Stats()
+	// Sessions on partitions 1..3 (9 of 12) can never route and must all
+	// give up; partition-0 sessions keep succeeding and never do.
+	if st.AbandonedSessions != 9 {
+		t.Fatalf("abandoned %d sessions, want the 9 unroutable ones", st.AbandonedSessions)
+	}
+	if st.OK == 0 {
+		t.Fatal("routable sessions stopped succeeding")
+	}
+	// Abandoned sessions stay closed: no further requests accrue from them.
+	before := l.Stats().Requests
+	f.run(10 * time.Second)
+	perTick := l.Stats().Requests - before
+	if perTick == 0 {
+		t.Fatal("surviving sessions idle after the give-up wave")
+	}
+}
+
 func TestTrafficDeterministicAcrossRuns(t *testing.T) {
 	run := func() (uint64, uint64, time.Duration) {
 		f := newFixture(t, 4, 2, 2)

@@ -34,6 +34,16 @@ func FuzzDecode(f *testing.F) {
 			Params: []membership.KV{{Key: "Port", Value: "80"}},
 			Attrs:  []membership.KV{{Key: "mem", Value: "2G"}},
 		}}},
+		&RapidBeat{From: 3, ConfigSeq: 2, Inc: 1, Beat: 99, Pad: 8},
+		&RapidInfo{ConfigSeq: 2, Info: sampleInfo()},
+		&RapidAlert{Observer: 1, Subject: 2, ConfigSeq: 3, Seq: 4, Down: true},
+		&RapidJoin{From: 7, ConfigSeq: 2, Info: sampleInfo()},
+		&RapidView{Seq: 3, Proposer: 0, Members: []membership.NodeID{0, 1, 2}, Infos: []membership.MemberInfo{sampleInfo()}},
+		&RapidProbe{From: 1, Token: 5},
+		&RapidProbeAck{From: 2, Token: 5},
+		&RapidSync{From: 4, ConfigSeq: 1},
+		&RapidPropose{From: 0, Token: 6, Seq: 2, Evict: []membership.NodeID{7}},
+		&RapidVote{From: 7, Token: 6, OK: false, Alive: []membership.NodeID{7}},
 	}
 	for _, m := range seeds {
 		f.Add(Encode(m))
@@ -56,6 +66,46 @@ func FuzzDecode(f *testing.F) {
 		re2 := Encode(m2)
 		if string(re) != string(re2) {
 			t.Fatalf("canonical form unstable:\n%x\n%x", re, re2)
+		}
+	})
+}
+
+// FuzzRapidAlert drills the rapid alert/view decode paths specifically:
+// these are the packets the cut detector and configuration installer trust,
+// so mutations must either fail decode or survive the canonical round trip —
+// never panic, never alias.
+func FuzzRapidAlert(f *testing.F) {
+	seeds := []Message{
+		&RapidAlert{Observer: 0, Subject: 14, ConfigSeq: 1, Seq: 1, Down: true},
+		&RapidAlert{Observer: 9, Subject: 3, ConfigSeq: 7, Seq: 200, Down: false},
+		&RapidView{Seq: 2, Proposer: 0, Members: []membership.NodeID{0, 1, 2, 3}},
+		&RapidView{Seq: 9, Proposer: 4, Members: []membership.NodeID{4}, Infos: []membership.MemberInfo{sampleInfo(), {Node: 4}}},
+		&RapidBeat{From: 0, ConfigSeq: 1, Inc: 2, Beat: 3, Pad: 220},
+		&RapidPropose{From: 0, Token: 3, Seq: 2, Evict: []membership.NodeID{14, 15}},
+		&RapidVote{From: 14, Token: 3, OK: false, Alive: []membership.NodeID{14}},
+	}
+	for _, m := range seeds {
+		f.Add(Encode(m))
+	}
+	f.Add([]byte{0x4D, 0x54, Version, byte(TRapidAlert), 0, 0, 0, 0})
+	f.Add([]byte{0x4D, 0x54, Version, byte(TRapidView), 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re := Encode(m)
+		if _, err := Decode(re); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if v, ok := m.(*RapidView); ok {
+			// Hostile member counts must have been bounded by the decoder:
+			// the slice the installer iterates is exactly what the bytes
+			// carried, no over-allocation.
+			if len(v.Members) > len(data) {
+				t.Fatalf("decoded %d members from %d bytes", len(v.Members), len(data))
+			}
 		}
 	})
 }

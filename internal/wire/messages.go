@@ -52,12 +52,32 @@ const (
 	// implementation serves the same lookups over a local socket).
 	TDirQuery
 	TDirMatches
+	// TRapidBeat .. TRapidSync are the Rapid-style stable membership
+	// scheme's packets (Suresh et al.; docs/RAPID.md): direct-edge
+	// monitoring beats over the K-ring overlay, per-edge alert reports into
+	// the multi-node cut detector, join/view-change configuration messages,
+	// and the leader's pre-eviction probe exchange.
+	TRapidBeat
+	TRapidInfo
+	TRapidAlert
+	TRapidJoin
+	TRapidView
+	TRapidProbe
+	TRapidProbeAck
+	TRapidSync
+	// TRapidPropose / TRapidVote are the agreement round before a view
+	// change commits: the proposer asks the old configuration to ratify an
+	// eviction set, and members veto any evictee they can still hear.
+	TRapidPropose
+	TRapidVote
 )
 
 func (t Type) String() string {
 	names := [...]string{"invalid", "heartbeat", "update", "bootstrapreq", "directory",
 		"syncreq", "gossip", "proxysummary", "proxyupdate", "svcreq", "svcreply",
-		"loadpoll", "loadreply", "loadreport", "dirquery", "dirmatches"}
+		"loadpoll", "loadreply", "loadreport", "dirquery", "dirmatches",
+		"rapidbeat", "rapidinfo", "rapidalert", "rapidjoin", "rapidview",
+		"rapidprobe", "rapidprobeack", "rapidsync", "rapidpropose", "rapidvote"}
 	if int(t) < len(names) {
 		return names[t]
 	}
@@ -162,6 +182,26 @@ func Decode(b []byte) (Message, error) {
 		m = decDirQuery(r)
 	case TDirMatches:
 		m = decDirMatches(r)
+	case TRapidBeat:
+		m = decRapidBeat(r)
+	case TRapidInfo:
+		m = decRapidInfo(r)
+	case TRapidAlert:
+		m = decRapidAlert(r)
+	case TRapidJoin:
+		m = decRapidJoin(r)
+	case TRapidView:
+		m = decRapidView(r)
+	case TRapidProbe:
+		m = decRapidProbe(r)
+	case TRapidProbeAck:
+		m = decRapidProbeAck(r)
+	case TRapidSync:
+		m = decRapidSync(r)
+	case TRapidPropose:
+		m = decRapidPropose(r)
+	case TRapidVote:
+		m = decRapidVote(r)
 	default:
 		return nil, fmt.Errorf("wire: unknown packet type %d", uint8(t))
 	}
@@ -831,4 +871,296 @@ func decDirMatches(r *reader) *DirMatches {
 		m.Matches = append(m.Matches, dm)
 	}
 	return m
+}
+
+// ---- rapid stable membership ----
+
+// RapidBeat is the direct-edge liveness beat a subject unicasts to each of
+// its K observers on the monitoring overlay. ConfigSeq names the
+// configuration whose rings define the observer set; observers drop beats
+// from other configurations. Pad emulates configured heartbeat sizes like
+// Heartbeat.Pad.
+type RapidBeat struct {
+	From      membership.NodeID
+	ConfigSeq uint64
+	Inc       uint32 // sender incarnation (bumps on restart)
+	Beat      uint64 // per-incarnation beat counter (freshness guard)
+	Pad       uint16
+}
+
+func (*RapidBeat) wireType() Type { return TRapidBeat }
+
+func (b *RapidBeat) enc(w *writer) {
+	w.i32(int32(b.From))
+	w.u64(b.ConfigSeq)
+	w.u32(b.Inc)
+	w.u64(b.Beat)
+	w.u16(b.Pad)
+	for i := 0; i < int(b.Pad); i++ {
+		w.u8(0)
+	}
+}
+
+func decRapidBeat(r *reader) *RapidBeat {
+	b := &RapidBeat{}
+	b.From = membership.NodeID(r.i32())
+	b.ConfigSeq = r.u64()
+	b.Inc = r.u32()
+	b.Beat = r.u64()
+	b.Pad = r.u16()
+	r.take(int(b.Pad))
+	return b
+}
+
+// RapidInfo disseminates one member's service/attribute record. Rapid's
+// view changes only carry identity; the fat MemberInfo travels separately
+// so beats stay small.
+type RapidInfo struct {
+	ConfigSeq uint64
+	Info      membership.MemberInfo
+}
+
+func (*RapidInfo) wireType() Type { return TRapidInfo }
+
+func (m *RapidInfo) enc(w *writer) {
+	w.u64(m.ConfigSeq)
+	encInfo(w, m.Info)
+}
+
+func decRapidInfo(r *reader) *RapidInfo {
+	m := &RapidInfo{}
+	m.ConfigSeq = r.u64()
+	m.Info = decInfo(r)
+	return m
+}
+
+// RapidAlert is one edge report into the multi-node cut detector: Observer
+// stopped hearing Subject's beats (Down) or heard it again (Down=false).
+// Seq orders alerts from one observer so re-deliveries and reorderings
+// cannot flip a newer verdict back to an older one.
+type RapidAlert struct {
+	Observer  membership.NodeID
+	Subject   membership.NodeID
+	ConfigSeq uint64
+	Seq       uint32
+	Down      bool
+}
+
+func (*RapidAlert) wireType() Type { return TRapidAlert }
+
+func (a *RapidAlert) enc(w *writer) {
+	w.i32(int32(a.Observer))
+	w.i32(int32(a.Subject))
+	w.u64(a.ConfigSeq)
+	w.u32(a.Seq)
+	w.bool(a.Down)
+}
+
+func decRapidAlert(r *reader) *RapidAlert {
+	a := &RapidAlert{}
+	a.Observer = membership.NodeID(r.i32())
+	a.Subject = membership.NodeID(r.i32())
+	a.ConfigSeq = r.u64()
+	a.Seq = r.u32()
+	a.Down = r.bool()
+	return a
+}
+
+// RapidJoin asks a configuration member to sponsor the sender into the next
+// view change. ConfigSeq is the joiner's latest known configuration (zero
+// for a cold boot); Info is its full record so the admitting view can carry
+// it.
+type RapidJoin struct {
+	From      membership.NodeID
+	ConfigSeq uint64
+	Info      membership.MemberInfo
+}
+
+func (*RapidJoin) wireType() Type { return TRapidJoin }
+
+func (j *RapidJoin) enc(w *writer) {
+	w.i32(int32(j.From))
+	w.u64(j.ConfigSeq)
+	encInfo(w, j.Info)
+}
+
+func decRapidJoin(r *reader) *RapidJoin {
+	j := &RapidJoin{}
+	j.From = membership.NodeID(r.i32())
+	j.ConfigSeq = r.u64()
+	j.Info = decInfo(r)
+	return j
+}
+
+// RapidView installs configuration Seq atomically: Members is the complete
+// sorted membership of the new configuration, and Infos carries records for
+// members the receiver may not know yet (newly admitted joiners). Proposer
+// breaks ties between rival proposals for the same Seq (lowest wins).
+type RapidView struct {
+	Seq      uint64
+	Proposer membership.NodeID
+	Members  []membership.NodeID
+	Infos    []membership.MemberInfo
+}
+
+func (*RapidView) wireType() Type { return TRapidView }
+
+func (v *RapidView) enc(w *writer) {
+	w.u64(v.Seq)
+	w.i32(int32(v.Proposer))
+	w.u32(uint32(len(v.Members)))
+	for _, m := range v.Members {
+		w.i32(int32(m))
+	}
+	encInfos(w, v.Infos)
+}
+
+func decRapidView(r *reader) *RapidView {
+	v := &RapidView{}
+	v.Seq = r.u64()
+	v.Proposer = membership.NodeID(r.i32())
+	n := r.sliceLen()
+	if n > 0 {
+		v.Members = make([]membership.NodeID, 0, n)
+	}
+	for i := 0; i < n && r.err == nil; i++ {
+		v.Members = append(v.Members, membership.NodeID(r.i32()))
+	}
+	v.Infos = decInfos(r)
+	return v
+}
+
+// RapidProbe is the proposer's direct pre-eviction liveness check on a cut
+// subject: an accusation alone never evicts, the subject must also fail the
+// proposer's own probes.
+type RapidProbe struct {
+	From  membership.NodeID
+	Token uint64
+}
+
+func (*RapidProbe) wireType() Type { return TRapidProbe }
+
+func (p *RapidProbe) enc(w *writer) {
+	w.i32(int32(p.From))
+	w.u64(p.Token)
+}
+
+func decRapidProbe(r *reader) *RapidProbe {
+	return &RapidProbe{From: membership.NodeID(r.i32()), Token: r.u64()}
+}
+
+// RapidProbeAck answers a RapidProbe; the echoed token pairs it with one
+// outstanding probe so stale acks cannot vouch for a later accusation.
+type RapidProbeAck struct {
+	From  membership.NodeID
+	Token uint64
+}
+
+func (*RapidProbeAck) wireType() Type { return TRapidProbeAck }
+
+func (p *RapidProbeAck) enc(w *writer) {
+	w.i32(int32(p.From))
+	w.u64(p.Token)
+}
+
+func decRapidProbeAck(r *reader) *RapidProbeAck {
+	return &RapidProbeAck{From: membership.NodeID(r.i32()), Token: r.u64()}
+}
+
+// RapidSync asks a peer on a newer configuration to resend its current
+// RapidView (sent when a beat or alert reveals the sender has fallen
+// behind).
+type RapidSync struct {
+	From      membership.NodeID
+	ConfigSeq uint64
+}
+
+func (*RapidSync) wireType() Type { return TRapidSync }
+
+func (s *RapidSync) enc(w *writer) {
+	w.i32(int32(s.From))
+	w.u64(s.ConfigSeq)
+}
+
+func decRapidSync(r *reader) *RapidSync {
+	return &RapidSync{From: membership.NodeID(r.i32()), ConfigSeq: r.u64()}
+}
+
+// RapidPropose opens the ratification round for configuration Seq: the
+// proposer names the members it intends to evict and the old configuration
+// votes. Token pairs the votes with exactly this round — a re-proposal after
+// the cut shifts rotates the token, so stragglers' votes for the old round
+// cannot ratify the new one. Retransmissions of the same round reuse the
+// token (votes are idempotent).
+type RapidPropose struct {
+	From  membership.NodeID
+	Token uint64
+	Seq   uint64 // the configuration the proposal would install
+	Evict []membership.NodeID
+}
+
+func (*RapidPropose) wireType() Type { return TRapidPropose }
+
+func (p *RapidPropose) enc(w *writer) {
+	w.i32(int32(p.From))
+	w.u64(p.Token)
+	w.u64(p.Seq)
+	w.u32(uint32(len(p.Evict)))
+	for _, m := range p.Evict {
+		w.i32(int32(m))
+	}
+}
+
+func decRapidPropose(r *reader) *RapidPropose {
+	p := &RapidPropose{}
+	p.From = membership.NodeID(r.i32())
+	p.Token = r.u64()
+	p.Seq = r.u64()
+	n := r.sliceLen()
+	if n > 0 {
+		p.Evict = make([]membership.NodeID, 0, n)
+	}
+	for i := 0; i < n && r.err == nil; i++ {
+		p.Evict = append(p.Evict, membership.NodeID(r.i32()))
+	}
+	return p
+}
+
+// RapidVote answers a RapidPropose. OK ratifies the eviction set; otherwise
+// Alive lists the proposed evictees the voter refuses to give up — members it
+// is still hearing directly (or itself). A single veto aborts the round; a
+// majority of the old configuration must ratify before the view commits, so
+// a proposer cut off from the majority can never install anything.
+type RapidVote struct {
+	From  membership.NodeID
+	Token uint64
+	OK    bool
+	Alive []membership.NodeID
+}
+
+func (*RapidVote) wireType() Type { return TRapidVote }
+
+func (v *RapidVote) enc(w *writer) {
+	w.i32(int32(v.From))
+	w.u64(v.Token)
+	w.bool(v.OK)
+	w.u32(uint32(len(v.Alive)))
+	for _, m := range v.Alive {
+		w.i32(int32(m))
+	}
+}
+
+func decRapidVote(r *reader) *RapidVote {
+	v := &RapidVote{}
+	v.From = membership.NodeID(r.i32())
+	v.Token = r.u64()
+	v.OK = r.bool()
+	n := r.sliceLen()
+	if n > 0 {
+		v.Alive = make([]membership.NodeID, 0, n)
+	}
+	for i := 0; i < n && r.err == nil; i++ {
+		v.Alive = append(v.Alive, membership.NodeID(r.i32()))
+	}
+	return v
 }

@@ -63,6 +63,20 @@ func TestRoundTripAll(t *testing.T) {
 		&ServiceReply{ReqID: 78, OK: false},
 		&LoadPoll{From: 3, Token: 123},
 		&LoadReply{Token: 123, Load: 17},
+		&RapidBeat{From: 3, ConfigSeq: 5, Inc: 2, Beat: 77},
+		&RapidInfo{ConfigSeq: 5, Info: sampleInfo()},
+		&RapidAlert{Observer: 1, Subject: 9, ConfigSeq: 5, Seq: 12, Down: true},
+		&RapidAlert{Observer: 1, Subject: 9, ConfigSeq: 5, Seq: 13},
+		&RapidJoin{From: 8, ConfigSeq: 4, Info: sampleInfo()},
+		&RapidView{Seq: 6, Proposer: 0, Members: []membership.NodeID{0, 1, 2}, Infos: []membership.MemberInfo{sampleInfo(), {Node: 1}}},
+		&RapidView{Seq: 1, Proposer: membership.NoNode, Members: []membership.NodeID{3}},
+		&RapidProbe{From: 0, Token: 42},
+		&RapidProbeAck{From: 9, Token: 42},
+		&RapidSync{From: 2, ConfigSeq: 3},
+		&RapidPropose{From: 0, Token: 9, Seq: 4, Evict: []membership.NodeID{7, 11}},
+		&RapidPropose{From: 5, Token: 10, Seq: 2},
+		&RapidVote{From: 3, Token: 9, OK: true},
+		&RapidVote{From: 6, Token: 9, OK: false, Alive: []membership.NodeID{7}},
 	}
 	for _, m := range msgs {
 		roundTrip(t, m)
