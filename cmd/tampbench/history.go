@@ -12,6 +12,7 @@ import (
 	"os"
 	"os/exec"
 	"strings"
+	"time"
 
 	"repro/internal/metrics"
 )
@@ -48,6 +49,11 @@ func runHistory(figs []string, wallFactor float64) int {
 			fmt.Println()
 		}
 		fmt.Print(metrics.RenderHistory(fig, snaps, o))
+		if fig == "parsim" {
+			// The parsim figure's runs differ only in worker count; render
+			// the newest snapshot's wall times as a speedup table.
+			fmt.Print(renderParsimSpeedup(snaps[len(snaps)-1].Bench.Runs))
+		}
 		shown++
 	}
 	if shown == 0 {
@@ -103,6 +109,33 @@ func benchSnapshots(file string) ([]metrics.HistorySnapshot, error) {
 		})
 	}
 	return snaps, nil
+}
+
+// renderParsimSpeedup tabulates one parsim snapshot's wall time per worker
+// count (keys end in "/lps=K") with the speedup over the lps=1 baseline.
+// Wall times are machine-dependent, so the table is advisory — the figure's
+// deterministic fields are gated by -diff like any other bench.
+func renderParsimSpeedup(runs []metrics.RunReport) string {
+	var b strings.Builder
+	var base time.Duration
+	for _, r := range runs {
+		if strings.HasSuffix(r.Key, "/lps=1") {
+			base = r.Wall
+		}
+	}
+	fmt.Fprintf(&b, "%-8s %10s %8s\n", "lps", "wall", "speedup")
+	for _, r := range runs {
+		idx := strings.LastIndex(r.Key, "/lps=")
+		if idx < 0 {
+			continue
+		}
+		speed := "-"
+		if base > 0 && r.Wall > 0 {
+			speed = fmt.Sprintf("%.2fx", float64(base)/float64(r.Wall))
+		}
+		fmt.Fprintf(&b, "%-8s %10v %8s\n", r.Key[idx+1:], r.Wall.Round(time.Millisecond), speed)
+	}
+	return b.String()
 }
 
 func gitOut(args ...string) (string, error) {

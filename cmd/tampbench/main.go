@@ -20,12 +20,20 @@
 //	tampbench -fig chaos                        # scenario x scheme invariant matrix (BENCH_chaos.json)
 //	tampbench -fig traffic                      # user-level traffic matrix (BENCH_traffic.json)
 //	tampbench -fig scale                        # N=1000 churn run (BENCH_scale.json)
-//	tampbench -fig scale4k                      # N=4000 churn run (BENCH_scale4k.json)
+//	tampbench -fig scale4k -lps 4               # N=4000 churn run, 4 parsim workers (BENCH_scale4k.json)
+//	tampbench -fig scale10k -lps 4              # N=10000 churn run (BENCH_scale10k.json)
+//	tampbench -fig parsim                       # worker-scaling figure: lps=1/2/4 byte-identity + speedup
 //	tampbench -diff old.json new.json           # regression gate between two BENCH files
 //	tampbench -history [fig ...]                # committed BENCH_*.json trajectory from git
+//
+// The scale figures always execute through the parsim coordinator
+// (internal/parsim): the topology fixes the LP decomposition and -lps picks
+// only the worker count, which never changes the report bytes — see
+// docs/PARSIM.md.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -42,12 +50,13 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2, 11, 12, 13, 14, 4x, 4b, abl-piggyback, abl-group, abl-maxloss, abl-fanout, accuracy, breakdown, detect-dist, chaos, traffic, scale, scale4k, all (scale and scale4k are excluded from all: they are the long N=1000 and N=4000 churn runs)")
+	fig := flag.String("fig", "all", "figure to regenerate: 2, 11, 12, 13, 14, 4x, 4b, abl-piggyback, abl-group, abl-maxloss, abl-fanout, accuracy, breakdown, detect-dist, chaos, traffic, scale, scale4k, scale10k, parsim, all (the scale* churn runs and the parsim scaling figure are excluded from all: they are long)")
 	sizes := flag.String("sizes", "20,40,60,80,100", "cluster sizes for figures 11-13")
 	perGroup := flag.Int("pergroup", 20, "nodes per network/membership group")
 	seed := flag.Int64("seed", 42, "simulation RNG seed (per-run seeds derive from it)")
 	loss := flag.Float64("loss", 0, "injected packet loss probability")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel simulation runs per sweep (results are identical for any value)")
+	lps := flag.Int("lps", 1, "parsim worker goroutines inside the scale/scale4k/scale10k runs (output is byte-identical for any value; >1 cuts wall time on multi-core machines)")
 	verbose := flag.Bool("v", false, "print one progress line per run (stderr) plus sweep totals")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole regeneration to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after regeneration to this file")
@@ -132,9 +141,13 @@ func main() {
 		// its own BENCH file; regenerate it explicitly with -fig scale.
 		todo = order
 	} else {
-		if _, ok := runners[*fig]; !ok && *fig != "chaos" && *fig != "traffic" && *fig != "scale" && *fig != "scale4k" {
-			fmt.Fprintf(os.Stderr, "tampbench: unknown figure %q (want one of %s, scale, scale4k, all)\n", *fig, strings.Join(order, ", "))
-			os.Exit(2)
+		switch *fig {
+		case "chaos", "traffic", "scale", "scale4k", "scale10k", "parsim":
+		default:
+			if _, ok := runners[*fig]; !ok {
+				fmt.Fprintf(os.Stderr, "tampbench: unknown figure %q (want one of %s, scale, scale4k, scale10k, parsim, all)\n", *fig, strings.Join(order, ", "))
+				os.Exit(2)
+			}
 		}
 		todo = []string{*fig}
 	}
@@ -181,8 +194,17 @@ func main() {
 			fmt.Println()
 			continue
 		}
-		if name == "scale" || name == "scale4k" {
-			if err := runScale(sw, *seed, log, name); err != nil {
+		if name == "parsim" {
+			if err := runParsim(sw, *seed, *lps); err != nil {
+				fmt.Fprintln(os.Stderr, "tampbench:", err)
+				code = 1
+			}
+			fmt.Fprintf(os.Stderr, "(parsim regenerated in %v)\n", time.Since(start).Round(time.Millisecond))
+			fmt.Println()
+			continue
+		}
+		if name == "scale" || name == "scale4k" || name == "scale10k" {
+			if err := runScale(sw, *seed, *lps, log, name); err != nil {
 				fmt.Fprintln(os.Stderr, "tampbench:", err)
 				code = 1
 			}
@@ -299,16 +321,22 @@ func runTraffic(sw harness.Sweep, seed int64, log *metrics.ReportLog, dclocal bo
 }
 
 // runScale executes the churn run — N=1000 for "scale", N=4000 (the
-// paper's Figure 2 ceiling) for "scale4k" — and always records its
-// RunReport in BENCH_<fig>.json, so O(N^2) audit or protocol regressions
-// surface in `tampbench -diff` as event/packet/wall growth.
-func runScale(sw harness.Sweep, seed int64, log *metrics.ReportLog, fig string) error {
+// paper's Figure 2 ceiling) for "scale4k", N=10000 (parsim's raison
+// d'être) for "scale10k" — and always records its RunReport in
+// BENCH_<fig>.json, so O(N^2) audit or protocol regressions surface in
+// `tampbench -diff` as event/packet/wall growth. -lps only changes wall
+// time, never the report.
+func runScale(sw harness.Sweep, seed int64, lps int, log *metrics.ReportLog, fig string) error {
 	o := harness.DefaultScaleOptions()
-	if fig == "scale4k" {
+	switch fig {
+	case "scale4k":
 		o = harness.Scale4kOptions()
+	case "scale10k":
+		o = harness.Scale10kOptions()
 	}
 	o.Seed = seed
 	o.Sweep = sw
+	o.LPs = lps
 	rep := harness.ScaleChurn(o)
 	fmt.Println(harness.RenderScale(o, rep))
 	runs := log.Reports()
@@ -318,6 +346,80 @@ func runScale(sw harness.Sweep, seed int64, log *metrics.ReportLog, fig string) 
 		return err
 	}
 	fmt.Println("(json: " + file + ")")
+	return nil
+}
+
+// runParsim is the parsim worker-scaling figure: the N=1000 scale run at 1,
+// 2, and 4 window workers. The deterministic fields must be byte-identical
+// across worker counts — the run fails loudly if not — and the per-count
+// wall times land in BENCH_parsim.json (keys suffixed /lps=K), where
+// `tampbench -history parsim` renders them as a speedup table across
+// commits. Wall-derived numbers go to stderr so stdout stays deterministic.
+func runParsim(sw harness.Sweep, seed int64, maxLPs int) error {
+	counts := []int{1, 2, 4}
+	if maxLPs > 4 {
+		counts = append(counts, maxLPs)
+	}
+	base := harness.DefaultScaleOptions()
+	base.Seed = seed
+	var runs []metrics.RunReport
+	var canon string
+	for _, k := range counts {
+		o := base
+		o.LPs = k
+		o.Sweep = sw
+		start := time.Now()
+		rep := harness.ScaleChurn(o)
+		wall := time.Since(start)
+		cp := rep
+		cp.Wall = 0
+		b, err := json.Marshal(cp)
+		if err != nil {
+			return err
+		}
+		if canon == "" {
+			canon = string(b)
+		} else if string(b) != canon {
+			return fmt.Errorf("parsim determinism violated: -lps %d report differs from -lps %d\n lps=%d: %s\n  base: %s",
+				k, counts[0], k, b, canon)
+		}
+		rep.Key = fmt.Sprintf("%s/lps=%d", rep.Key, k)
+		rep.Wall = wall
+		runs = append(runs, rep)
+		fmt.Fprintf(os.Stderr, "(parsim lps=%d wall=%v)\n", k, wall.Round(time.Millisecond))
+	}
+	fmt.Printf("# Parsim worker scaling: N=%d scale churn, %d LPs\n",
+		base.Groups*base.PerGroup, base.Groups)
+	fmt.Printf("%-8s %12s %14s %10s\n", "lps", "events", "pkts", "identical")
+	for i, r := range runs {
+		fmt.Printf("%-8d %12d %14d %10s\n", counts[i], r.Events, r.PktsDelivered, "yes")
+	}
+	fmt.Fprint(os.Stderr, renderParsimSpeedup(runs))
+	b := metrics.BenchJSON{Fig: "parsim", Seed: seed, Runs: runs, Summary: metrics.Summarize(runs)}
+	if err := metrics.WriteBenchJSON("BENCH_parsim.json", b); err != nil {
+		return err
+	}
+	fmt.Println("(json: BENCH_parsim.json)")
+	// TAMP_PARSIM_MIN_SPEEDUP turns the advisory wall table into a gate:
+	// the nightly 4-vCPU runner requires the best worker count to beat
+	// lps=1 by this factor. Off by default — wall time on a shared or
+	// single-core machine proves nothing.
+	if min := os.Getenv("TAMP_PARSIM_MIN_SPEEDUP"); min != "" {
+		want, err := strconv.ParseFloat(min, 64)
+		if err != nil {
+			return fmt.Errorf("bad TAMP_PARSIM_MIN_SPEEDUP %q: %v", min, err)
+		}
+		best := 0.0
+		for _, r := range runs[1:] {
+			if s := float64(runs[0].Wall) / float64(r.Wall); s > best {
+				best = s
+			}
+		}
+		if best < want {
+			return fmt.Errorf("parsim speedup %.2fx below the %.2fx gate (TAMP_PARSIM_MIN_SPEEDUP)", best, want)
+		}
+		fmt.Fprintf(os.Stderr, "(parsim speedup gate: %.2fx >= %.2fx)\n", best, want)
+	}
 	return nil
 }
 

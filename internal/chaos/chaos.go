@@ -2,7 +2,6 @@ package chaos
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"repro/internal/membership"
@@ -35,7 +34,11 @@ type ProxyHandle interface {
 // timeline runs on, the network and topology the faults mutate, and the
 // protocol daemons the kills target.
 type Env struct {
-	Eng   *sim.Engine
+	// Eng is whatever drives virtual time: a plain *sim.Engine for serial
+	// runs, or the parsim coordinator for partitioned runs (which executes
+	// every scheduled action single-threaded between lookahead windows, so
+	// topology mutations never race the worker goroutines).
+	Eng   sim.Scheduler
 	Net   *netsim.Network
 	Top   *topology.Topology
 	Nodes []Node
@@ -46,12 +49,24 @@ type Env struct {
 	// prints these; the bench matrix leaves it nil to keep stdout stable).
 	Trace func(at time.Duration, msg string)
 
+	// EngineFor, when set, returns the per-LP engine daemon i must restart
+	// on (parsim runs). Nil means every daemon runs on Eng itself.
+	EngineFor func(i int) *sim.Engine
+
 	groups [][]topology.HostID // level-0 groups, computed lazily
 }
 
 // NewEnv builds an Env over a cluster's parts.
-func NewEnv(eng *sim.Engine, net *netsim.Network, top *topology.Topology, nodes []Node) *Env {
+func NewEnv(eng sim.Scheduler, net *netsim.Network, top *topology.Topology, nodes []Node) *Env {
 	return &Env{Eng: eng, Net: net, Top: top, Nodes: nodes}
+}
+
+// engineFor returns the engine daemon i starts on.
+func (e *Env) engineFor(i int) *sim.Engine {
+	if e.EngineFor != nil {
+		return e.EngineFor(i)
+	}
+	return e.Eng.(*sim.Engine)
 }
 
 func (e *Env) trace(format string, args ...any) {
@@ -71,7 +86,7 @@ func (e *Env) StopNode(i int) {
 // StartNode restarts daemon i if it is down.
 func (e *Env) StartNode(i int) {
 	if n := e.Nodes[i]; !n.Running() {
-		n.Start(e.Eng)
+		n.Start(e.engineFor(i))
 		e.trace("restart node %d", i)
 	}
 }
@@ -87,28 +102,11 @@ func (e *Env) Groups() [][]topology.HostID {
 	return e.groups
 }
 
-// Groups computes the level-0 groups of a topology; see Env.Groups.
+// Groups computes the level-0 groups of a topology; see Env.Groups. It is
+// topology.Level0Groups, re-exported under the name the scenario library
+// grew up with.
 func Groups(top *topology.Topology) [][]topology.HostID {
-	n := top.NumHosts()
-	seen := make([]bool, n)
-	var out [][]topology.HostID
-	for h := 0; h < n; h++ {
-		if seen[h] {
-			continue
-		}
-		g := []topology.HostID{topology.HostID(h)}
-		seen[h] = true
-		sc := top.MulticastScope(topology.HostID(h), 1)
-		for _, peer := range sc.Hosts {
-			if !seen[peer] {
-				g = append(g, peer)
-				seen[peer] = true
-			}
-		}
-		sort.Slice(g, func(i, j int) bool { return g[i] < g[j] })
-		out = append(out, g)
-	}
-	return out
+	return top.Level0Groups()
 }
 
 // Action is one fault or heal operation. String returns the canonical spec

@@ -25,6 +25,10 @@ func (n *fakeNode) Directory() *membership.Directory { return n.dir }
 func (n *fakeNode) Running() bool                    { return n.running }
 func (n *fakeNode) IsLeader(level int) bool          { return n.leader }
 
+// engOf unwraps the concrete engine behind Env.Eng for tests that drive the
+// clock directly (serial runs always hold a *sim.Engine there).
+func engOf(e *Env) *sim.Engine { return e.Eng.(*sim.Engine) }
+
 func newFakeEnv(t *testing.T, top *topology.Topology) (*Env, []*fakeNode) {
 	t.Helper()
 	eng := sim.NewEngine(1)
@@ -66,14 +70,14 @@ func TestChaosKillRestartTimeline(t *testing.T) {
 	if err := sc.Install(env); err != nil {
 		t.Fatal(err)
 	}
-	env.Eng.Run(11 * time.Second)
+	engOf(env).Run(11 * time.Second)
 	if fakes[1].running {
 		t.Fatal("node 1 still running after kill")
 	}
 	if !fakes[0].running || !fakes[2].running {
 		t.Fatal("kill hit the wrong nodes")
 	}
-	env.Eng.Run(31 * time.Second)
+	engOf(env).Run(31 * time.Second)
 	if !fakes[1].running {
 		t.Fatal("node 1 not restarted")
 	}
@@ -90,7 +94,7 @@ func TestChaosGroupOutageAndLeaderKill(t *testing.T) {
 	if err := sc.Install(env); err != nil {
 		t.Fatal(err)
 	}
-	env.Eng.Run(90 * time.Second)
+	engOf(env).Run(90 * time.Second)
 	if fakes[4].running {
 		t.Fatal("leader of group 1 survived kill-leader")
 	}
@@ -111,7 +115,7 @@ func TestChaosKillLeaderFallsBackToLowestRunning(t *testing.T) {
 	if err := sc.Install(env); err != nil {
 		t.Fatal(err)
 	}
-	env.Eng.Run(2 * time.Second)
+	engOf(env).Run(2 * time.Second)
 	if fakes[4].running {
 		t.Fatal("fallback victim (lowest running member) survived")
 	}
@@ -128,7 +132,7 @@ func TestChaosFlapCycles(t *testing.T) {
 		t.Fatal(err)
 	}
 	check := func(at time.Duration, want bool) {
-		env.Eng.Run(at)
+		engOf(env).Run(at)
 		if fakes[2].running != want {
 			t.Fatalf("at %v: running=%v, want %v", at, fakes[2].running, want)
 		}
@@ -155,14 +159,14 @@ func TestChaosFaultActionsMutateTopology(t *testing.T) {
 		t.Fatal(err)
 	}
 	epoch0 := env.Top.Epoch()
-	env.Eng.Run(2500 * time.Millisecond)
+	engOf(env).Run(2500 * time.Millisecond)
 	if !env.Top.Failed(sw1.ID) {
 		t.Fatal("sw1 not failed")
 	}
 	if lat, _ := env.Top.UnicastPath(0, 3); lat >= 0 {
 		t.Fatal("cross-group path survived switch failure")
 	}
-	env.Eng.Run(5 * time.Second)
+	engOf(env).Run(5 * time.Second)
 	if env.Top.Failed(sw1.ID) {
 		t.Fatal("sw1 not repaired")
 	}
@@ -182,7 +186,7 @@ func TestChaosLossRampReachesTarget(t *testing.T) {
 	if err := sc.Install(env); err != nil {
 		t.Fatal(err)
 	}
-	env.Eng.Run(30 * time.Second)
+	engOf(env).Run(30 * time.Second)
 	// With loss at 0.9, most multicast deliveries must drop.
 	for _, h := range []topology.HostID{1, 2, 3} {
 		env.Net.Endpoint(h).Join(1)
@@ -190,7 +194,7 @@ func TestChaosLossRampReachesTarget(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		env.Net.Endpoint(0).Multicast(1, 1, []byte("x"))
 	}
-	env.Eng.RunAll()
+	engOf(env).RunAll()
 	st := env.Net.TotalStats()
 	if st.Dropped < 200 { // E[dropped] = 270 of 300
 		t.Fatalf("ramp did not reach high loss: dropped=%d of %d", st.Dropped, st.Dropped+st.PktsRecv)
@@ -211,8 +215,8 @@ func TestChaosInstallValidation(t *testing.T) {
 			t.Errorf("scenario %d installed despite invalid step", i)
 		}
 	}
-	if env.Eng.Pending() != 0 {
-		t.Fatalf("failed installs left %d events scheduled", env.Eng.Pending())
+	if engOf(env).Pending() != 0 {
+		t.Fatalf("failed installs left %d events scheduled", engOf(env).Pending())
 	}
 }
 
@@ -224,7 +228,7 @@ func TestChaosWANFaultOnMultiDC(t *testing.T) {
 	if err := sc.Install(env); err != nil {
 		t.Fatal(err)
 	}
-	env.Eng.Run(2 * time.Second)
+	engOf(env).Run(2 * time.Second)
 	// Unicast across the WAN is now (almost) always dropped; local is not.
 	local, remote := 0, 0
 	env.Net.Endpoint(1).SetHandler(func(netsim.Packet) { local++ })
@@ -233,7 +237,7 @@ func TestChaosWANFaultOnMultiDC(t *testing.T) {
 		env.Net.Endpoint(0).Unicast(1, []byte("x"))
 		env.Net.Endpoint(0).Unicast(7, []byte("x"))
 	}
-	env.Eng.RunAll()
+	engOf(env).RunAll()
 	if local != 50 {
 		t.Fatalf("intra-DC unicast suffered WAN fault: %d of 50", local)
 	}

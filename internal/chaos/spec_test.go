@@ -195,7 +195,7 @@ func TestRepeatApplyStride(t *testing.T) {
 	if err := sc.Install(env); err != nil {
 		t.Fatal(err)
 	}
-	env.Eng.Run(10 * time.Second)
+	engOf(env).Run(10 * time.Second)
 	for _, want := range []int{1, 9, 17} {
 		if env.Nodes[want].Running() {
 			t.Errorf("node %d still running; strided kill missed it", want)

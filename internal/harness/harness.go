@@ -9,6 +9,7 @@ import (
 	"repro/internal/gossip"
 	"repro/internal/membership"
 	"repro/internal/netsim"
+	"repro/internal/parsim"
 	"repro/internal/rapid"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -86,6 +87,13 @@ type Cluster struct {
 	Net    *netsim.Network
 	Top    *topology.Topology
 	Nodes  []Instance
+
+	// Partitioned (parsim) execution state, nil for serial runs. Set by
+	// EnableParsim; when present, node i schedules on Engs[Part.LPOf[i]]
+	// and Coord drives the run instead of Eng.
+	Coord *parsim.Coordinator
+	Engs  []*sim.Engine
+	Part  *topology.Partition
 }
 
 // padFor computes the heartbeat padding that brings a default heartbeat to
@@ -164,10 +172,10 @@ func NewCluster(scheme Scheme, top *topology.Topology, seed int64) *Cluster {
 	return c
 }
 
-// StartAll starts every node.
+// StartAll starts every node, each on the engine that owns it.
 func (c *Cluster) StartAll() {
-	for _, n := range c.Nodes {
-		n.Start(c.Eng)
+	for i, n := range c.Nodes {
+		n.Start(c.engineFor(i))
 	}
 }
 

@@ -177,5 +177,8 @@ func observe[N hasDirectory](eng *sim.Engine, net *netsim.Network, nodes []N) me
 
 // Observe reports the cluster's run counters; see observe.
 func (c *Cluster) Observe() metrics.RunReport {
+	if c.Coord != nil {
+		return c.observePar()
+	}
 	return observe(c.Eng, c.Net, c.Nodes)
 }

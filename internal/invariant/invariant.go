@@ -50,6 +50,18 @@ type Options struct {
 	// (initial convergence churn is not instability). Default 15s. The
 	// stability counters and the flap-freedom invariant need EventDriven.
 	FlapWarmup time.Duration
+	// Observers, when non-nil, restricts which node indices act as
+	// observers: only their directories are hooked and sampled, and
+	// per-observer state (lastSeen, flap counts) is allocated only for
+	// them. Subjects are always the whole cluster. Parsim runs shard the
+	// audit this way — one auditor per logical process, observers = the
+	// LP's own hosts — and merge verdicts with MergeResults.
+	Observers []int
+	// Reach, when non-nil, replaces the auditor's own epoch-keyed
+	// reachability bitset (whose rebuild probes all N^2 unicast paths).
+	// Parsim runs install a shared connectivity snapshot here, refreshed
+	// at window boundaries where it is race-free by construction.
+	Reach func(x, y topology.HostID) bool
 }
 
 // Invariant names, in report order. The federation invariants
@@ -111,6 +123,7 @@ type Auditor struct {
 	o     Options
 
 	groups      [][]topology.HostID
+	obs         []int           // observer indices (all nodes unless Options.Observers)
 	downSince   []time.Duration // -1 while running
 	upSince     []time.Duration // last (re)start; a fresh observer gets purge grace
 	wasRunning  []bool
@@ -160,12 +173,38 @@ func New(eng *sim.Engine, top *topology.Topology, nodes []Node, o Options) *Audi
 		groups: chaos.Groups(top),
 	}
 	n := len(nodes)
+	if o.Observers != nil {
+		a.obs = o.Observers
+		// Leader uniqueness is an observer-side check: keep only the groups
+		// this auditor's observers belong to, so sharded auditors split the
+		// group set exactly once between them.
+		isObs := make([]bool, n)
+		for _, i := range a.obs {
+			isObs[i] = true
+		}
+		kept := a.groups[:0:0]
+		for _, g := range a.groups {
+			if int(g[0]) < n && isObs[g[0]] {
+				kept = append(kept, g)
+			}
+		}
+		a.groups = kept
+	} else {
+		a.obs = make([]int, n)
+		for i := range a.obs {
+			a.obs[i] = i
+		}
+	}
 	a.downSince = make([]time.Duration, n)
 	a.upSince = make([]time.Duration, n)
 	a.wasRunning = make([]bool, n)
+	// Per-observer rows only: at N=10k with 500 LPs, full N x N rows per
+	// auditor would cost 500x the serial run's memory.
 	a.lastSeen = make([][]seqState, n)
-	for i := range a.lastSeen {
+	a.flaps = make([][]uint8, n)
+	for _, i := range a.obs {
 		a.lastSeen[i] = make([]seqState, n)
+		a.flaps[i] = make([]uint8, n)
 	}
 	for i := range a.invs {
 		a.invs[i].first = -1
@@ -177,12 +216,10 @@ func New(eng *sim.Engine, top *topology.Topology, nodes []Node, o Options) *Audi
 	if a.o.FlapWarmup <= 0 {
 		a.o.FlapWarmup = 15 * time.Second
 	}
-	a.flaps = make([][]uint8, n)
-	for i := range a.flaps {
-		a.flaps[i] = make([]uint8, n)
+	if o.Reach == nil {
+		a.reachWords = (n + 63) / 64
+		a.reachBits = make([]uint64, n*a.reachWords)
 	}
-	a.reachWords = (n + 63) / 64
-	a.reachBits = make([]uint64, n*a.reachWords)
 	return a
 }
 
@@ -190,6 +227,9 @@ func New(eng *sim.Engine, top *topology.Topology, nodes []Node, o Options) *Audi
 // works, answering from the epoch-keyed bitset. Hosts outside the audited
 // range (proxy endpoints in federated runs) fall back to a path lookup.
 func (a *Auditor) reachable(x, y topology.HostID) bool {
+	if a.o.Reach != nil {
+		return a.o.Reach(x, y)
+	}
 	n := len(a.nodes)
 	if int(x) >= n || int(y) >= n || x < 0 || y < 0 {
 		lat, _ := a.top.UnicastPath(x, y)
@@ -232,9 +272,9 @@ func (a *Auditor) Start() {
 	a.startedAt = now
 	a.lastEpoch = a.top.Epoch()
 	if a.o.EventDriven {
-		for i, n := range a.nodes {
+		for _, i := range a.obs {
 			i := i
-			n.Directory().AddObserver(func(e membership.Event) { a.onEvent(i, e) })
+			a.nodes[i].Directory().AddObserver(func(e membership.Event) { a.onEvent(i, e) })
 		}
 	}
 	var tick func()
@@ -400,13 +440,13 @@ func (a *Auditor) Stability() (viewChanges, spurious uint64) {
 	return a.viewChanges, a.spurious
 }
 
-
 func (a *Auditor) checkCompleteness(now time.Duration) {
 	if now < a.o.Deadline {
 		return
 	}
 	v := &a.invs[invCompleteness]
-	for i, obs := range a.nodes {
+	for _, i := range a.obs {
+		obs := a.nodes[i]
 		if !obs.Running() {
 			continue
 		}
@@ -432,7 +472,8 @@ func (a *Auditor) checkCompleteness(now time.Duration) {
 func (a *Auditor) checkPhantomsAndSeq(now time.Duration) {
 	ph := &a.invs[invNoPhantoms]
 	sq := &a.invs[invSeqMonotone]
-	for i, obs := range a.nodes {
+	for _, i := range a.obs {
+		obs := a.nodes[i]
 		if !obs.Running() {
 			continue
 		}
@@ -520,6 +561,31 @@ func (a *Auditor) Results() []metrics.InvariantResult {
 			Checks:     a.invs[i].checks,
 			Violations: a.invs[i].violations,
 			First:      a.invs[i].first,
+		}
+	}
+	return out
+}
+
+// MergeResults folds sharded auditors' verdicts (one per logical process,
+// all in the fixed invariant order) into one report: checks and violations
+// sum, First takes the earliest violating shard's timestamp. The result is
+// independent of how the cluster was sharded, because every (observer,
+// subject) pair is audited by exactly one shard.
+func MergeResults(parts ...[]metrics.InvariantResult) []metrics.InvariantResult {
+	if len(parts) == 0 {
+		return nil
+	}
+	out := make([]metrics.InvariantResult, len(parts[0]))
+	copy(out, parts[0])
+	for _, p := range parts[1:] {
+		for i := range out {
+			out[i].Checks += p[i].Checks
+			if p[i].Violations > 0 {
+				if out[i].Violations == 0 || p[i].First < out[i].First {
+					out[i].First = p[i].First
+				}
+				out[i].Violations += p[i].Violations
+			}
 		}
 	}
 	return out

@@ -57,6 +57,13 @@ type TrafficStats struct {
 	// never comes back — lost users, the harshest staleness cost. Zero when
 	// backoff is off (the default).
 	AbandonedSessions uint64 `json:"abandoned_sessions,omitempty"`
+
+	// HedgedRequests counts requests that sent a duplicate leg to a second
+	// replica after traffic.Options.HedgeAfter of silence; HedgeWins counts
+	// those the duplicate resolved first. Zero when hedging is off (the
+	// default).
+	HedgedRequests uint64 `json:"hedged_requests,omitempty"`
+	HedgeWins      uint64 `json:"hedge_wins,omitempty"`
 }
 
 // FailureRate returns the fraction of requests that did not succeed.
@@ -76,6 +83,9 @@ func (t TrafficStats) String() string {
 	}
 	if t.AbandonedSessions > 0 {
 		s += fmt.Sprintf(" abandoned=%d", t.AbandonedSessions)
+	}
+	if t.HedgedRequests > 0 {
+		s += fmt.Sprintf(" hedged=%d wins=%d", t.HedgedRequests, t.HedgeWins)
 	}
 	return s
 }

@@ -215,6 +215,13 @@ type Network struct {
 	freeDel *delivery // pooled delivery callbacks, linked via next
 
 	wanBytes uint64 // bytes that crossed data centers (unicast only)
+
+	// lps, when non-nil, puts the network in partitioned (parsim) mode: each
+	// host sends and receives on its logical process's engine, and
+	// deliveries that cross LPs detour through per-window outboxes instead
+	// of being scheduled directly (see partition.go). Nil means the classic
+	// serial network, byte-identical to what it always was.
+	lps *lpNet
 }
 
 // fanKey identifies one cached multicast fan-out.
@@ -230,6 +237,7 @@ type fanKey struct {
 type fanout struct {
 	topEpoch uint64
 	subEpoch uint64
+	pubEpoch uint64 // partitioned mode: published-subscription epoch
 	dsts     []*Endpoint
 	lat      []time.Duration
 	marks    []topology.MarkSet // empty when no links are marked
@@ -242,6 +250,7 @@ func New(eng *sim.Engine, top *topology.Topology) *Network {
 	for i := range n.eps {
 		n.eps[i] = &Endpoint{
 			net:  n,
+			eng:  eng,
 			id:   topology.HostID(i),
 			up:   true,
 			subs: make(map[ChannelID]bool),
@@ -399,7 +408,15 @@ func (n *Network) TotalStats() Stats {
 
 // WANBytes returns the number of bytes carried across data-center
 // boundaries so far (the quantity the proxy protocol minimizes).
-func (n *Network) WANBytes() uint64 { return n.wanBytes }
+func (n *Network) WANBytes() uint64 {
+	total := n.wanBytes
+	if l := n.lps; l != nil {
+		for _, w := range l.wan {
+			total += w
+		}
+	}
+	return total
+}
 
 // ResetStats zeroes every endpoint counter and the WAN byte counter; used
 // to discard warm-up traffic before a measurement window.
@@ -408,6 +425,9 @@ func (n *Network) ResetStats() {
 		ep.stats = Stats{}
 	}
 	n.wanBytes = 0
+	if l := n.lps; l != nil {
+		clear(l.wan)
+	}
 }
 
 // replayRingSize bounds how many recently delivered packets an endpoint
@@ -432,12 +452,21 @@ type recentPkt struct {
 
 // Endpoint is one host's attachment to the network.
 type Endpoint struct {
-	net     *Network
+	net *Network
+	// eng is the engine this endpoint sends and receives on: the network
+	// engine in serial mode, the owning LP's engine in partitioned mode.
+	eng     *sim.Engine
+	lp      int32 // owning logical process (0 in serial mode)
 	id      topology.HostID
 	up      bool
 	subs    map[ChannelID]bool
 	handler Handler
 	stats   Stats
+	// pubSubs is the subscription snapshot other LPs read when rebuilding
+	// multicast fan-outs in partitioned mode; the owner republishes it at
+	// window boundaries (subDirty tracks whether that is pending).
+	pubSubs  map[ChannelID]bool
+	subDirty bool
 	// filter, when set, can veto delivery of a packet to this endpoint;
 	// used by tests to inject targeted losses.
 	filter func(pkt Packet) bool
@@ -499,7 +528,7 @@ func (ep *Endpoint) Up() bool { return ep.up }
 func (ep *Endpoint) Join(ch ChannelID) {
 	if !ep.subs[ch] {
 		ep.subs[ch] = true
-		ep.net.subEpoch++
+		ep.noteSubChange()
 	}
 }
 
@@ -507,7 +536,26 @@ func (ep *Endpoint) Join(ch ChannelID) {
 func (ep *Endpoint) Leave(ch ChannelID) {
 	if ep.subs[ch] {
 		delete(ep.subs, ch)
-		ep.net.subEpoch++
+		ep.noteSubChange()
+	}
+}
+
+// noteSubChange invalidates fan-out caches after a Join/Leave. Serial mode
+// bumps the global epoch; partitioned mode bumps the owner LP's epoch (its
+// own senders see the change immediately) and queues the endpoint for
+// snapshot publication at the next window boundary (remote senders see it
+// then — within one lookahead, i.e. less than one cross-LP network hop).
+func (ep *Endpoint) noteSubChange() {
+	n := ep.net
+	l := n.lps
+	if l == nil {
+		n.subEpoch++
+		return
+	}
+	l.subEpoch[ep.lp]++
+	if !ep.subDirty {
+		ep.subDirty = true
+		l.dirty[ep.lp] = append(l.dirty[ep.lp], ep)
 	}
 }
 
@@ -524,7 +572,17 @@ func (ep *Endpoint) Multicast(ch ChannelID, ttl int, payload []byte) {
 	ep.stats.PktsSent++
 	ep.stats.BytesSent += uint64(pkt.WireSize())
 	f := ep.net.fanoutFor(ep.id, ch, ttl)
+	// Partitioned mode: the decode memo is written by whichever receiver
+	// parses first, so receivers on different LPs must not share one. Scope
+	// hosts are ascending and LP host ranges are contiguous, so cutting a
+	// fresh memo whenever the destination LP changes restores per-LP
+	// sharing without tracking a memo per LP.
+	memoLP := ep.lp
 	for i, dst := range f.dsts {
+		if dst.lp != memoLP {
+			memoLP = dst.lp
+			pkt.memo = &pktMemo{}
+		}
 		var marks topology.MarkSet
 		if len(f.marks) > 0 {
 			marks = f.marks[i]
@@ -539,21 +597,34 @@ func (ep *Endpoint) Multicast(ch ChannelID, ttl int, payload []byte) {
 // order a direct scope walk produces: scope order, filtered by subscription.
 func (n *Network) fanoutFor(src topology.HostID, ch ChannelID, ttl int) *fanout {
 	key := fanKey{src: src, ch: ch, ttl: ttl}
-	f := n.fans[key]
+	l := n.lps
+	fans, sub, pub := n.fans, n.subEpoch, uint64(0)
+	var srcLP int32
+	if l != nil {
+		srcLP = int32(l.lpOf[src])
+		fans, sub, pub = l.fans[srcLP], l.subEpoch[srcLP], l.pubEpoch
+	}
+	f := fans[key]
 	epoch := n.top.Epoch()
-	if f != nil && f.topEpoch == epoch && f.subEpoch == n.subEpoch {
+	if f != nil && f.topEpoch == epoch && f.subEpoch == sub && f.pubEpoch == pub {
 		return f
 	}
 	if f == nil {
 		f = &fanout{}
-		n.fans[key] = f
+		fans[key] = f
 	}
-	f.topEpoch, f.subEpoch = epoch, n.subEpoch
+	f.topEpoch, f.subEpoch, f.pubEpoch = epoch, sub, pub
 	f.dsts, f.lat, f.marks = f.dsts[:0], f.lat[:0], f.marks[:0]
 	scope := n.top.MulticastScope(src, ttl)
 	for i, h := range scope.Hosts {
 		dst := n.eps[h]
-		if !dst.subs[ch] {
+		// Partitioned mode reads the published snapshot for remote hosts:
+		// their live subs map belongs to another worker goroutine.
+		if l != nil && dst.lp != srcLP {
+			if !dst.pubSubs[ch] {
+				continue
+			}
+		} else if !dst.subs[ch] {
 			continue
 		}
 		f.dsts = append(f.dsts, dst)
@@ -584,7 +655,11 @@ func (ep *Endpoint) Unicast(dst topology.HostID, payload []byte) bool {
 		return false
 	}
 	if ep.net.top.HostDC(ep.id) != ep.net.top.HostDC(dst) {
-		ep.net.wanBytes += uint64(pkt.WireSize())
+		if l := ep.net.lps; l != nil {
+			l.wan[ep.lp] += uint64(pkt.WireSize())
+		} else {
+			ep.net.wanBytes += uint64(pkt.WireSize())
+		}
 	}
 	ep.deliver(ep.net.eps[dst], pkt, lat, marks)
 	return true
@@ -600,9 +675,9 @@ func (ep *Endpoint) deliver(dst *Endpoint, pkt Packet, latency time.Duration, ma
 	if !marks.Empty() && n.hasFaults {
 		fl = n.composeFaults(marks)
 	}
-	if dup > 0 && n.eng.Rand().Float64() < dup {
+	if dup > 0 && ep.eng.Rand().Float64() < dup {
 		// The duplicate takes its own (jittered) path.
-		extra := latency + time.Duration(n.eng.Rand().Int63n(int64(time.Millisecond)))
+		extra := latency + time.Duration(ep.eng.Rand().Int63n(int64(time.Millisecond)))
 		ep.deliverOnce(dst, pkt, extra, loss, jitter, fl)
 	}
 	ep.deliverOnce(dst, pkt, latency, loss, jitter, fl)
@@ -611,23 +686,40 @@ func (ep *Endpoint) deliver(dst *Endpoint, pkt Packet, latency time.Duration, ma
 func (ep *Endpoint) deliverOnce(dst *Endpoint, pkt Packet, latency time.Duration, loss, jitter float64, fl faults) {
 	n := ep.net
 	if jitter > 0 && latency > 0 {
-		f := 1 + jitter*(2*n.eng.Rand().Float64()-1)
+		f := 1 + jitter*(2*ep.eng.Rand().Float64()-1)
 		latency = time.Duration(float64(latency) * f)
 	}
 	// Gray-failure lag: a limping sender emits late, a limping receiver
 	// processes late. Drawn at send time (like jitter), and only when a
 	// lag is configured, so healthy runs consume no extra randomness.
+	// (dst.grayLag may belong to a remote LP, but it only changes between
+	// windows, when no worker goroutine is running.)
 	if ep.grayLag > 0 {
-		latency += time.Duration(n.eng.Rand().Int63n(int64(ep.grayLag)))
+		latency += time.Duration(ep.eng.Rand().Int63n(int64(ep.grayLag)))
 		ep.stats.GrayDelayed++
 	}
+	grayDst := false
 	if dst.grayLag > 0 {
-		latency += time.Duration(n.eng.Rand().Int63n(int64(dst.grayLag)))
+		latency += time.Duration(ep.eng.Rand().Int63n(int64(dst.grayLag)))
+		grayDst = true
+	}
+	if l := n.lps; l != nil && dst.lp != ep.lp {
+		// Cross-LP: park the fully-drawn delivery in the sender's outbox;
+		// the boundary exchange schedules it on the destination engine.
+		// The receiver counts GrayDelayed at arrival (d.gray) because its
+		// stats belong to another worker here.
+		l.enqueue(ep.lp, dst.lp, outMsg{
+			at: ep.eng.Now() + latency, dst: dst, pkt: pkt,
+			loss: loss, fl: fl, gray: grayDst,
+		})
+		return
+	}
+	if grayDst {
 		dst.stats.GrayDelayed++
 	}
-	d := n.newDelivery()
+	d := n.newDelivery(ep.eng, ep.lp)
 	d.dst, d.pkt, d.loss, d.fl = dst, pkt, loss, fl
-	n.eng.ScheduleCall(latency, d)
+	ep.eng.ScheduleCall(latency, d)
 }
 
 // delivery is a pooled in-flight packet: the engine fires it at arrival
@@ -636,35 +728,50 @@ func (ep *Endpoint) deliverOnce(dst *Endpoint, pkt Packet, latency time.Duration
 // Network.freeDel the moment they fire.
 type delivery struct {
 	n     *Network
+	eng   *sim.Engine // engine the delivery fires on (dst's LP engine)
+	lp    int32       // pool the struct recycles through (dst's LP)
 	dst   *Endpoint
 	pkt   Packet
 	loss  float64
 	fl    faults
+	gray  bool      // cross-LP delivery to a gray endpoint: count at arrival
 	stale bool      // set on the bounded re-delivery of a stale fault
 	next  *delivery // free-list link
 }
 
-func (n *Network) newDelivery() *delivery {
-	d := n.freeDel
+func (n *Network) newDelivery(eng *sim.Engine, lp int32) *delivery {
+	head := &n.freeDel
+	if l := n.lps; l != nil {
+		head = &l.pools[lp]
+	}
+	d := *head
 	if d != nil {
-		n.freeDel = d.next
+		*head = d.next
 		d.next = nil
 	} else {
 		d = &delivery{n: n}
 	}
+	d.eng, d.lp = eng, lp
 	return d
 }
 
 func (n *Network) releaseDelivery(d *delivery) {
-	*d = delivery{n: n, next: n.freeDel}
-	n.freeDel = d
+	head := &n.freeDel
+	if l := n.lps; l != nil {
+		head = &l.pools[d.lp]
+	}
+	*d = delivery{n: n, next: *head}
+	*head = d
 }
 
 // Fire implements sim.Callback: it is the arrival half of deliverOnce. The
 // struct returns to the pool before the handler runs — handlers send more
 // packets, and those sends reuse it.
 func (d *delivery) Fire() {
-	n, dst, pkt, loss, fl, stale := d.n, d.dst, d.pkt, d.loss, d.fl, d.stale
+	n, eng, lp, dst, pkt, loss, fl, stale := d.n, d.eng, d.lp, d.dst, d.pkt, d.loss, d.fl, d.stale
+	if d.gray {
+		dst.stats.GrayDelayed++
+	}
 	n.releaseDelivery(d)
 	if !dst.up {
 		return
@@ -684,8 +791,10 @@ func (d *delivery) Fire() {
 	// byte-fault draws below likewise happen at delivery time, in the
 	// fixed order corrupt → truncate → (handler) → replay → stale —
 	// and only when the composed probability is nonzero, so scenarios
-	// without adversarial profiles replay bit-identically.
-	if loss > 0 && n.eng.Rand().Float64() < loss {
+	// without adversarial profiles replay bit-identically. All draws
+	// come from the engine the delivery fires on — the receiver's LP
+	// engine in partitioned mode.
+	if loss > 0 && eng.Rand().Float64() < loss {
 		dst.stats.Dropped++
 		return
 	}
@@ -693,32 +802,32 @@ func (d *delivery) Fire() {
 		dst.stats.Dropped++
 		return
 	}
-	if fl.corrupt > 0 && n.eng.Rand().Float64() < fl.corrupt {
-		pkt.Payload = corruptBytes(n.eng, pkt.Payload)
+	if fl.corrupt > 0 && eng.Rand().Float64() < fl.corrupt {
+		pkt.Payload = corruptBytes(eng, pkt.Payload)
 		pkt.memo = nil // tampered bytes must not share the clean parse
 		dst.stats.Corrupted++
 	}
-	if fl.truncate > 0 && n.eng.Rand().Float64() < fl.truncate {
+	if fl.truncate > 0 && eng.Rand().Float64() < fl.truncate {
 		// Keep a strict prefix; zero-length datagrams are legal UDP.
-		pkt.Payload = pkt.Payload[:n.eng.Rand().Intn(len(pkt.Payload)+1)]
+		pkt.Payload = pkt.Payload[:eng.Rand().Intn(len(pkt.Payload)+1)]
 		pkt.memo = nil
 		dst.stats.Truncated++
 	}
 	dst.receive(pkt)
 	if n.hasFaults {
-		dst.recordRecent(pkt, n.eng.Now())
+		dst.recordRecent(pkt, eng.Now())
 	}
-	if fl.replay > 0 && n.eng.Rand().Float64() < fl.replay {
-		if old, ok := dst.pickRecent(n.eng.Now(), n.eng); ok {
+	if fl.replay > 0 && eng.Rand().Float64() < fl.replay {
+		if old, ok := dst.pickRecent(eng.Now(), eng); ok {
 			dst.stats.Replayed++
 			dst.receive(old)
 		}
 	}
-	if fl.stale > 0 && n.eng.Rand().Float64() < fl.stale {
-		extra := time.Duration(1 + n.eng.Rand().Int63n(int64(staleDelayMax)))
-		sd := n.newDelivery()
+	if fl.stale > 0 && eng.Rand().Float64() < fl.stale {
+		extra := time.Duration(1 + eng.Rand().Int63n(int64(staleDelayMax)))
+		sd := n.newDelivery(eng, lp)
 		sd.dst, sd.pkt, sd.stale = dst, pkt, true
-		n.eng.ScheduleCall(extra, sd)
+		eng.ScheduleCall(extra, sd)
 	}
 }
 

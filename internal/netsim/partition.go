@@ -1,0 +1,180 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Partitioned (parsim) mode. The network is split along the topology's LP
+// partition: every endpoint sends and receives on its LP's engine, and the
+// only cross-LP communication is timestamped outMsg records parked in
+// per-sender outboxes, drained by the parsim coordinator at window
+// boundaries. Within a lookahead window no worker goroutine touches another
+// LP's mutable state; everything a sender reads about a remote endpoint
+// (gray lag, published subscriptions) is frozen between boundaries. See
+// docs/PARSIM.md for the full ownership table and the determinism contract.
+
+// outMsg is one cross-LP delivery, fully drawn at send time on the sender's
+// engine (jitter, duplication, gray lag) with receiver-side draws (loss,
+// byte faults) deferred to the destination engine at Fire time — the same
+// split the serial network uses, so -lps 1 and -lps K consume RNG streams
+// identically.
+type outMsg struct {
+	at   time.Duration // absolute arrival time (pre-clamp)
+	dst  *Endpoint
+	pkt  Packet
+	loss float64
+	fl   faults
+	gray bool // count GrayDelayed at the receiver on arrival
+}
+
+// lpNet is the partitioned-mode state hanging off Network.lps.
+type lpNet struct {
+	lpOf []int         // host -> LP
+	engs []*sim.Engine // LP -> engine
+
+	// out[src][b] holds messages sent by LP src to any LP owned by worker
+	// b (dstLP % buckets == b). Only src's worker appends during a window;
+	// only worker b drains at the boundary. Bucketing by destination worker
+	// means each worker drains exactly the messages it will schedule,
+	// touching no other worker's engines.
+	out     [][][]outMsg
+	buckets int
+
+	pools []*delivery          // per-LP delivery free lists
+	fans  []map[fanKey]*fanout // per-LP fan-out caches
+	wan   []uint64             // per-LP WAN byte counters
+
+	// subEpoch[lp] invalidates lp's own fan-outs on local Join/Leave;
+	// pubEpoch invalidates everyone's when any LP republishes snapshots.
+	// pubEpoch only changes between windows (deterministically: it is
+	// driven by dirty-endpoint counts, which the event streams determine).
+	subEpoch []uint64
+	pubEpoch uint64
+	dirty    [][]*Endpoint // per-LP endpoints with unpublished sub changes
+}
+
+// EnablePartition switches the network into partitioned mode: host h lives
+// on engs[lpOf[h]], and cross-LP sends queue into buckets drained by
+// `buckets` workers (worker b owns LPs with lp%buckets == b). Must be
+// called before any traffic; the serial engine passed to New is no longer
+// used for scheduling afterwards.
+func (n *Network) EnablePartition(lpOf []int, engs []*sim.Engine, buckets int) {
+	if len(lpOf) != len(n.eps) {
+		panic(fmt.Sprintf("netsim: partition over %d hosts, network has %d", len(lpOf), len(n.eps)))
+	}
+	if buckets < 1 {
+		panic(fmt.Sprintf("netsim: %d exchange buckets", buckets))
+	}
+	p := len(engs)
+	l := &lpNet{
+		lpOf:     lpOf,
+		engs:     engs,
+		buckets:  buckets,
+		out:      make([][][]outMsg, p),
+		pools:    make([]*delivery, p),
+		fans:     make([]map[fanKey]*fanout, p),
+		wan:      make([]uint64, p),
+		subEpoch: make([]uint64, p),
+		dirty:    make([][]*Endpoint, p),
+	}
+	for i := range l.out {
+		l.out[i] = make([][]outMsg, buckets)
+		l.fans[i] = make(map[fanKey]*fanout)
+	}
+	for h, ep := range n.eps {
+		lp := lpOf[h]
+		ep.lp = int32(lp)
+		ep.eng = engs[lp]
+		ep.pubSubs = make(map[ChannelID]bool)
+	}
+	n.lps = l
+}
+
+// enqueue parks one cross-LP message in the sender's outbox. Called only by
+// the owner of src during its window.
+func (l *lpNet) enqueue(src, dst int32, m outMsg) {
+	b := int(dst) % l.buckets
+	l.out[src][b] = append(l.out[src][b], m)
+}
+
+// DrainCross schedules every parked message bound for worker `bucket`'s LPs
+// onto its destination engine, in (source LP ascending, send order) order —
+// an order independent of the worker count, which is what makes engine
+// sequence stamps, and therefore simultaneous-timestamp tie-breaks,
+// LP-count-invariant. Arrivals that jitter or gray lag pushed below the
+// boundary are clamped up to winEnd (deterministically: the clamp depends
+// only on the message and the boundary time). Called by worker `bucket`
+// between windows.
+func (n *Network) DrainCross(bucket int, winEnd time.Duration) {
+	l := n.lps
+	for src := range l.out {
+		msgs := l.out[src][bucket]
+		if len(msgs) == 0 {
+			continue
+		}
+		for i := range msgs {
+			m := &msgs[i]
+			at := m.at
+			if at < winEnd {
+				at = winEnd
+			}
+			eng := l.engs[m.dst.lp]
+			d := n.newDelivery(eng, m.dst.lp)
+			d.dst, d.pkt, d.loss, d.fl, d.gray = m.dst, m.pkt, m.loss, m.fl, m.gray
+			eng.ScheduleCall(at-eng.Now(), d)
+		}
+		clear(msgs) // drop payload references
+		l.out[src][bucket] = msgs[:0]
+	}
+}
+
+// PublishSubs publishes pending subscription snapshots for one LP and
+// reports how many endpoints changed. Called by the LP's worker (or the
+// coordinator) between windows.
+func (n *Network) PublishSubs(lp int) int {
+	l := n.lps
+	d := l.dirty[lp]
+	for _, ep := range d {
+		clear(ep.pubSubs)
+		for ch := range ep.subs {
+			ep.pubSubs[ch] = true
+		}
+		ep.subDirty = false
+	}
+	count := len(d)
+	l.dirty[lp] = d[:0]
+	return count
+}
+
+// PublishAllSubs publishes every LP's pending subscription changes and
+// bumps the published epoch if there were any. The coordinator calls it
+// single-threaded at run start and after boundary actions.
+func (n *Network) PublishAllSubs() {
+	l := n.lps
+	total := 0
+	for lp := range l.dirty {
+		total += n.PublishSubs(lp)
+	}
+	if total > 0 {
+		l.pubEpoch++
+	}
+}
+
+// BumpPubEpoch invalidates every LP's fan-out caches; the coordinator calls
+// it at a boundary where PublishSubs reported changes.
+func (n *Network) BumpPubEpoch() { n.lps.pubEpoch++ }
+
+// PendingCross reports whether any cross-LP message is parked for worker
+// `bucket` (used by the coordinator to find the next boundary with work).
+func (n *Network) PendingCross(bucket int) bool {
+	l := n.lps
+	for src := range l.out {
+		if len(l.out[src][bucket]) > 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,27 @@
+// Package parsim runs one simulation as a set of logical processes (LPs)
+// executing goroutine-parallel under conservative synchronization.
+//
+// The topology hands us the partition and the safety horizon. LPs are data
+// centers when the topology spans several, else level-0 multicast groups
+// (topology.LPPartition); the lookahead L is the minimum baseline cross-LP
+// unicast latency. Any packet leaving an LP at time t arrives elsewhere no
+// earlier than t+L — failures only remove edges, so paths only get longer —
+// which makes the window [s, s+L) safe to execute in parallel with no
+// rollback: no LP can receive anything from another LP inside the window it
+// is executing.
+//
+// The Coordinator owns the loop: run every LP's engine to the window end
+// (barrier), exchange the cross-LP packets parked in netsim's outboxes and
+// publish subscription snapshots (barrier), pick the next boundary, repeat.
+// Between windows it is the only running goroutine, which is where chaos
+// timelines, harness deadlines, and audit-truth refreshes execute — the
+// Coordinator implements sim.Scheduler, so a chaos Scenario installs into a
+// partitioned run completely unchanged.
+//
+// Determinism contract (tested by TestParsimDeterminism, specified in
+// docs/PARSIM.md): the partition and the window sequence are pure functions
+// of topology and event content, never of worker count, and cross-LP
+// deliveries drain in (source LP, send order) order. Reports are therefore
+// byte-identical for -lps 1 and -lps K. Worker count only chooses how many
+// goroutines execute a window's LPs.
+package parsim

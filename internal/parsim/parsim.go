@@ -1,0 +1,393 @@
+package parsim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Config assembles a partitioned run. The caller (internal/harness) builds
+// the per-LP engines — seeding them with its DeriveSeed discipline — and a
+// network already switched into partitioned mode; the coordinator only
+// drives them.
+type Config struct {
+	// Engines holds one engine per LP, indexed by LP.
+	Engines []*sim.Engine
+	// Net is the partitioned network (EnablePartition already called with
+	// buckets == Workers).
+	Net *netsim.Network
+	// Lookahead is the conservative window width (topology.Partition's
+	// minimum cross-LP latency). Zero forces degenerate one-window execution
+	// (still correct, never parallel-profitable).
+	Lookahead time.Duration
+	// Workers is the number of goroutines executing a window; worker w owns
+	// LPs {i : i % Workers == w}. 1 runs everything inline on the caller's
+	// goroutine with no synchronization at all.
+	Workers int
+	// Seed seeds the coordinator's own RNG (the Scheduler.Rand stream used
+	// by boundary actions such as chaos timelines).
+	Seed int64
+}
+
+// boundary is one callback scheduled on the coordinator itself (chaos steps,
+// harness deadlines). They run single-threaded between windows, at their
+// exact virtual time.
+type boundary struct {
+	at  time.Duration
+	seq uint64 // FIFO among equal times — same ordering rule as the engine
+	fn  func()
+}
+
+// Coordinator drives one conservative windowed run. It implements
+// sim.Scheduler so chaos environments and harness timelines install into a
+// partitioned run unchanged; everything scheduled on it executes between
+// windows, when no worker goroutine is running.
+type Coordinator struct {
+	engs      []*sim.Engine
+	net       *netsim.Network
+	lookahead time.Duration
+	workers   int
+
+	now   time.Duration
+	until time.Duration // Run horizon: engine clocks never advance past it
+	rng   *rand.Rand
+	bh    []boundary // min-heap on (at, seq)
+	bseq  uint64
+
+	hooks []func() // after-boundary hooks (audit truth refresh)
+
+	nextAt []time.Duration // per-LP next event time after a window, -1 = idle
+	pubs   []int           // per-LP published-subscription counts
+
+	cmds []chan wcmd // per-worker phase commands (Workers > 1)
+	ack  chan struct{}
+}
+
+type wcmd struct {
+	phase  uint8
+	winEnd time.Duration
+}
+
+const (
+	phaseRun uint8 = iota
+	phaseExchange
+)
+
+// New builds a coordinator. Workers must divide nothing in particular — any
+// count from 1 to NumLPs is useful; more than NumLPs wastes goroutines and
+// is clamped.
+func New(cfg Config) *Coordinator {
+	if len(cfg.Engines) == 0 {
+		panic("parsim: no engines")
+	}
+	if cfg.Workers < 1 {
+		panic(fmt.Sprintf("parsim: %d workers", cfg.Workers))
+	}
+	w := cfg.Workers
+	if w > len(cfg.Engines) {
+		w = len(cfg.Engines)
+	}
+	c := &Coordinator{
+		engs:      cfg.Engines,
+		net:       cfg.Net,
+		lookahead: cfg.Lookahead,
+		workers:   w,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		nextAt:    make([]time.Duration, len(cfg.Engines)),
+		pubs:      make([]int, len(cfg.Engines)),
+	}
+	return c
+}
+
+// --- sim.Scheduler ---
+
+// Now returns coordinator virtual time: the last window boundary. Between
+// windows every engine clock equals it.
+func (c *Coordinator) Now() time.Duration { return c.now }
+
+// Rand returns the coordinator's own deterministic stream, independent of
+// every LP's.
+func (c *Coordinator) Rand() *rand.Rand { return c.rng }
+
+// Schedule runs fn at Now()+delay, between windows. The returned timer is
+// nil — boundary actions are not cancellable (sim.Timer's Stop and Pending
+// are nil-safe, so callers holding one work unchanged).
+func (c *Coordinator) Schedule(delay time.Duration, fn func()) *sim.Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	return c.ScheduleAt(c.now+delay, fn)
+}
+
+// ScheduleAt runs fn at absolute virtual time at, between windows.
+func (c *Coordinator) ScheduleAt(at time.Duration, fn func()) *sim.Timer {
+	if at < c.now {
+		at = c.now
+	}
+	c.push(boundary{at: at, seq: c.bseq, fn: fn})
+	c.bseq++
+	return nil
+}
+
+// ScheduleCall runs the callback at Now()+delay, between windows.
+func (c *Coordinator) ScheduleCall(delay time.Duration, cb sim.Callback) {
+	c.Schedule(delay, func() { cb.Fire() })
+}
+
+var _ sim.Scheduler = (*Coordinator)(nil)
+
+// OnBoundary registers fn to run, single-threaded, after every batch of
+// boundary actions (and once before the first window). The harness hangs
+// shared audit ground truth here: topology reachability only changes when a
+// boundary action mutates the topology, so refreshing after actions keeps
+// every LP's view exact.
+func (c *Coordinator) OnBoundary(fn func()) { c.hooks = append(c.hooks, fn) }
+
+// EngineOf returns LP lp's engine.
+func (c *Coordinator) EngineOf(lp int) *sim.Engine { return c.engs[lp] }
+
+// NumLPs returns the LP count.
+func (c *Coordinator) NumLPs() int { return len(c.engs) }
+
+// Workers returns the effective worker count.
+func (c *Coordinator) Workers() int { return c.workers }
+
+// Steps sums executed events across all LPs.
+func (c *Coordinator) Steps() uint64 {
+	var s uint64
+	for _, e := range c.engs {
+		s += e.Steps()
+	}
+	return s
+}
+
+// Run executes the simulation through time until, inclusive — the same
+// contract as sim.Engine.Run: events at exactly until fire, and every engine
+// clock is left at until.
+func (c *Coordinator) Run(until time.Duration) {
+	end := until + time.Nanosecond // exclusive horizon covering t == until
+	c.until = until
+	if c.workers > 1 {
+		c.startWorkers()
+		defer c.stopWorkers()
+	}
+	c.net.PublishAllSubs()
+	c.runHooks()
+	for c.now < end {
+		c.runBoundary()
+		winEnd := end
+		if c.lookahead > 0 && c.now+c.lookahead < winEnd {
+			winEnd = c.now + c.lookahead
+		}
+		if nb, ok := c.nextBoundary(); ok && nb < winEnd {
+			winEnd = nb
+		}
+		c.window(winEnd)
+		c.afterWindow(winEnd, end)
+	}
+	for _, e := range c.engs {
+		e.AdvanceTo(until)
+	}
+	c.now = until
+}
+
+// runBoundary executes every boundary action due at the current time. The
+// engines are brought exactly to c.now first so actions observe one
+// consistent clock (Stop/Start of a node reads its LP engine's Now).
+func (c *Coordinator) runBoundary() {
+	if len(c.bh) == 0 || c.bh[0].at > c.now {
+		return
+	}
+	for _, e := range c.engs {
+		e.AdvanceTo(c.now)
+	}
+	for len(c.bh) > 0 && c.bh[0].at <= c.now {
+		b := c.pop()
+		b.fn()
+	}
+	// Actions may have joined/left channels (node restarts) or mutated the
+	// topology; republish snapshots and refresh shared truth before workers
+	// run again.
+	c.net.PublishAllSubs()
+	c.runHooks()
+}
+
+func (c *Coordinator) runHooks() {
+	for _, fn := range c.hooks {
+		fn()
+	}
+}
+
+// window executes one lookahead window [c.now, winEnd) across all workers:
+// phase A runs every LP's local events, phase B (after a barrier) drains
+// cross-LP messages, publishes subscription snapshots, and records each LP's
+// next event time.
+func (c *Coordinator) window(winEnd time.Duration) {
+	if c.workers == 1 {
+		c.phaseRun(0, winEnd)
+		c.phaseExchange(0, winEnd)
+		return
+	}
+	for _, ch := range c.cmds {
+		ch <- wcmd{phaseRun, winEnd}
+	}
+	for range c.cmds {
+		<-c.ack
+	}
+	for _, ch := range c.cmds {
+		ch <- wcmd{phaseExchange, winEnd}
+	}
+	for range c.cmds {
+		<-c.ack
+	}
+}
+
+// afterWindow advances the coordinator clock past the window. Publication
+// epochs bump when any LP published (the counts are determined by the event
+// streams, so the bump pattern is worker-count-invariant), and the clock
+// skips ahead to the earliest future work — next local event, parked
+// cross-LP arrival (already scheduled, hence visible via nextAt), or
+// boundary action — bounded below by winEnd.
+func (c *Coordinator) afterWindow(winEnd, end time.Duration) {
+	pub := 0
+	for lp := range c.pubs {
+		pub += c.pubs[lp]
+	}
+	if pub > 0 {
+		c.net.BumpPubEpoch()
+	}
+	next := end
+	if nb, ok := c.nextBoundary(); ok && nb < next {
+		next = nb
+	}
+	for _, at := range c.nextAt {
+		if at >= 0 && at < next {
+			next = at
+		}
+	}
+	if next < winEnd {
+		next = winEnd
+	}
+	c.now = next
+}
+
+// phaseRun is window phase A for one worker: run the local event streams of
+// every owned LP up to (exclusive) the window boundary. Cross-LP sends park
+// in the sender's outboxes.
+func (c *Coordinator) phaseRun(w int, winEnd time.Duration) {
+	for lp := w; lp < len(c.engs); lp += c.workers {
+		c.engs[lp].RunBefore(winEnd)
+	}
+}
+
+// phaseExchange is window phase B for one worker: schedule every parked
+// message bound for an owned LP (reading all senders' outboxes — safe, the
+// phase barrier ordered those writes before us), publish owned LPs'
+// subscription snapshots, and record their next event times. DrainCross
+// clamps arrivals up to winEnd, so engines must be at winEnd before the next
+// phase A; AdvanceTo here also keeps idle LPs' clocks in lockstep. Clocks
+// are capped at the Run horizon so a finished run reads Now() == until,
+// exactly like a serial engine (the final winEnd is the exclusive horizon
+// one nanosecond past it).
+func (c *Coordinator) phaseExchange(w int, winEnd time.Duration) {
+	c.net.DrainCross(w, winEnd)
+	adv := winEnd
+	if adv > c.until {
+		adv = c.until
+	}
+	for lp := w; lp < len(c.engs); lp += c.workers {
+		eng := c.engs[lp]
+		eng.AdvanceTo(adv)
+		c.pubs[lp] = c.net.PublishSubs(lp)
+		if at, ok := eng.NextEventAt(); ok {
+			c.nextAt[lp] = at
+		} else {
+			c.nextAt[lp] = -1
+		}
+	}
+}
+
+func (c *Coordinator) startWorkers() {
+	c.cmds = make([]chan wcmd, c.workers)
+	c.ack = make(chan struct{}, c.workers)
+	for w := range c.cmds {
+		c.cmds[w] = make(chan wcmd, 1)
+		go c.workerLoop(w)
+	}
+}
+
+func (c *Coordinator) stopWorkers() {
+	for _, ch := range c.cmds {
+		close(ch)
+	}
+	c.cmds = nil
+}
+
+func (c *Coordinator) workerLoop(w int) {
+	for cmd := range c.cmds[w] {
+		switch cmd.phase {
+		case phaseRun:
+			c.phaseRun(w, cmd.winEnd)
+		case phaseExchange:
+			c.phaseExchange(w, cmd.winEnd)
+		}
+		c.ack <- struct{}{}
+	}
+}
+
+// --- boundary-action min-heap on (at, seq) ---
+
+func (c *Coordinator) nextBoundary() (time.Duration, bool) {
+	if len(c.bh) == 0 {
+		return 0, false
+	}
+	return c.bh[0].at, true
+}
+
+func (c *Coordinator) push(b boundary) {
+	c.bh = append(c.bh, b)
+	i := len(c.bh) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !boundaryLess(c.bh[i], c.bh[p]) {
+			break
+		}
+		c.bh[i], c.bh[p] = c.bh[p], c.bh[i]
+		i = p
+	}
+}
+
+func (c *Coordinator) pop() boundary {
+	top := c.bh[0]
+	last := len(c.bh) - 1
+	c.bh[0] = c.bh[last]
+	c.bh[last] = boundary{}
+	c.bh = c.bh[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < last && boundaryLess(c.bh[l], c.bh[m]) {
+			m = l
+		}
+		if r < last && boundaryLess(c.bh[r], c.bh[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		c.bh[i], c.bh[m] = c.bh[m], c.bh[i]
+		i = m
+	}
+	return top
+}
+
+func boundaryLess(a, b boundary) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}

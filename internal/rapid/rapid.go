@@ -70,6 +70,14 @@ type Config struct {
 	SyncMinGap time.Duration
 	// HeartbeatPad inflates beats to emulate configured packet sizes.
 	HeartbeatPad int
+	// DCOf, when set, makes the monitoring overlay topology-aware: ring 0
+	// stays a global permutation (the overlay remains one connected
+	// expander, so a whole-DC outage is observed from outside), while rings
+	// 1..K-1 cycle within each data center so K-1 of the K heartbeat edges
+	// per member stay off the WAN. It must be a pure function — every node
+	// evaluates it locally and all must agree on the edges. Nil keeps every
+	// ring global (the original Rapid derivation).
+	DCOf func(membership.NodeID) int
 	// Seeds is the bootstrap configuration: every node must be constructed
 	// with the same sorted seed list, which becomes configuration 1.
 	Seeds []membership.NodeID
@@ -374,7 +382,7 @@ func (n *Node) installMembers(members []membership.NodeID, now time.Duration) {
 	if lEff > hEff {
 		lEff = hEff
 	}
-	n.observers, n.subjects = deriveRings(n.configSeq, n.cfg.K, n.members, n.id)
+	n.observers, n.subjects = deriveRingsDC(n.configSeq, n.cfg.K, n.members, n.id, n.cfg.DCOf)
 	n.subjSet = make(map[membership.NodeID]bool, len(n.subjects))
 	n.lastHeard = make(map[membership.NodeID]time.Duration, len(n.subjects))
 	for _, s := range n.subjects {

@@ -155,3 +155,116 @@ func TestRapidMinorityCannotEvict(t *testing.T) {
 		}
 	}
 }
+
+// TestDCAwareRingsCoverAndLocalize pins the deriveRingsDC contract on a
+// hand-built DC map: rings stay deterministic, observer/subject sets are
+// mutually consistent across members, every member keeps at least one
+// cross-DC edge (ring 0), and all other edges stay inside the member's DC.
+func TestDCAwareRingsCoverAndLocalize(t *testing.T) {
+	var members []membership.NodeID
+	for i := 0; i < 24; i++ {
+		members = append(members, membership.NodeID(i))
+	}
+	dcOf := func(id membership.NodeID) int { return int(id) / 8 } // 3 DCs of 8
+	subsOf := map[membership.NodeID][]membership.NodeID{}
+	obsOf := map[membership.NodeID][]membership.NodeID{}
+	for _, self := range members {
+		obs, subs := deriveRingsDC(7, 8, members, self, dcOf)
+		obs2, subs2 := deriveRingsDC(7, 8, members, self, dcOf)
+		if !idsEqual(obs, obs2) || !idsEqual(subs, subs2) {
+			t.Fatalf("member %v: derivation not deterministic", self)
+		}
+		obsOf[self], subsOf[self] = obs, subs
+	}
+	// Ring 0 is one global cycle, so the union monitoring graph must stay
+	// strongly connected across DCs (a node's ring-0 successor may happen to
+	// share its DC, so connectivity — not a per-node cross edge — is the
+	// guaranteed property).
+	reached := map[membership.NodeID]bool{members[0]: true}
+	frontier := []membership.NodeID{members[0]}
+	for len(frontier) > 0 {
+		cur := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		for _, s := range subsOf[cur] {
+			if !reached[s] {
+				reached[s] = true
+				frontier = append(frontier, s)
+			}
+		}
+	}
+	if len(reached) != len(members) {
+		t.Errorf("monitoring graph reaches only %d of %d members", len(reached), len(members))
+	}
+	for _, self := range members {
+		cross := 0
+		for _, s := range subsOf[self] {
+			if dcOf(s) != dcOf(self) {
+				cross++
+			}
+		}
+		if cross > 1 {
+			t.Errorf("member %v has %d cross-DC subjects, want at most the ring-0 edge", self, cross)
+		}
+		// Symmetry: X subjects Y iff Y observes X.
+		for _, s := range subsOf[self] {
+			found := false
+			for _, o := range obsOf[s] {
+				if o == self {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("member %v monitors %v but %v does not list it as observer", self, s, self)
+			}
+		}
+		if len(obsOf[self]) < 3 {
+			t.Errorf("member %v has only %d observers", self, len(obsOf[self]))
+		}
+	}
+}
+
+// TestDCAwareRingsCutWANBytes runs the same steady MultiDC cluster with and
+// without the topology-aware overlay and compares WAN bytes: DC-local rings
+// must remove the bulk of the cross-DC heartbeat load without costing
+// convergence. The measured ratio is recorded in EXPERIMENTS.md.
+func TestDCAwareRingsCutWANBytes(t *testing.T) {
+	run := func(aware bool) uint64 {
+		top := topology.MultiDC(3, 2, 4) // 24 hosts across 3 DCs
+		eng := sim.NewEngine(29)
+		net := netsim.New(eng, top)
+		cfg := DefaultConfig()
+		if aware {
+			cfg.DCOf = func(id membership.NodeID) int { return top.HostDC(topology.HostID(id)) }
+		}
+		for h := 0; h < top.NumHosts(); h++ {
+			cfg.Seeds = append(cfg.Seeds, membership.NodeID(h))
+		}
+		var nodes []*Node
+		for h := 0; h < top.NumHosts(); h++ {
+			nodes = append(nodes, NewNode(cfg, net.Endpoint(topology.HostID(h))))
+		}
+		for _, n := range nodes {
+			n.Start(eng)
+		}
+		eng.Run(10 * time.Second)
+		for _, n := range nodes {
+			if n.Directory().Len() != len(nodes) {
+				t.Fatalf("aware=%v: node %v sees %d members, want %d",
+					aware, n.ID(), n.Directory().Len(), len(nodes))
+			}
+		}
+		net.ResetStats()
+		eng.Run(eng.Now() + 60*time.Second)
+		return net.WANBytes()
+	}
+	global := run(false)
+	local := run(true)
+	if global == 0 {
+		t.Fatal("global overlay produced no WAN traffic")
+	}
+	t.Logf("WAN bytes over 60s steady state: global=%d dc-aware=%d (%.1f%%)",
+		global, local, 100*float64(local)/float64(global))
+	if local*2 >= global {
+		t.Fatalf("dc-aware overlay only cut WAN bytes from %d to %d, want >2x", global, local)
+	}
+}

@@ -57,6 +57,21 @@ func ringSeed(seq uint64, ring int, members []membership.NodeID) uint64 {
 // deduplicated (distinct rings can repeat an edge), and never contain self.
 // members must be sorted; k is clamped to len(members)-1.
 func deriveRings(seq uint64, k int, members []membership.NodeID, self membership.NodeID) (observers, subjects []membership.NodeID) {
+	return deriveRingsDC(seq, k, members, self, nil)
+}
+
+// deriveRingsDC is deriveRings with an optional locality hint. With a nil
+// dcOf every ring is a global permutation. Otherwise ring 0 stays global —
+// it alone guarantees the overlay is one connected expander, so a whole-DC
+// failure is still observed from outside — while rings 1..k-1 cycle within
+// each data center, keeping K-1 of every member's K monitoring edges (and
+// their steady heartbeat load) off the WAN links. Members whose DC has no
+// other member pool into a shared remainder cycle so nobody loses rings.
+//
+// Like the global derivation this is a pure function of (seq, ring, member
+// list) plus dcOf — which must be the same pure function at every node — so
+// all members still agree on the edges with no negotiation.
+func deriveRingsDC(seq uint64, k int, members []membership.NodeID, self membership.NodeID, dcOf func(membership.NodeID) int) (observers, subjects []membership.NodeID) {
 	n := len(members)
 	if n < 2 {
 		return nil, nil
@@ -64,32 +79,61 @@ func deriveRings(seq uint64, k int, members []membership.NodeID, self membership
 	if k > n-1 {
 		k = n - 1
 	}
-	perm := make([]membership.NodeID, n)
 	obs := make(map[membership.NodeID]bool, k)
 	sub := make(map[membership.NodeID]bool, k)
-	for r := 0; r < k; r++ {
-		copy(perm, members)
-		rng := splitmix64(ringSeed(seq, r, members))
+	cycle := func(r int, group []membership.NodeID) {
+		m := len(group)
+		if m < 2 {
+			return
+		}
+		perm := append([]membership.NodeID(nil), group...)
+		// The seed hashes the group's own member list, so each DC's cycle
+		// draws from its own keyed stream.
+		rng := splitmix64(ringSeed(seq, r, group))
 		// Fisher-Yates with the keyed stream; modulo bias is irrelevant
 		// here (uniformity only needs to be good enough for expansion).
-		for i := n - 1; i > 0; i-- {
+		for i := m - 1; i > 0; i-- {
 			j := int(rng.next() % uint64(i+1))
 			perm[i], perm[j] = perm[j], perm[i]
 		}
-		for i, m := range perm {
-			if m != self {
+		for i, id := range perm {
+			if id != self {
 				continue
 			}
-			succ := perm[(i+1)%n]
-			pred := perm[(i+n-1)%n]
-			if succ != self {
+			if succ := perm[(i+1)%m]; succ != self {
 				sub[succ] = true
 			}
-			if pred != self {
+			if pred := perm[(i+m-1)%m]; pred != self {
 				obs[pred] = true
 			}
 			break
 		}
+	}
+	var groups map[int][]membership.NodeID
+	var rest []membership.NodeID // singleton-DC members, cycled together
+	if dcOf != nil {
+		groups = make(map[int][]membership.NodeID)
+		for _, m := range members {
+			dc := dcOf(m)
+			groups[dc] = append(groups[dc], m)
+		}
+		for dc, g := range groups {
+			if len(g) < 2 {
+				rest = append(rest, g...)
+				delete(groups, dc)
+			}
+		}
+		sortIDs(rest)
+	}
+	for r := 0; r < k; r++ {
+		if dcOf == nil || r == 0 {
+			cycle(r, members)
+			continue
+		}
+		for _, g := range groups {
+			cycle(r, g)
+		}
+		cycle(r, rest)
 	}
 	return sortedIDs(obs), sortedIDs(sub)
 }

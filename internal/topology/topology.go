@@ -655,27 +655,29 @@ func (t *Topology) unicastRowLocked(a HostID) *uniRow {
 	start := t.hosts[a]
 	if !t.failed[start] {
 		dist[start] = 0
-		for {
-			best := DeviceID(-1)
-			bestD := inf
-			for i := 0; i < n; i++ {
-				if !done[i] && dist[i] < bestD {
-					best, bestD = DeviceID(i), dist[i]
-				}
+		// Binary min-heap on (distance, device id), lazily deduplicated:
+		// stale entries are skipped on pop. The device-id tie-break matches
+		// the linear selection scan this replaced (lowest index among equal
+		// distances settles first), so equal-cost paths — and therefore the
+		// reported mark sets — are unchanged. The old O(V^2) scan dominated
+		// first-epoch cache fills once N reached four digits.
+		h := uniHeap{{0, start}}
+		for len(h) > 0 {
+			it := h.pop()
+			if done[it.dev] || it.d != dist[it.dev] {
+				continue
 			}
-			if best < 0 {
-				break
-			}
-			done[best] = true
-			for _, e := range t.adj[best] {
+			done[it.dev] = true
+			for _, e := range t.adj[it.dev] {
 				if t.failed[e.to] || t.linkFailed(e.from, e.to) {
 					continue
 				}
-				if nd := dist[best] + e.latency; nd < dist[e.to] {
+				if nd := it.d + e.latency; nd < dist[e.to] {
 					dist[e.to] = nd
 					if mask != nil {
-						mask[e.to] = mask[best].union(t.markBit(e.from, e.to))
+						mask[e.to] = mask[it.dev].union(t.markBit(e.from, e.to))
 					}
+					h.push(uniHeapItem{nd, e.to})
 				}
 			}
 		}
@@ -699,6 +701,58 @@ func (t *Topology) unicastRowLocked(a HostID) *uniRow {
 	}
 	t.uniCache[a] = row
 	return row
+}
+
+// uniHeapItem is one pending Dijkstra visit in unicastRowLocked.
+type uniHeapItem struct {
+	d   time.Duration
+	dev DeviceID
+}
+
+type uniHeap []uniHeapItem
+
+func (h uniHeap) less(i, j int) bool {
+	return h[i].d < h[j].d || (h[i].d == h[j].d && h[i].dev < h[j].dev)
+}
+
+func (h *uniHeap) push(it uniHeapItem) {
+	*h = append(*h, it)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.less(i, p) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+}
+
+func (h *uniHeap) pop() uniHeapItem {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(s) && s.less(l, m) {
+			m = l
+		}
+		if r < len(s) && s.less(r, m) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	*h = s
+	return top
 }
 
 // Diameter returns the maximum finite MinTTL over all host pairs: the

@@ -52,6 +52,17 @@ type Options struct {
 	// forever.
 	GiveUpAfter time.Duration
 
+	// HedgeAfter enables request hedging: a pinned request still unresolved
+	// this long after sending gets one duplicate to a different replica,
+	// and the first successful reply (either leg) resolves the request —
+	// the tail-latency defense of "The Tail at Scale", here measuring how
+	// much of the membership-staleness tail it can absorb. Rounded to the
+	// tick wheel. Zero (the default, and the committed matrices) is off;
+	// hedging changes latency quantiles, so it is strictly opt-in.
+	// Proxied (cross-DC relay) requests never hedge. Counted in
+	// TrafficStats.HedgedRequests/HedgeWins.
+	HedgeAfter time.Duration
+
 	// Local, when set, restricts every re-home lookup to the candidates it
 	// accepts for the session's gateway (by runtime index) — the DC-local
 	// routing policy: a session whose local replicas all died goes
@@ -102,6 +113,8 @@ type session struct {
 	replica  membership.NodeID // pinned home; NoNode forces a re-lookup
 	flags    uint8
 	fails    uint8         // consecutive failures (backoff exponent), saturating
+	gen      uint8         // request generation; a stale leg's completion is dropped
+	legs     uint8         // outstanding legs of the current request (2 when hedged)
 	done     uint32        // resolved requests, for RequestsPerSession
 	sendAt   time.Duration // virtual send time of the outstanding request
 	migStart time.Duration // send time of the first failed request this migration
@@ -134,6 +147,7 @@ type Layer struct {
 	nextOpen   int32
 	openedAll  bool
 	retryTicks int
+	hedgeTicks int // 0 = hedging off
 
 	// Per-tick memo of directory lookups: sessions on the same gateway and
 	// partition share one lookup per tick instead of one per session.
@@ -154,6 +168,8 @@ type Layer struct {
 	migrations  uint64
 	relayed     uint64
 	abandoned   uint64
+	hedged      uint64
+	hedgeWins   uint64
 }
 
 type memoKey struct {
@@ -201,8 +217,14 @@ func New(eng *sim.Engine, opt Options, gws []*service.Runtime, alive func(member
 	if r := int(opt.BackoffMax/opt.Tick) + 2; r > horizon {
 		horizon = r
 	}
+	if r := int(opt.HedgeAfter/opt.Tick) + 2; r > horizon {
+		horizon = r
+	}
 	l.ring = make([][]int32, horizon)
 	l.retryTicks = l.clampTicks(opt.Retry)
+	if opt.HedgeAfter > 0 {
+		l.hedgeTicks = l.clampTicks(opt.HedgeAfter)
+	}
 	l.sessions = make([]session, opt.Sessions)
 	for i := range l.sessions {
 		l.sessions[i] = session{
@@ -270,11 +292,16 @@ func (l *Layer) onTick() {
 			l.openedAll = true
 		}
 	}
-	// Drain the current wheel slot.
+	// Drain the current wheel slot. Non-negative entries are sessions due
+	// to issue; complemented entries (^i) are hedge checks.
 	due := l.ring[l.cursor]
 	l.ring[l.cursor] = due[:0]
 	for _, i := range due {
-		l.issue(i)
+		if i < 0 {
+			l.hedgeCheck(^i)
+		} else {
+			l.issue(i)
+		}
 	}
 	l.tick++
 	l.cursor = (l.cursor + 1) % len(l.ring)
@@ -360,8 +387,10 @@ func (l *Layer) issue(i int32) {
 	}
 	s.flags |= fInflight
 	s.sendAt = l.eng.Now()
+	s.legs = 1
 	l.requests++
-	cb := func(_ []byte, err error) { l.complete(i, err) }
+	gen := s.gen
+	cb := func(_ []byte, err error) { l.complete(i, gen, false, err) }
 	if s.flags&fProxied != 0 {
 		gw.Invoke(l.opt.Service, s.part, l.payload, cb)
 		return
@@ -371,15 +400,65 @@ func (l *Layer) issue(i int32) {
 		// is stale and this user is about to pay for it.
 		l.misrouted++
 	}
+	if l.hedgeTicks > 0 {
+		l.after(^i, l.hedgeTicks)
+	}
 	gw.InvokeNode(s.replica, l.opt.Service, s.part, l.payload, cb)
 }
 
-// complete is the invocation callback for session i.
-func (l *Layer) complete(i int32, err error) {
+// hedgeCheck fires one hedge delay after a pinned request was sent. If that
+// request is still the one in flight (a resolved-and-reissued request shows
+// a fresh sendAt) it duplicates it to a different replica — picked
+// deterministically, no RNG, so enabling hedging perturbs nothing else —
+// and the first successful leg resolves the request.
+func (l *Layer) hedgeCheck(i int32) {
 	s := &l.sessions[i]
+	if s.flags&fInflight == 0 || s.flags&(fProxied|fClosed) != 0 || s.legs != 1 {
+		return
+	}
+	if l.eng.Now()-s.sendAt < time.Duration(l.hedgeTicks)*l.opt.Tick {
+		return // a newer request; its own hedge check is still scheduled
+	}
+	var alt membership.NodeID = membership.NoNode
+	for _, id := range l.candidates(s.gw, s.part) {
+		if id != s.replica {
+			alt = id
+			break
+		}
+	}
+	if alt == membership.NoNode {
+		return // nowhere else to send it
+	}
+	s.legs = 2
+	l.hedged++
+	gen := s.gen
+	l.gws[s.gw].InvokeNode(alt, l.opt.Service, s.part, l.payload,
+		func(_ []byte, err error) { l.complete(i, gen, true, err) })
+}
+
+// complete is the invocation callback for one leg of session i's current
+// request. gen guards against the losing leg of a hedged pair arriving
+// after the request already resolved; hedge marks which leg this is. The
+// first success resolves the request; a failed leg with another still
+// outstanding just folds away.
+func (l *Layer) complete(i int32, gen uint8, hedge bool, err error) {
+	s := &l.sessions[i]
+	if s.gen != gen {
+		return // the losing leg; the request already resolved
+	}
+	if err != nil && s.legs > 1 {
+		// This leg lost, but its sibling may still succeed.
+		s.legs--
+		return
+	}
+	s.gen++
+	s.legs = 0
 	s.flags &^= fInflight
 	l.reqHist.Record(l.eng.Now() - s.sendAt)
 	if err == nil {
+		if hedge {
+			l.hedgeWins++
+		}
 		l.ok++
 		s.fails = 0
 		if s.flags&fProxied != 0 {
@@ -491,6 +570,8 @@ func (l *Layer) Stats() metrics.TrafficStats {
 		Relayed:     l.relayed,
 
 		AbandonedSessions: l.abandoned,
+		HedgedRequests:    l.hedged,
+		HedgeWins:         l.hedgeWins,
 	}
 }
 

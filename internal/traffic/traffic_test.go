@@ -257,3 +257,45 @@ func TestTrafficDeterministicAcrossRuns(t *testing.T) {
 		t.Fatalf("same seed diverged: (%d,%d,%v) vs (%d,%d,%v)", r1, m1, p1, r2, m2, p2)
 	}
 }
+
+func TestHedgingMasksDeadReplica(t *testing.T) {
+	// Same death as TestSessionsMigrateWhenReplicaDies, but with hedging
+	// on: requests stuck on the dead pinned replica send a duplicate to
+	// the survivor after 200ms and resolve through it, so users see a
+	// ~200ms blip instead of timeout+retry+migration.
+	f := newFixture(t, 4, 2, 1)
+	o := testOptions(40, 1)
+	o.HedgeAfter = 200 * time.Millisecond
+	l := New(f.eng, o, f.runtimes[:1], f.alive)
+	l.Start()
+	f.run(10 * time.Second)
+	if st := l.Stats(); st.HedgedRequests != 0 {
+		t.Fatalf("healthy cluster hedged %d requests", st.HedgedRequests)
+	}
+	f.nodes[1].Stop()
+	f.run(40 * time.Second)
+	// Snapshot before Stop: halting the tick loop also halts hedge checks,
+	// so requests caught in flight at shutdown time out artificially.
+	st := l.Stats()
+	l.Stop()
+	f.run(5 * time.Second)
+	if st.HedgedRequests == 0 {
+		t.Fatal("no hedges despite a dead pinned replica")
+	}
+	if st.HedgeWins == 0 {
+		t.Fatal("hedge legs never won against a dead primary")
+	}
+	if st.HedgeWins > st.HedgedRequests {
+		t.Fatalf("hedge wins %d exceed hedged requests %d", st.HedgeWins, st.HedgedRequests)
+	}
+	if st.Timeouts != 0 || st.Unavailable != 0 || st.Rejected != 0 {
+		t.Fatalf("hedging left failures: timeouts=%d unavailable=%d rejected=%d (every stuck request should resolve via its duplicate)",
+			st.Timeouts, st.Unavailable, st.Rejected)
+	}
+	if st.Requests-st.OK > uint64(o.Sessions) {
+		t.Fatalf("ok=%d lags requests=%d by more than the possible in-flight count", st.OK, st.Requests)
+	}
+	if st.Misrouted == 0 {
+		t.Fatal("misroute attribution should still see the stale pins")
+	}
+}
