@@ -19,6 +19,7 @@
 //	tampbench -fig 11 -cpuprofile cpu.pprof     # profile the sweep hot spots
 //	tampbench -fig chaos                        # scenario x scheme invariant matrix (BENCH_chaos.json)
 //	tampbench -fig traffic                      # user-level traffic matrix (BENCH_traffic.json)
+//	tampbench -fig traffic-hedge                # request-hedging ablation (BENCH_traffic-hedge.json)
 //	tampbench -fig scale                        # N=1000 churn run (BENCH_scale.json)
 //	tampbench -fig scale4k -lps 4               # N=4000 churn run, 4 parsim workers (BENCH_scale4k.json)
 //	tampbench -fig scale10k -lps 4              # N=10000 churn run (BENCH_scale10k.json)
@@ -50,7 +51,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2, 11, 12, 13, 14, 4x, 4b, abl-piggyback, abl-group, abl-maxloss, abl-fanout, accuracy, breakdown, detect-dist, chaos, traffic, scale, scale4k, scale10k, parsim, all (the scale* churn runs and the parsim scaling figure are excluded from all: they are long)")
+	fig := flag.String("fig", "all", "figure to regenerate: 2, 11, 12, 13, 14, 4x, 4b, abl-piggyback, abl-group, abl-maxloss, abl-fanout, accuracy, breakdown, detect-dist, chaos, traffic, traffic-hedge, scale, scale4k, scale10k, parsim, all (the scale* churn runs and the parsim scaling figure are excluded from all: they are long)")
 	sizes := flag.String("sizes", "20,40,60,80,100", "cluster sizes for figures 11-13")
 	perGroup := flag.Int("pergroup", 20, "nodes per network/membership group")
 	seed := flag.Int64("seed", 42, "simulation RNG seed (per-run seeds derive from it)")
@@ -142,10 +143,10 @@ func main() {
 		todo = order
 	} else {
 		switch *fig {
-		case "chaos", "traffic", "scale", "scale4k", "scale10k", "parsim":
+		case "chaos", "traffic", "traffic-hedge", "scale", "scale4k", "scale10k", "parsim":
 		default:
 			if _, ok := runners[*fig]; !ok {
-				fmt.Fprintf(os.Stderr, "tampbench: unknown figure %q (want one of %s, scale, scale4k, scale10k, parsim, all)\n", *fig, strings.Join(order, ", "))
+				fmt.Fprintf(os.Stderr, "tampbench: unknown figure %q (want one of %s, traffic-hedge, scale, scale4k, scale10k, parsim, all)\n", *fig, strings.Join(order, ", "))
 				os.Exit(2)
 			}
 		}
@@ -191,6 +192,15 @@ func main() {
 				code = 1
 			}
 			fmt.Fprintf(os.Stderr, "(traffic regenerated in %v)\n", time.Since(start).Round(time.Millisecond))
+			fmt.Println()
+			continue
+		}
+		if name == "traffic-hedge" {
+			if err := runTrafficHedge(sw, *seed, log); err != nil {
+				fmt.Fprintln(os.Stderr, "tampbench:", err)
+				code = 1
+			}
+			fmt.Fprintf(os.Stderr, "(traffic-hedge regenerated in %v)\n", time.Since(start).Round(time.Millisecond))
 			fmt.Println()
 			continue
 		}
@@ -317,6 +327,33 @@ func runTraffic(sw harness.Sweep, seed int64, log *metrics.ReportLog, dclocal bo
 		return err
 	}
 	fmt.Println("(json: " + file + ")")
+	return nil
+}
+
+// runTrafficHedge regenerates the request-hedging ablation: the
+// slow-replica fault timelines (limping-leader, gray-node) on every
+// traffic scheme, once un-hedged and once with a duplicate leg after
+// harness.TrafficHedgeAfter of silence. The matrix prices what hedging
+// buys (tail latency, timeouts) and what it costs (duplicate requests)
+// and lands in BENCH_traffic-hedge.json.
+func runTrafficHedge(sw harness.Sweep, seed int64, log *metrics.ReportLog) error {
+	to := harness.DefaultTrafficOptions()
+	to.Seed = seed
+	to.Sweep = sw
+	results := harness.TrafficHedgeMatrix(to)
+	fmt.Println(harness.RenderTrafficHedgeMatrix(results))
+	runs := log.Reports()
+	b := metrics.BenchJSON{
+		Fig:     "traffic-hedge",
+		Seed:    seed,
+		Runs:    runs,
+		Summary: metrics.Summarize(runs),
+		Results: results,
+	}
+	if err := metrics.WriteBenchJSON("BENCH_traffic-hedge.json", b); err != nil {
+		return err
+	}
+	fmt.Println("(json: BENCH_traffic-hedge.json)")
 	return nil
 }
 

@@ -26,7 +26,7 @@ import (
 )
 
 func main() {
-	schemeName := flag.String("scheme", "hierarchical", "membership scheme: alltoall, gossip, hierarchical, hierarchical+proxy, rapid")
+	schemeName := flag.String("scheme", "hierarchical", "membership scheme: alltoall, gossip, hierarchical, hierarchical+proxy, rapid, hierarchical+adaptive, rapid+dc")
 	groups := flag.Int("groups", 3, "number of networks (switch groups)")
 	perGroup := flag.Int("pergroup", 10, "nodes per network")
 	duration := flag.Duration("duration", 60*time.Second, "virtual run time")
@@ -62,6 +62,10 @@ func main() {
 		scheme = harness.HierarchicalProxy
 	case "rapid":
 		scheme = harness.Rapid
+	case "hierarchical+adaptive", "adaptive":
+		scheme = harness.HierarchicalAdaptive
+	case "rapid+dc":
+		scheme = harness.RapidDC
 	default:
 		fmt.Fprintf(os.Stderr, "tampsim: unknown scheme %q\n", *schemeName)
 		os.Exit(2)
@@ -164,13 +168,21 @@ func main() {
 		if min := deadline + 15*time.Second; runFor < min {
 			runFor = min
 		}
-		aud = invariant.New(c.Eng, c.Top, audited, invariant.Options{
+		opts := invariant.Options{
 			Deadline:    deadline,
 			PurgeBound:  harness.ChaosPurgeBound(scheme, top.NumHosts()),
 			LeaderGrace: harness.ChaosLeaderGrace,
 			EventDriven: true,
 			IntraDCOnly: fed != nil,
-		})
+		}
+		// Both tree schemes are audited against the re-formation contract,
+		// exactly like the chaos matrix (see harness.RunScenario).
+		if scheme == harness.Hierarchical || scheme == harness.HierarchicalAdaptive {
+			ac := core.AdaptiveDefaults()
+			opts.GroupBounds = [2]int{ac.GroupMin, ac.GroupMax}
+			opts.FaultEnd = scenario.End()
+		}
+		aud = invariant.New(c.Eng, c.Top, audited, opts)
 		if fed != nil {
 			aud.AttachFederation(fed.Federation())
 		}
@@ -212,7 +224,7 @@ func main() {
 	}
 	fmt.Printf("final views: %d complete, %d incomplete (of %d running nodes)\n", full, partial, alive)
 
-	if scheme == harness.Hierarchical {
+	if scheme == harness.Hierarchical || scheme == harness.HierarchicalAdaptive {
 		var agg core.Stats
 		for _, n := range c.Nodes {
 			s := n.(*core.Node).Stats()
@@ -235,11 +247,28 @@ func main() {
 		fmt.Printf("                 bootstraps=%d syncs=%d elections=%d abdications=%d expiries=%d purges=%d\n",
 			agg.BootstrapsServed, agg.SyncsRequested, agg.Elections,
 			agg.Abdications, agg.MembersExpired, agg.RelayedPurged)
+		for _, n := range c.Nodes {
+			s := n.(*core.Node).Stats()
+			agg.LoadSheds += s.LoadSheds
+			agg.Reformations += s.Reformations
+			agg.RelaysStarved += s.RelaysStarved
+		}
+		if agg.LoadSheds > 0 || agg.Reformations > 0 || agg.RelaysStarved > 0 {
+			fmt.Printf("adaptive: load sheds=%d reformations=%d relays starved=%d\n",
+				agg.LoadSheds, agg.Reformations, agg.RelaysStarved)
+		}
 	}
 	violations := uint64(0)
 	if aud != nil {
 		vc, sp := aud.Stability()
 		fmt.Printf("view stability: %d transitions after warmup, %d spurious evictions\n", vc, sp)
+		if scheme == harness.Hierarchical || scheme == harness.HierarchicalAdaptive {
+			if ok, d := aud.ReformConvergence(); ok {
+				fmt.Printf("re-formation converged %v after the last fault\n", d)
+			} else {
+				fmt.Println("re-formation never converged")
+			}
+		}
 		fmt.Printf("\ninvariant audit:\n%s", aud.Report())
 		for _, r := range aud.Results() {
 			violations += r.Violations

@@ -54,6 +54,109 @@ func (a KillLeader) Apply(env *Env) {
 func (a KillLeader) String() string       { return fmt.Sprintf("kill-leader %d", a.Group) }
 func (a KillLeader) check(env *Env) error { return checkGroup(env, a.Group) }
 
+// HotLeader saturates the current leader of a level-0 group with Units of
+// external load: the victim's daemon stays alive but its relay duties
+// starve (the overload model in core's docs/ADAPTIVE.md). The victim is
+// resolved like KillLeader's. Units=0 heals every member of the group —
+// by heal time the hot node may no longer lead. Schemes without a load
+// model ignore the action.
+type HotLeader struct {
+	Group int
+	Units int
+}
+
+type hotLoadable interface{ SetHotLoad(units int) }
+
+func (a HotLeader) Apply(env *Env) {
+	if a.Units == 0 {
+		for _, h := range env.Groups()[a.Group] {
+			if hl, ok := env.Nodes[int(h)].(hotLoadable); ok {
+				hl.SetHotLoad(0)
+			}
+		}
+		env.trace("hot-leader group %d healed", a.Group)
+		return
+	}
+	victim := -1
+	for _, h := range env.Groups()[a.Group] {
+		i := int(h)
+		n := env.Nodes[i]
+		if !n.Running() {
+			continue
+		}
+		if victim < 0 {
+			victim = i // fallback: lowest running member
+		}
+		if l, ok := n.(interface{ IsLeader(level int) bool }); ok && l.IsLeader(0) {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		return
+	}
+	if hl, ok := env.Nodes[victim].(hotLoadable); ok {
+		env.trace("hot-leader group %d -> node %d (%d units)", a.Group, victim, a.Units)
+		hl.SetHotLoad(a.Units)
+	}
+}
+func (a HotLeader) String() string { return fmt.Sprintf("hot-leader %d %d", a.Group, a.Units) }
+func (a HotLeader) check(env *Env) error {
+	if err := checkGroup(env, a.Group); err != nil {
+		return err
+	}
+	if a.Units < 0 {
+		return fmt.Errorf("hot-leader units %d negative", a.Units)
+	}
+	return nil
+}
+
+// SkewGroups re-homes every host of group From onto group To's access
+// switch — a re-cabling / port-VLAN move that folds two TTL-1 scopes into
+// one without failing anything. The merged scope makes the level-0 group
+// pathologically oversized; only re-formation can split it back into
+// bounds.
+type SkewGroups struct{ From, To int }
+
+func (a SkewGroups) Apply(env *Env) {
+	groups := env.Groups()
+	sw, ok := accessSwitch(env, groups[a.To][0])
+	if !ok {
+		return
+	}
+	env.trace("skew-groups %d -> %d", a.From, a.To)
+	for _, h := range groups[a.From] {
+		env.Top.RehomeHost(h, sw)
+	}
+}
+func (a SkewGroups) String() string { return fmt.Sprintf("skew-groups %d %d", a.From, a.To) }
+func (a SkewGroups) check(env *Env) error {
+	if err := checkGroup(env, a.From); err != nil {
+		return err
+	}
+	if err := checkGroup(env, a.To); err != nil {
+		return err
+	}
+	if a.From == a.To {
+		return fmt.Errorf("skew-groups needs two distinct groups")
+	}
+	return nil
+}
+
+// accessSwitch finds the device a host's single access link attaches to.
+func accessSwitch(env *Env, h topology.HostID) (topology.DeviceID, bool) {
+	hd := env.Top.HostDevice(h).ID
+	for _, l := range env.Top.Links() {
+		if l.A == hd {
+			return l.B, true
+		}
+		if l.B == hd {
+			return l.A, true
+		}
+	}
+	return 0, false
+}
+
 // GroupOutage kills every daemon in a level-0 group at once (correlated
 // failure: a rack losing power).
 type GroupOutage struct{ Group int }

@@ -24,6 +24,9 @@ func FuzzScenarioSpec(f *testing.F) {
 	f.Add("@20s repeat 3 every 5s step 8 {\n\t@0s kill 1\n\t@3s restart 1\n}\n")
 	f.Add("@0s repeat 2 every 1s {\n\t@0s repeat 2 every 1ms {\n\t\t@0s flap 1 down=1ms up=1ms count=2\n\t}\n}\n")
 	f.Add("@1s repeat 1 every 1ns {\n\t@0s restart-down\n}\n")
+	f.Add("@20s hot-leader 1 64\n@70s hot-leader 1 0\n")
+	f.Add("@25s skew-groups 1 2\n")
+	f.Add("@20s gray-node 9 1.5s\n@60s gray-node 9 0s\n")
 	f.Fuzz(func(t *testing.T, in string) {
 		s, err := ParseSpec(in)
 		if err != nil {

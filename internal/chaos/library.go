@@ -223,6 +223,38 @@ func Library(groups, perGroup int) []*Scenario {
 	// path a two-DC federation can never exercise. Non-proxy schemes fall
 	// back to killing DC1's lowest running hosts, so the same script still
 	// stresses every scheme.
+	// The self-organizing pair plus the gray-victim scenario. hot-leader
+	// never heals: the point is that the load stays, and only a hierarchy
+	// that can move leadership off the hot node keeps relaying. skew-groups
+	// folds the victim group's hosts into group 2's TTL-1 scope, doubling
+	// the level-0 group — bounded-group convergence then requires a split.
+	scenarios = append(scenarios,
+		&Scenario{
+			Name:        "hot-leader",
+			Description: "group 1's leader is saturated with external load and never healed",
+			Expect:      "static tree starves its relays and loses group 1; adaptive sheds leadership to the least-loaded member and re-converges",
+			Steps: []Step{
+				{At: 20 * time.Second, Act: HotLeader{Group: 1, Units: 64}},
+			},
+		},
+		&Scenario{
+			Name:        "skew-groups",
+			Description: "group 1's hosts are re-cabled onto group 2's switch, doubling that level-0 group",
+			Expect:      "static tree runs a pathologically oversized group forever; adaptive splits it back into bounds",
+			Steps: []Step{
+				{At: 20 * time.Second, Act: SkewGroups{From: 1, To: 2}},
+			},
+		},
+		&Scenario{
+			Name:        "gray-node",
+			Description: "one non-leader member limps with up to 1.5s of seeded processing lag, healing later",
+			Expect:      "the laggard stays a member below the detection bound; request hedging masks its tail latency",
+			Steps: []Step{
+				{At: 20 * time.Second, Act: GrayNode{Node: v, Lag: 1500 * time.Millisecond}},
+				{At: 60 * time.Second, Act: GrayNode{Node: v}},
+			},
+		},
+	)
 	scenarios = append(scenarios, &Scenario{
 		Name:        "dc-fallback",
 		Description: "three data centers; DC1 loses both proxies in turn, then everything restarts",

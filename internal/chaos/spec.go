@@ -33,6 +33,8 @@ import (
 //	corrupt-link A B P | truncate-link A B P | replay-link A B P
 //	asym-loss A B P               # drops only the A→B direction
 //	gray-node N LAG               # seeded processing lag; LAG=0 heals
+//	hot-leader G UNITS            # overload group G's leader; UNITS=0 heals the group
+//	skew-groups A B               # re-home group A's hosts onto group B's switch
 //	flap N down=D up=D [count=K]
 //	kill-proxy-leader DC | restart-down | fail-wan | repair-wan
 //
@@ -329,6 +331,32 @@ func parseAction(verb string, args []string) (Action, error) {
 			return nil, fmt.Errorf("gray-node lag %q must be a non-negative duration", args[1])
 		}
 		return GrayNode{Node: n, Lag: lag}, nil
+	case "hot-leader":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("hot-leader wants G UNITS, got %d args", len(args))
+		}
+		g, err := nonNegInt("hot-leader group", args[0])
+		if err != nil {
+			return nil, err
+		}
+		units, err := nonNegInt("hot-leader units", args[1])
+		if err != nil {
+			return nil, err
+		}
+		return HotLeader{Group: g, Units: units}, nil
+	case "skew-groups":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("skew-groups wants A B, got %d args", len(args))
+		}
+		from, err := nonNegInt("skew-groups from", args[0])
+		if err != nil {
+			return nil, err
+		}
+		to, err := nonNegInt("skew-groups to", args[1])
+		if err != nil {
+			return nil, err
+		}
+		return SkewGroups{From: from, To: to}, nil
 	case "kill-proxy-leader":
 		dc, err := oneInt(verb, args)
 		return KillProxyLeader{DC: dc}, err

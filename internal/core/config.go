@@ -85,6 +85,52 @@ type Config struct {
 	// the mechanism that lets every node eventually purge a partitioned
 	// subtree (Timeout Protocol). Zero disables.
 	RelayedTTL time.Duration
+
+	// Adaptive enables the self-organizing hierarchy (docs/ADAPTIVE.md):
+	// overloaded leaders abdicate to the least-loaded member, groups whose
+	// live size drifts outside [GroupMin, GroupMax] split or merge through
+	// epoch-guarded re-formation rounds, and the tree height is capped by
+	// DiameterBound. Default off: a non-adaptive node sends no adaptive
+	// packets and draws no extra randomness, so every pre-existing run
+	// stays byte-identical.
+	Adaptive bool
+
+	// LoadWatermark is the sustained relay load (external load units set
+	// by the host plus live fan-out across led levels) above which an
+	// adaptive leader abdicates. Zero disables shedding. Regardless of
+	// Adaptive, a node with nonzero external load above the watermark
+	// starves its relay duties (level>=1 heartbeats, directory publishes,
+	// upward update relays) — that is the overload model; Adaptive only
+	// changes the response.
+	LoadWatermark int
+
+	// LoadWindow is how long the load must stay above LoadWatermark before
+	// an adaptive leader sheds leadership.
+	LoadWindow time.Duration
+
+	// GroupMin / GroupMax bound the live level-0 group size an adaptive
+	// hierarchy converges back to: a group sustaining more than GroupMax
+	// live members splits (the upper half of the ID order moves to a fresh
+	// channel), and a split-off group sustaining fewer than GroupMin live
+	// members merges back onto its parent channel.
+	GroupMin, GroupMax int
+
+	// ReformHold is how long a group's live size must stay out of bounds
+	// before its leader initiates a re-formation round; it must comfortably
+	// exceed bootstrap/election transients.
+	ReformHold time.Duration
+
+	// ReformChannelBase is where split-off groups draw fresh level-0
+	// channels from: round epoch e uses ReformChannelBase+e. It must not
+	// collide with the per-level channels or any other scheme's channels.
+	ReformChannelBase netsim.ChannelID
+
+	// DiameterBound caps the tree height at DiameterBound levels (relay
+	// diameter <= 2*DiameterBound hops): leaders of level DiameterBound-1
+	// are re-parented into a single capped top tier whose multicast uses
+	// TTL MaxTTL instead of climbing further. Zero leaves the paper's
+	// unbounded derivation (levels up to MaxTTL-1).
+	DiameterBound int
 }
 
 // DefaultConfig returns the paper's experiment configuration.
@@ -102,6 +148,23 @@ func DefaultConfig() Config {
 		TombstoneTTL:      10 * time.Second,
 		RelayedTTL:        40 * time.Second,
 	}
+}
+
+// AdaptiveDefaults returns DefaultConfig with the self-organizing
+// hierarchy enabled and the watermarks used by the chaos matrix's
+// adaptive cells: shedding above 12 load units sustained for 5 s, group
+// bounds [2, 12] held for 6 s before a re-formation round, and fresh
+// split channels drawn from 64 up.
+func AdaptiveDefaults() Config {
+	c := DefaultConfig()
+	c.Adaptive = true
+	c.LoadWatermark = 12
+	c.LoadWindow = 5 * time.Second
+	c.GroupMin = 2
+	c.GroupMax = 12
+	c.ReformHold = 6 * time.Second
+	c.ReformChannelBase = 64
+	return c
 }
 
 // DeadAfter is the silence duration after which a level-0 group mate is
@@ -138,11 +201,24 @@ func (c Config) levelOf(ch netsim.ChannelID) int {
 	return -1
 }
 
-// ttl for a level's multicast group.
-func (c Config) ttl(level int) int { return level + 1 }
+// ttl for a level's multicast group. When DiameterBound re-parents the top
+// tier below the natural height, that capped tier multicasts with the full
+// MaxTTL so one flat leader group still spans the cluster.
+func (c Config) ttl(level int) int {
+	if c.DiameterBound > 0 && level == c.maxLevel() && level < c.MaxTTL-1 {
+		return c.MaxTTL
+	}
+	return level + 1
+}
 
-// maxLevel is the highest level index.
-func (c Config) maxLevel() int { return c.MaxTTL - 1 }
+// maxLevel is the highest level index, after the DiameterBound cap.
+func (c Config) maxLevel() int {
+	top := c.MaxTTL - 1
+	if c.DiameterBound > 0 && c.DiameterBound-1 < top {
+		top = c.DiameterBound - 1
+	}
+	return top
+}
 
 func (c Config) validate() {
 	if c.MaxTTL < 1 {
@@ -156,5 +232,21 @@ func (c Config) validate() {
 	}
 	if c.PiggybackDepth < 0 {
 		panic("core: PiggybackDepth must be >= 0")
+	}
+	if c.DiameterBound < 0 {
+		panic("core: DiameterBound must be >= 0")
+	}
+	if c.Adaptive {
+		if c.GroupMax > 0 && c.GroupMin > c.GroupMax {
+			panic("core: GroupMin must not exceed GroupMax")
+		}
+		if c.GroupMax > 0 && c.ReformChannelBase == 0 {
+			panic("core: re-formation needs a ReformChannelBase")
+		}
+		for l := 0; l < c.MaxTTL && c.ReformChannelBase != 0; l++ {
+			if c.channel(l) == c.ReformChannelBase {
+				panic("core: ReformChannelBase collides with a level channel")
+			}
+		}
 	}
 }

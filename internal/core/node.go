@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/loadinfo"
 	"repro/internal/membership"
 	"repro/internal/netsim"
 	"repro/internal/sim"
@@ -66,10 +67,10 @@ type Node struct {
 	stats Stats
 
 	// update machinery
-	updCounter uint32                 // my UpdateID counter
-	outSeq     []uint64               // per-level update stream sequences (survive restarts)
-	recent     []wire.Update          // my last PiggybackDepth+1 emitted updates, newest first
-	seen *seenSet // applied update IDs, FIFO-bounded (lazily allocated)
+	updCounter uint32        // my UpdateID counter
+	outSeq     []uint64      // per-level update stream sequences (survive restarts)
+	recent     []wire.Update // my last PiggybackDepth+1 emitted updates, newest first
+	seen       *seenSet      // applied update IDs, FIFO-bounded (lazily allocated)
 	// peerSeq tracks the highest update sequence seen per (sender, level):
 	// sequences are per channel, because an emit may skip the channel the
 	// triggering information arrived on, and a global sequence would make
@@ -82,6 +83,24 @@ type Node struct {
 	// map deliberately survives member expiry so replays of a dead node's
 	// traffic cannot bring it back.
 	hbSeen map[peerKey]hbMark
+
+	// Self-organizing hierarchy state (adaptive.go, docs/ADAPTIVE.md).
+	// chan0, parentChan, reformEpoch and the heartbeat sequences survive
+	// restarts, so a node that rejoins after a crash lands back in the
+	// group it was re-formed into. The -1 sentinels mean "not currently
+	// observed" for the sustained-condition windows.
+	hotLoad      int              // external load units (SetHotLoad)
+	chan0        netsim.ChannelID // level-0 channel override after a re-formation (0 = configured)
+	parentChan   netsim.ChannelID // channel this group split off from (0 = original)
+	reformEpoch  uint64           // highest re-formation epoch initiated or applied
+	overSince    time.Duration    // leader load above watermark since (-1 = not over)
+	sizeSince    time.Duration    // group size out of bounds since (-1 = in bounds)
+	shedAt       time.Duration    // last load-shed instant (-1 = never)
+	handoffSeq   uint64           // our outgoing Handoff sequence
+	handoffSeen  map[peerKey]uint64
+	loadSeq      uint64        // our outgoing LoadReport sequence
+	lastLoadPush time.Duration // last LoadReport push instant
+	loadCache    *loadinfo.Cache
 }
 
 // hbMark is the freshness high-water mark of one sender's heartbeat stream
@@ -115,6 +134,10 @@ func NewNode(cfg Config, ep netsim.Transport) *Node {
 		peerSeq: make(map[peerKey]uint64),
 		hbSeen:  make(map[peerKey]hbMark),
 		outSeq:  make([]uint64, cfg.MaxTTL),
+
+		overSince: -1,
+		sizeSince: -1,
+		shedAt:    -1,
 	}
 	n.levels = make([]*levelState, cfg.MaxTTL)
 	for l := range n.levels {
@@ -200,6 +223,9 @@ func (n *Node) Start(eng *sim.Engine) {
 	n.eng = eng
 	n.running = true
 	n.stats = Stats{}
+	// Sustained-condition windows restart from scratch; the re-formation
+	// lineage (chan0, parentChan, reformEpoch) deliberately survives.
+	n.overSince, n.sizeSince = -1, -1
 	n.info.Incarnation++
 	n.info.Node = n.id
 	n.dir.Upsert(n.info.Clone(), membership.OriginSelf, 0, membership.NoNode, eng.Now())
@@ -262,7 +288,7 @@ func (n *Node) Stop() {
 			lv.hbTicker = nil
 		}
 		if lv.joined {
-			n.ep.Leave(n.cfg.channel(lv.level))
+			n.ep.Leave(n.channelOf(lv.level))
 			lv.joined = false
 		}
 		lv.isLeader = false
@@ -352,7 +378,7 @@ func (n *Node) joinLevel(level int) {
 	lv.joinedAt = n.eng.Now()
 	lv.bootstrapped, lv.bootstrapFrom = false, membership.NoNode
 	lv.members = make(map[membership.NodeID]*memberState)
-	n.ep.Join(n.cfg.channel(level))
+	n.ep.Join(n.channelOf(level))
 	// First heartbeat goes out immediately so peers learn about us fast;
 	// subsequent ones follow the configured period. A small deterministic
 	// jitter desynchronizes nodes that start at the same instant.
@@ -378,7 +404,7 @@ func (n *Node) leaveLevel(level int) {
 		lv.hbTicker.Stop()
 		lv.hbTicker = nil
 	}
-	n.ep.Leave(n.cfg.channel(level))
+	n.ep.Leave(n.channelOf(level))
 	if lv.isLeader {
 		n.setLeader(level, false)
 	}
@@ -443,6 +469,13 @@ func (n *Node) sendHeartbeat(level int) {
 	if !lv.joined {
 		return
 	}
+	// Overload model: a node past the watermark stops relaying but never
+	// goes silent in its own group — level-0 heartbeats are the liveness
+	// signal, level>=1 heartbeats are relay duty.
+	if level > 0 && n.relayStarved() {
+		n.stats.RelaysStarved++
+		return
+	}
 	lv.hbSeq++
 	n.stats.HeartbeatsSent++
 	if level == 0 {
@@ -462,7 +495,7 @@ func (n *Node) sendHeartbeat(level int) {
 	if len(payload) > n.hbHint {
 		n.hbHint = len(payload)
 	}
-	n.ep.Multicast(n.cfg.channel(level), n.cfg.ttl(level), payload)
+	n.ep.Multicast(n.channelOf(level), n.cfg.ttl(level), payload)
 }
 
 // publishDirectory multicasts a full snapshot into one group; receivers
@@ -471,8 +504,12 @@ func (n *Node) publishDirectory(level int) {
 	if !n.running || !n.levels[level].joined {
 		return
 	}
+	if n.relayStarved() {
+		n.stats.RelaysStarved++
+		return
+	}
 	msg := &wire.DirectoryMsg{From: n.id, Infos: n.dir.Snapshot()}
-	n.ep.Multicast(n.cfg.channel(level), n.cfg.ttl(level), n.enc.AppendEncode(nil, msg))
+	n.ep.Multicast(n.channelOf(level), n.cfg.ttl(level), n.enc.AppendEncode(nil, msg))
 }
 
 // Receive feeds one delivered packet into the protocol. The node installs
@@ -495,7 +532,7 @@ func (n *Node) receive(pkt netsim.Packet) {
 	}
 	level := -1
 	if pkt.Multicast() {
-		level = n.cfg.levelOf(pkt.Channel)
+		level = n.levelFor(pkt.Channel)
 		if level < 0 || level >= len(n.levels) || !n.levels[level].joined {
 			return
 		}
@@ -513,6 +550,16 @@ func (n *Node) receive(pkt netsim.Packet) {
 		n.onDirectoryMsg(level, m)
 	case *wire.SyncRequest:
 		n.onSyncRequest(m)
+	case *wire.Handoff:
+		if level >= 0 {
+			n.onHandoff(level, m)
+		}
+	case *wire.Reform:
+		if level == 0 {
+			n.onReform(m)
+		}
+	case *wire.LoadReport:
+		n.onLoadReport(m)
 	}
 }
 
@@ -623,6 +670,7 @@ func (n *Node) track() {
 		}
 		n.elect(lv.level)
 	}
+	n.adaptiveTrack(now)
 	// Timeout Protocol, liveness-evidence form: relayed entries whose
 	// heartbeat counter has stopped advancing are purged, which is how a
 	// partitioned subtree eventually disappears from every directory. The
@@ -696,9 +744,14 @@ func (n *Node) onMemberDead(level int, id membership.NodeID, ms *memberState) {
 		// to re-publish.
 		n.schedulePurgeRelayedBy(id, level, now)
 	}
+	if n.loadCache != nil {
+		n.loadCache.Forget(id)
+	}
 	// Backup promotion: if the dead mate was our group leader and we are
-	// its designated backup, take over instantly.
-	if ms.leader && ms.backup == n.id && !n.levels[level].isLeader {
+	// its designated backup, take over instantly — unless we are ourselves
+	// overloaded, in which case the patience election finds someone else.
+	if ms.leader && ms.backup == n.id && !n.levels[level].isLeader &&
+		!(n.cfg.Adaptive && n.relayStarved()) {
 		n.setLeader(level, true)
 	}
 }
@@ -749,6 +802,14 @@ func (n *Node) elect(level int) {
 		return // conflict abdication happens in onHeartbeat
 	}
 	if leaderVisible {
+		return
+	}
+	// After shedding for load, an adaptive node that is still overloaded
+	// sits out elections for a holdoff so the bully rule cannot re-install
+	// it over the Handoff successor; once the holdoff passes, a group that
+	// is still leaderless takes the degraded leader back as a last resort.
+	if n.cfg.Adaptive && n.shedAt >= 0 && n.relayStarved() && len(lv.members) > 0 &&
+		now-n.shedAt < time.Duration(overloadHoldoffFactor)*n.cfg.ElectionPatience {
 		return
 	}
 	if lowest == n.id {

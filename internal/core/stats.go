@@ -36,6 +36,15 @@ type Stats struct {
 	// heartbeats whose (incarnation, sequence) did not advance — i.e.
 	// replayed, duplicated, or stale-delivered traffic.
 	PacketsRejected uint64
+	// Self-organizing hierarchy counters (docs/ADAPTIVE.md). LoadSheds
+	// counts leaderships abdicated for sustained overload; Reformations
+	// counts re-formation actions (initiated split/merge rounds plus
+	// channel moves performed); RelaysStarved counts relay duties (level>=1
+	// heartbeats, directory publishes, upward update emissions) suppressed
+	// by the overload model.
+	LoadSheds     uint64
+	Reformations  uint64
+	RelaysStarved uint64
 }
 
 // Stats returns a copy of the node's counters.

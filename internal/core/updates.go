@@ -40,13 +40,21 @@ func (n *Node) emitUpdate(u wire.Update, exceptLevel int) {
 	// Sequences are per channel so a channel skipped by one emit does not
 	// look lossy to its subscribers. The messages borrow n.recent directly:
 	// encoding consumes it synchronously and nothing below mutates it.
+	starved := n.relayStarved()
 	for _, lv := range n.levels {
 		if !lv.joined || lv.level == exceptLevel {
 			continue
 		}
+		// Overload model: upward relays stop past the watermark. The level-0
+		// emission survives so the node's own group still hears it. Skipped
+		// channels consume no sequence, so subscribers see no loss.
+		if lv.level > 0 && starved {
+			n.stats.RelaysStarved++
+			continue
+		}
 		n.outSeq[lv.level]++
 		msg := &wire.UpdateMsg{Sender: n.id, Seq: n.outSeq[lv.level], Updates: n.recent}
-		n.ep.Multicast(n.cfg.channel(lv.level), n.cfg.ttl(lv.level), n.enc.AppendEncode(nil, msg))
+		n.ep.Multicast(n.channelOf(lv.level), n.cfg.ttl(lv.level), n.enc.AppendEncode(nil, msg))
 	}
 }
 

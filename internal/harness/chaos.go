@@ -77,13 +77,24 @@ func ChaosSettle(scheme Scheme, n int) time.Duration {
 		pc := proxy.DefaultConfig(0, nil)
 		return m.DetectionTime + m.ConvergenceTime + core.DefaultConfig().RelayedTTL +
 			pc.SummaryTimeout + time.Duration(pc.SummaryEvery)*pc.HeartbeatInterval + margin
-	case Rapid:
+	case Rapid, RapidDC:
 		// After the last heal, a stale or evicted node must re-adopt the
 		// current configuration and re-admit itself (one full pipeline in
 		// the worst case: detect, arbitrate, probe, batch, ratify), then
-		// records re-propagate on the info cadence.
+		// records re-propagate on the info cadence. The DC-aware overlay
+		// changes who monitors whom, not any timing constant.
 		rc := rapid.DefaultConfig()
 		return rapidPipeline(rc) + rc.JoinRetry + rc.JoinBatchWindow + rc.InfoInterval + margin
+	case HierarchicalAdaptive:
+		// Plain hierarchical settling, plus the closed-form re-formation
+		// deadline (docs/ADAPTIVE.md): the overload window before a leader
+		// sheds, the size window before a split/merge fires, an election
+		// round for the successor, and a republish cadence for the moved
+		// group's directory entries to re-relay upward.
+		m := analysis.HierarchicalFixedFrequency(p)
+		ac := core.AdaptiveDefaults()
+		return m.DetectionTime + m.ConvergenceTime + ac.RelayedTTL +
+			ac.LoadWindow + ac.ReformHold + ac.ElectionPatience + ac.RepublishInterval + margin
 	}
 	panic("harness: unknown scheme")
 }
@@ -109,12 +120,14 @@ func ChaosPurgeBound(scheme Scheme, n int) time.Duration {
 	case Gossip:
 		m := analysis.GossipFixedFrequency(p)
 		return m.DetectionTime + m.ConvergenceTime + margin
-	case Hierarchical, HierarchicalProxy:
+	case Hierarchical, HierarchicalProxy, HierarchicalAdaptive:
 		// The proxy layer holds no per-node membership of its own, so the
-		// federated scheme purges exactly like plain hierarchical.
+		// federated scheme purges exactly like plain hierarchical; the
+		// adaptive variant changes who relays, not how long relayed state
+		// may live.
 		m := analysis.HierarchicalFixedFrequency(p)
 		return m.DetectionTime + core.DefaultConfig().RelayedTTL + margin
-	case Rapid:
+	case Rapid, RapidDC:
 		// A view change waits for the WHOLE cut to resolve: overlapping
 		// faults (the cascade scenario kills on a DeadAfter-scale cadence)
 		// extend an early victim's linger by the later victims' detection
@@ -134,12 +147,17 @@ const ChaosLeaderGrace = 15 * time.Second
 // counters behind it: every post-warmup membership transition, and the
 // subset that evicted a member healthy and reachable at ground truth.
 type ChaosResult struct {
-	Scenario          string                    `json:"scenario"`
-	Scheme            string                    `json:"scheme"`
-	Pass              bool                      `json:"pass"`
-	ViewChanges       uint64                    `json:"view_changes"`
-	SpuriousEvictions uint64                    `json:"spurious_evictions"`
-	Invariants        []metrics.InvariantResult `json:"invariants"`
+	Scenario          string `json:"scenario"`
+	Scheme            string `json:"scheme"`
+	Pass              bool   `json:"pass"`
+	ViewChanges       uint64 `json:"view_changes"`
+	SpuriousEvictions uint64 `json:"spurious_evictions"`
+	// Re-formation outcomes (docs/ADAPTIVE.md); populated only for the
+	// tree schemes, whose cells arm the reform-converge audit.
+	Reformations uint64                    `json:"reformations,omitempty"`
+	Converged    bool                      `json:"converged,omitempty"`
+	ConvergedIn  time.Duration             `json:"converged_in_ns,omitempty"`
+	Invariants   []metrics.InvariantResult `json:"invariants"`
 }
 
 func (o ChaosOptions) scenarios() []*chaos.Scenario {
@@ -190,7 +208,7 @@ func RunScenario(scheme Scheme, sc *chaos.Scenario, o ChaosOptions, seed int64) 
 		panic(err) // library scenarios are valid by construction
 	}
 	deadline := c.Eng.Now() + sc.End() + ChaosSettle(scheme, n)
-	aud := invariant.New(c.Eng, c.Top, auditNodes(c.Nodes), invariant.Options{
+	opts := invariant.Options{
 		Interval:    time.Second,
 		Deadline:    deadline,
 		PurgeBound:  ChaosPurgeBound(scheme, n),
@@ -200,7 +218,17 @@ func RunScenario(scheme Scheme, sc *chaos.Scenario, o ChaosOptions, seed int64) 
 		// summarize remote DCs instead of replicating their views; the
 		// federation invariants audit that summary path.
 		IntraDCOnly: fed != nil,
-	})
+	}
+	if scheme == Hierarchical || scheme == HierarchicalAdaptive {
+		// Arm the re-formation audit for the tree schemes, static included:
+		// the static tree is held to the same group bounds, so a scenario
+		// that skews groups past GroupMax FAILs static and only the adaptive
+		// scheme (which can split) converges back inside them.
+		ac := core.AdaptiveDefaults()
+		opts.GroupBounds = [2]int{ac.GroupMin, ac.GroupMax}
+		opts.FaultEnd = c.Eng.Now() + sc.End()
+	}
+	aud := invariant.New(c.Eng, c.Top, auditNodes(c.Nodes), opts)
 	if fed != nil {
 		aud.AttachFederation(fed.Federation())
 	}
@@ -211,6 +239,14 @@ func RunScenario(scheme Scheme, sc *chaos.Scenario, o ChaosOptions, seed int64) 
 	rep := c.Observe()
 	rep.Invariants = aud.Results()
 	rep.ViewChanges, rep.SpuriousEvictions = aud.Stability()
+	if opts.GroupBounds[1] > 0 {
+		for _, inst := range c.Nodes {
+			if r, ok := inst.(interface{ Reformations() uint64 }); ok {
+				rep.Reformations += r.Reformations()
+			}
+		}
+		rep.Converged, rep.ConvergedIn = aud.ReformConvergence()
+	}
 	return rep
 }
 
@@ -259,6 +295,9 @@ func ChaosMatrix(o ChaosOptions) []ChaosResult {
 				Pass:              rep.TotalViolations() == 0,
 				ViewChanges:       rep.ViewChanges,
 				SpuriousEvictions: rep.SpuriousEvictions,
+				Reformations:      rep.Reformations,
+				Converged:         rep.Converged,
+				ConvergedIn:       rep.ConvergedIn,
 				Invariants:        rep.Invariants,
 			})
 		}
@@ -278,7 +317,7 @@ func RenderChaosMatrix(results []ChaosResult) string {
 			invNames = append(invNames, inv.Name)
 		}
 	}
-	fmt.Fprintf(&b, "%-18s %-18s %-8s %6s %8s", "scenario", "scheme", "verdict", "views", "spurious")
+	fmt.Fprintf(&b, "%-18s %-21s %-8s %6s %8s %7s %9s", "scenario", "scheme", "verdict", "views", "spurious", "reforms", "converge")
 	for _, name := range invNames {
 		fmt.Fprintf(&b, " %14s", name)
 	}
@@ -288,7 +327,16 @@ func RenderChaosMatrix(results []ChaosResult) string {
 		if !r.Pass {
 			verdict = "FAIL"
 		}
-		fmt.Fprintf(&b, "%-18s %-18s %-8s %6d %8d", r.Scenario, r.Scheme, verdict, r.ViewChanges, r.SpuriousEvictions)
+		// The converge column reads "-" for unaudited cells, a duration for
+		// cells that re-converged after the last fault, and "never" for
+		// armed cells that did not.
+		conv := "-"
+		if r.Converged {
+			conv = r.ConvergedIn.Round(time.Second).String()
+		} else if r.Scheme == Hierarchical.String() || r.Scheme == HierarchicalAdaptive.String() {
+			conv = "never"
+		}
+		fmt.Fprintf(&b, "%-18s %-21s %-8s %6d %8d %7d %9s", r.Scenario, r.Scheme, verdict, r.ViewChanges, r.SpuriousEvictions, r.Reformations, conv)
 		for _, inv := range r.Invariants {
 			fmt.Fprintf(&b, " %14s", fmt.Sprintf("%d/%d", inv.Violations, inv.Checks))
 		}

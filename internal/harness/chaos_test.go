@@ -16,9 +16,11 @@ func TestChaosDeterminism(t *testing.T) {
 		o := DefaultChaosOptions()
 		// bit-rot and one-way-wan are here to pin the adversarial fault
 		// layer's determinism: byte-level corruption draws and directional
-		// profiles must replay identically at any worker count.
+		// profiles must replay identically at any worker count; hot-leader
+		// and skew-groups pin the adaptive machinery (load reports, shed
+		// handoffs, split rounds, topology re-homing) the same way.
 		o.Scenarios = []string{"kill-restart", "partition-heal", "flapping", "switch-outage",
-			"proxy-failover", "bit-rot", "one-way-wan"}
+			"proxy-failover", "bit-rot", "one-way-wan", "hot-leader", "skew-groups"}
 		o.Sweep = Sweep{Workers: workers}
 		return RenderChaosMatrix(ChaosMatrix(o))
 	}
@@ -31,7 +33,7 @@ func TestChaosDeterminism(t *testing.T) {
 		t.Fatalf("chaos matrix differs between two serial invocations:\n--- first ---\n%s--- second ---\n%s", serial, again)
 	}
 	if !strings.Contains(serial, "kill-restart") || !strings.Contains(serial, "hierarchical+proxy") ||
-		strings.Count(serial, "\n") != 2+7*len(ChaosSchemes) {
+		strings.Count(serial, "\n") != 2+9*len(ChaosSchemes) {
 		t.Fatalf("unexpected matrix shape:\n%s", serial)
 	}
 }

@@ -29,6 +29,14 @@ const (
 	Hierarchical
 	HierarchicalProxy
 	Rapid
+	// HierarchicalAdaptive is the self-organizing variant of the
+	// hierarchical scheme (docs/ADAPTIVE.md): leader load shedding,
+	// group split/merge re-formation, and diameter bounding.
+	HierarchicalAdaptive
+	// RapidDC is rapid with the topology-aware monitoring overlay
+	// (Config.DCOf): ring 0 stays DC-local so WAN faults cannot be
+	// mistaken for the death of every remote subject.
+	RapidDC
 )
 
 func (s Scheme) String() string {
@@ -43,6 +51,10 @@ func (s Scheme) String() string {
 		return "hierarchical+proxy"
 	case Rapid:
 		return "rapid"
+	case HierarchicalAdaptive:
+		return "hierarchical+adaptive"
+	case RapidDC:
+		return "rapid+dc"
 	}
 	return fmt.Sprintf("scheme(%d)", int(s))
 }
@@ -54,8 +66,17 @@ func (s Scheme) String() string {
 var Schemes = []Scheme{AllToAll, Gossip, Hierarchical}
 
 // ChaosSchemes is the chaos matrix's column set: the three compared schemes,
-// the federated hierarchical+proxy stack, and rapid.
-var ChaosSchemes = []Scheme{AllToAll, Gossip, Hierarchical, HierarchicalProxy, Rapid}
+// the federated hierarchical+proxy stack, rapid, the self-organizing
+// adaptive hierarchy, and rapid with the DC-aware overlay.
+var ChaosSchemes = []Scheme{AllToAll, Gossip, Hierarchical, HierarchicalProxy, Rapid, HierarchicalAdaptive, RapidDC}
+
+// TrafficSchemes is the traffic matrix's column set. It deliberately stays
+// at the pre-adaptive five: the traffic tables are a user-level comparison
+// of the baseline schemes, and the measurement window is the slowest
+// scheme's settle bound — adding the adaptive scheme would stretch every
+// cell's window and perturb all committed numbers. The adaptive traffic
+// story is told by the hedging ablation instead.
+var TrafficSchemes = []Scheme{AllToAll, Gossip, Hierarchical, HierarchicalProxy, Rapid}
 
 // Instance is the common surface of the three protocol nodes.
 type Instance interface {
@@ -157,14 +178,24 @@ func NewCluster(scheme Scheme, top *topology.Topology, seed int64) *Cluster {
 		for h := 0; h < n; h++ {
 			c.Nodes = append(c.Nodes, core.NewNode(cfg, net.Endpoint(topology.HostID(h))))
 		}
-	case Rapid:
+	case Rapid, RapidDC:
 		cfg := rapid.DefaultConfig()
 		cfg.HeartbeatPad = pad
+		if scheme == RapidDC {
+			cfg.DCOf = func(id membership.NodeID) int { return top.HostDC(topology.HostID(id)) }
+		}
 		for h := 0; h < n; h++ {
 			cfg.Seeds = append(cfg.Seeds, membership.NodeID(h))
 		}
 		for h := 0; h < n; h++ {
 			c.Nodes = append(c.Nodes, rapid.NewNode(cfg, net.Endpoint(topology.HostID(h))))
+		}
+	case HierarchicalAdaptive:
+		cfg := core.AdaptiveDefaults()
+		cfg.MaxTTL = diameter
+		cfg.HeartbeatPad = pad
+		for h := 0; h < n; h++ {
+			c.Nodes = append(c.Nodes, core.NewNode(cfg, net.Endpoint(topology.HostID(h))))
 		}
 	default:
 		panic("harness: unknown scheme")

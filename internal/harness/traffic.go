@@ -43,7 +43,13 @@ type TrafficOptions struct {
 	// fallback. Cell keys gain a "+dclocal" suffix so the variant never
 	// collides with the default matrix in diffs or seed derivation.
 	DCLocal bool
-	Sweep   Sweep
+	// HedgeAfter, when positive, turns on request hedging for every session
+	// (traffic.Options.HedgeAfter): a pinned request still unresolved after
+	// this long sends a duplicate leg to a second replica. Zero (the
+	// default) keeps the committed matrices un-hedged; the hedging ablation
+	// sets it per variant.
+	HedgeAfter time.Duration
+	Sweep      Sweep
 }
 
 // DefaultTrafficOptions mirrors the chaos matrix shape (3 groups of 8) with
@@ -84,7 +90,7 @@ const trafficAppName = "app"
 // runs for the same virtual duration.
 func trafficSettle(n int) time.Duration {
 	var max time.Duration
-	for _, s := range ChaosSchemes {
+	for _, s := range TrafficSchemes {
 		if d := ChaosSettle(s, n); d > max {
 			max = d
 		}
@@ -176,6 +182,7 @@ func RunTrafficScenario(scheme Scheme, sc *chaos.Scenario, o TrafficOptions, see
 	topt.Service = trafficAppName
 	topt.Sessions = o.Sessions
 	topt.Partitions = o.Partitions
+	topt.HedgeAfter = o.HedgeAfter
 	if o.DCLocal {
 		topt.Local = func(gw int, id membership.NodeID) bool {
 			return c.Top.HostDC(topology.HostID(gw)) == c.Top.HostDC(topology.HostID(id))
@@ -215,8 +222,8 @@ func TrafficMatrix(o TrafficOptions) []TrafficResult {
 	pool := NewPool(o.Sweep, o.Seed)
 	reports := make([][]metrics.RunReport, len(scenarios))
 	for si, sc := range scenarios {
-		reports[si] = make([]metrics.RunReport, len(ChaosSchemes))
-		for hi, scheme := range ChaosSchemes {
+		reports[si] = make([]metrics.RunReport, len(TrafficSchemes))
+		for hi, scheme := range TrafficSchemes {
 			si, hi, sc, scheme := si, hi, sc, scheme
 			key := fmt.Sprintf("traffic/%s/%s", sc.Name, scheme)
 			if o.DCLocal {
@@ -237,7 +244,7 @@ func TrafficMatrix(o TrafficOptions) []TrafficResult {
 		if o.DCLocal {
 			name += "+dclocal"
 		}
-		for hi, scheme := range ChaosSchemes {
+		for hi, scheme := range TrafficSchemes {
 			rep := reports[si][hi]
 			out = append(out, TrafficResult{
 				Scenario: name,
@@ -263,6 +270,92 @@ func RenderTrafficMatrix(results []TrafficResult) string {
 		fmt.Fprintf(&b, "%-18s %-18s %9d %9d %8d %8d %7d %5d %10v %9v %9v %9v\n",
 			r.Scenario, r.Scheme, t.Requests, t.OK, t.Misrouted, t.Timeouts, t.Unavailable,
 			t.Migrations, t.MigP99.Round(time.Millisecond),
+			t.ReqP50.Round(time.Millisecond), t.ReqP99.Round(time.Millisecond),
+			t.ReqP999.Round(time.Millisecond))
+	}
+	return b.String()
+}
+
+// TrafficHedgeAfter is the hedging ablation's hedge delay: a quarter of
+// the 2s client timeout, long enough that a healthy replica (sub-100ms
+// RTT) never triggers it and short enough that a gray or limping replica
+// loses the race well before the session would time out and migrate.
+const TrafficHedgeAfter = 500 * time.Millisecond
+
+// TrafficHedgeScenarioNames is the ablation's scenario subset: the two
+// timelines where a replica stays alive but slow — exactly the failure
+// mode hedging is for. (Dead-replica scenarios are uninteresting here:
+// the request fails fast and the session migrates with or without a
+// hedge.)
+var TrafficHedgeScenarioNames = []string{"limping-leader", "gray-node"}
+
+// TrafficHedgeMatrix runs the hedging ablation: each slow-replica
+// scenario on every scheme, once un-hedged and once with hedging at
+// TrafficHedgeAfter, in adjacent rows. Cell keys carry the variant suffix
+// so seeds and diffs never collide with the main matrix.
+func TrafficHedgeMatrix(o TrafficOptions) []TrafficResult {
+	if len(o.Scenarios) == 0 {
+		o.Scenarios = TrafficHedgeScenarioNames
+	}
+	scenarios := o.scenarios()
+	variants := []struct {
+		suffix string
+		hedge  time.Duration
+	}{
+		{"+unhedged", 0},
+		{"+hedged", TrafficHedgeAfter},
+	}
+	pool := NewPool(o.Sweep, o.Seed)
+	reports := make([][][]metrics.RunReport, len(scenarios))
+	for si, sc := range scenarios {
+		reports[si] = make([][]metrics.RunReport, len(variants))
+		for vi, v := range variants {
+			reports[si][vi] = make([]metrics.RunReport, len(TrafficSchemes))
+			for hi, scheme := range TrafficSchemes {
+				si, vi, hi, sc, scheme := si, vi, hi, sc, scheme
+				vo := o
+				vo.HedgeAfter = v.hedge
+				key := fmt.Sprintf("traffic-hedge/%s/%s%s", sc.Name, scheme, v.suffix)
+				pool.Go(key, func(seed int64) metrics.RunReport {
+					rep := RunTrafficScenario(scheme, sc, vo, seed)
+					reports[si][vi][hi] = rep
+					return rep
+				})
+			}
+		}
+	}
+	pool.Wait()
+
+	var out []TrafficResult
+	for si, sc := range scenarios {
+		for vi, v := range variants {
+			for hi, scheme := range TrafficSchemes {
+				rep := reports[si][vi][hi]
+				out = append(out, TrafficResult{
+					Scenario: sc.Name + v.suffix,
+					Scheme:   scheme.String(),
+					Traffic:  *rep.Traffic,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// RenderTrafficHedgeMatrix renders the ablation table: the standard
+// user-level columns plus the hedge counters that price HedgeAfter —
+// how many duplicate legs were sent and how many resolved the request.
+func RenderTrafficHedgeMatrix(results []TrafficResult) string {
+	var b strings.Builder
+	b.WriteString("# Traffic hedging ablation: slow-replica timelines, hedged vs un-hedged\n")
+	fmt.Fprintf(&b, "%-24s %-18s %9s %9s %8s %7s %5s %7s %6s %9s %9s %9s\n",
+		"scenario", "scheme", "requests", "ok", "timeout", "unavail", "migr",
+		"hedged", "wins", "req-p50", "req-p99", "req-p999")
+	for _, r := range results {
+		t := r.Traffic
+		fmt.Fprintf(&b, "%-24s %-18s %9d %9d %8d %7d %5d %7d %6d %9v %9v %9v\n",
+			r.Scenario, r.Scheme, t.Requests, t.OK, t.Timeouts, t.Unavailable,
+			t.Migrations, t.HedgedRequests, t.HedgeWins,
 			t.ReqP50.Round(time.Millisecond), t.ReqP99.Round(time.Millisecond),
 			t.ReqP999.Round(time.Millisecond))
 	}

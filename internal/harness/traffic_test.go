@@ -34,7 +34,7 @@ func TestTrafficDeterminism(t *testing.T) {
 		t.Fatalf("traffic matrix differs between two serial invocations:\n--- first ---\n%s--- second ---\n%s", serial, again)
 	}
 	if !strings.Contains(serial, "group-outage") || !strings.Contains(serial, "hierarchical+proxy") ||
-		strings.Count(serial, "\n") != 2+3*len(ChaosSchemes) {
+		strings.Count(serial, "\n") != 2+3*len(TrafficSchemes) {
 		t.Fatalf("unexpected matrix shape:\n%s", serial)
 	}
 }
@@ -51,7 +51,7 @@ func TestTrafficStaleDirectoryCostsUsers(t *testing.T) {
 	for _, r := range TrafficMatrix(o) {
 		byCell[r.Scenario+"/"+r.Scheme] = r
 	}
-	for _, scheme := range ChaosSchemes {
+	for _, scheme := range TrafficSchemes {
 		steady := byCell["steady/"+scheme.String()].Traffic
 		if steady.Requests == 0 || steady.OK != steady.Requests {
 			t.Errorf("%s steady: ok=%d of %d requests", scheme, steady.OK, steady.Requests)

@@ -2,6 +2,7 @@ package invariant
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -62,6 +63,19 @@ type Options struct {
 	// Parsim runs install a shared connectivity snapshot here, refreshed
 	// at window boundaries where it is race-free by construction.
 	Reach func(x, y topology.HostID) bool
+	// GroupBounds arms the re-formation convergence check
+	// (docs/ADAPTIVE.md): after Deadline, every protocol-level group —
+	// hosts sharing a current TTL-1 scope, refined by the level-0 channel
+	// each node reports — must hold a live size within [GroupBounds[0],
+	// GroupBounds[1]] and have exactly one leader claimant. The lower
+	// bound applies only to split-off groups (the ones a merge can fix).
+	// A zero upper bound leaves the check disarmed; schemes whose nodes
+	// expose no Level0Channel probe report it 0/0.
+	GroupBounds [2]int
+	// FaultEnd is the absolute virtual time of the scenario's last fault;
+	// from it on the auditor tracks the first instant the re-formation
+	// condition held and stayed held (ReformConvergence).
+	FaultEnd time.Duration
 }
 
 // Invariant names, in report order. The federation invariants
@@ -77,12 +91,14 @@ const (
 	invSummaryFresh
 	invSummaryTruth
 	invVIPUnique
+	invReformConverge
 	numInvariants
 )
 
 var invNames = [numInvariants]string{
 	"completeness", "no-phantoms", "leader-unique", "seq-monotone",
 	"flap-freedom", "summary-fresh", "summary-truth", "vip-unique",
+	"reform-converge",
 }
 
 const maxExamples = 3
@@ -156,6 +172,11 @@ type Auditor struct {
 	spurious    uint64
 	flaps       [][]uint8
 
+	// convergedAt is the first instant after Options.FaultEnd at which the
+	// re-formation condition held and has held ever since (-1 while it has
+	// not, or not yet).
+	convergedAt time.Duration
+
 	invs [numInvariants]inv
 }
 
@@ -209,6 +230,7 @@ func New(eng *sim.Engine, top *topology.Topology, nodes []Node, o Options) *Audi
 	for i := range a.invs {
 		a.invs[i].first = -1
 	}
+	a.convergedAt = -1
 	a.dc = make([]int, n)
 	for i := range a.dc {
 		a.dc[i] = top.HostDC(topology.HostID(i))
@@ -320,6 +342,7 @@ func (a *Auditor) sample() {
 	a.checkCompleteness(now)
 	a.checkPhantomsAndSeq(now)
 	a.checkLeaders(now)
+	a.checkReform(now)
 	a.checkFederation(now)
 }
 
@@ -549,6 +572,127 @@ func (a *Auditor) checkLeaders(now time.Duration) {
 			}
 		}
 	}
+}
+
+// level0Channeler is the probe the re-formation check partitions groups
+// by: the channel a node's level-0 membership currently lives on (it moves
+// when the group splits or merges). level0Parenter marks split-off groups,
+// the only ones the merge machinery — and hence the lower bound — applies
+// to.
+type level0Channeler interface{ Level0Channel() int }
+type level0Parenter interface{ Level0Parent() int }
+
+// checkReform audits the self-organizing hierarchy's convergence contract:
+// bounded live group sizes and exactly one leader claimant per
+// protocol-level group. Pre-deadline samples only feed the convergence
+// clock; post-deadline failures are violations.
+func (a *Auditor) checkReform(now time.Duration) {
+	if a.o.GroupBounds[1] <= 0 {
+		return
+	}
+	ok, detail := a.reformState()
+	if ok && detail == "" {
+		// No audited node exposes the probe: the scheme has no adaptive
+		// hierarchy, so the invariant reports 0/0 like the federation set.
+		return
+	}
+	if now >= a.o.FaultEnd {
+		if ok {
+			if a.convergedAt < 0 {
+				a.convergedAt = now
+			}
+		} else {
+			a.convergedAt = -1
+		}
+	}
+	if now < a.o.Deadline {
+		return
+	}
+	v := &a.invs[invReformConverge]
+	v.checks++
+	if !ok {
+		v.violate(now, "%s", detail)
+	}
+}
+
+// reformState evaluates the condition once. It returns ok=true with an
+// empty detail when no node exposes the probe, ok=true with detail "ok"
+// when the condition holds, and ok=false with the first offending group
+// otherwise.
+func (a *Auditor) reformState() (bool, string) {
+	probed := false
+	for _, scope := range a.top.Level0Groups() {
+		// Partition the physical TTL-1 scope by reported level-0 channel:
+		// co-located hosts on different channels are different protocol
+		// groups after a split.
+		byChan := make(map[int][]int)
+		var chans []int
+		for _, h := range scope {
+			i := int(h)
+			if i >= len(a.nodes) || !a.nodes[i].Running() {
+				continue
+			}
+			c, okc := a.nodes[i].(level0Channeler)
+			if !okc {
+				continue
+			}
+			probed = true
+			ch := c.Level0Channel()
+			if _, seen := byChan[ch]; !seen {
+				chans = append(chans, ch)
+			}
+			byChan[ch] = append(byChan[ch], i)
+		}
+		sort.Ints(chans)
+		for _, ch := range chans {
+			members := byChan[ch]
+			if len(members) > a.o.GroupBounds[1] {
+				return false, fmt.Sprintf("group on channel %d has %d live members (max %d)",
+					ch, len(members), a.o.GroupBounds[1])
+			}
+			if len(members) < a.o.GroupBounds[0] {
+				// The lower bound binds only split-off groups; an original
+				// group whittled down by kills has no parent to merge into.
+				split := false
+				for _, i := range members {
+					if p, okp := a.nodes[i].(level0Parenter); okp && p.Level0Parent() != 0 {
+						split = true
+						break
+					}
+				}
+				if split {
+					return false, fmt.Sprintf("split-off group on channel %d has %d live members (min %d)",
+						ch, len(members), a.o.GroupBounds[0])
+				}
+			}
+			claimants := 0
+			for _, i := range members {
+				if l, okl := a.nodes[i].(interface{ IsLeader(level int) bool }); okl && l.IsLeader(0) {
+					claimants++
+				}
+			}
+			if claimants != 1 {
+				return false, fmt.Sprintf("group on channel %d has %d leader claimants",
+					ch, claimants)
+			}
+		}
+	}
+	if !probed {
+		return true, ""
+	}
+	return true, "ok"
+}
+
+// ReformConvergence reports whether the hierarchy was back inside the
+// re-formation contract at the end of the run (having stayed there since
+// some instant after the last fault), and how long after the last fault
+// that instant came. Meaningful only when Options.GroupBounds armed the
+// check.
+func (a *Auditor) ReformConvergence() (bool, time.Duration) {
+	if a.convergedAt < 0 {
+		return false, 0
+	}
+	return true, a.convergedAt - a.o.FaultEnd
 }
 
 // Results returns per-invariant verdicts in fixed order, suitable for

@@ -64,10 +64,11 @@ func TestChaosAuditAllCleanWhenConverged(t *testing.T) {
 	a.Start()
 	eng.Run(20 * time.Second)
 	// The federation invariants are inert without an attached Federation,
-	// and flap-freedom only checks event-driven leave events; all of them
+	// flap-freedom only checks event-driven leave events, and
+	// reform-converge is disarmed without Options.GroupBounds; all of them
 	// legitimately report zero checks here.
 	fedOnly := map[string]bool{"summary-fresh": true, "summary-truth": true,
-		"vip-unique": true, "flap-freedom": true}
+		"vip-unique": true, "flap-freedom": true, "reform-converge": true}
 	for _, r := range a.Results() {
 		if r.Violations != 0 {
 			t.Fatalf("%s: %d violations on a clean cluster\n%s", r.Name, r.Violations, a.Report())

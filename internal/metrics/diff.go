@@ -59,6 +59,9 @@ type chaosVerdict struct {
 	Scheme            string `json:"scheme"`
 	Pass              bool   `json:"pass"`
 	SpuriousEvictions uint64 `json:"spurious_evictions"`
+	// Converged is the adaptive-hierarchy convergence verdict; cells
+	// written before the field existed decode to false and stay inert.
+	Converged bool `json:"converged"`
 }
 
 func chaosVerdicts(results any) map[string]chaosVerdict {
@@ -156,6 +159,12 @@ func CompareBench(oldB, newB BenchJSON, o DiffOptions) []Regression {
 		if oc.SpuriousEvictions == 0 && nc.SpuriousEvictions > 0 {
 			regs = append(regs, Regression{Key: cell, What: fmt.Sprintf(
 				"spurious evictions 0 -> %d", nc.SpuriousEvictions)})
+		}
+		// An adaptive cell that used to re-converge after the last fault and
+		// no longer does is a robustness regression even if no invariant
+		// fires inside the run window.
+		if oc.Converged && !nc.Converged {
+			regs = append(regs, Regression{Key: cell, What: "re-formation converged -> not converged"})
 		}
 	}
 	oldTraffic := trafficOutcomes(oldB.Results)

@@ -53,6 +53,17 @@ type RunReport struct {
 	ViewChanges       uint64 `json:"view_changes,omitempty"`
 	SpuriousEvictions uint64 `json:"spurious_evictions,omitempty"`
 
+	// Self-organizing hierarchy outcomes (docs/ADAPTIVE.md), present only
+	// on audited runs whose scheme exposes them. Reformations sums the
+	// re-formation actions (handoffs aside: initiated split/merge rounds
+	// plus channel moves) across the cluster; Converged reports whether the
+	// auditor saw the hierarchy back inside its group bounds with unique
+	// leaders after the last fault, and ConvergedIn how long after that
+	// fault it got there and stayed.
+	Reformations uint64        `json:"reformations,omitempty"`
+	Converged    bool          `json:"converged,omitempty"`
+	ConvergedIn  time.Duration `json:"converged_in_ns,omitempty"`
+
 	// Traffic holds user-level outcomes when the run drove client sessions
 	// (the traffic matrix); nil otherwise.
 	Traffic *TrafficStats `json:"traffic,omitempty"`

@@ -336,6 +336,56 @@ func (t *Topology) RepairLink(a, b DeviceID) {
 	}
 }
 
+// RehomeHost rewires host h's single access link onto device `to`
+// (typically another group's switch) — a re-cabling or port-VLAN move that
+// skews the TTL-scoped group partition without failing anything. The
+// access link keeps its latency and WAN flag. This is the one permitted
+// post-Build graph mutation; the epoch bump invalidates every cached
+// scope, distance, and delivery fan-out exactly like a failure does.
+func (t *Topology) RehomeHost(h HostID, to DeviceID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	hd := t.hosts[h]
+	if t.devices[to].Kind == KindHost {
+		panic("topology: RehomeHost target must be a switch or router")
+	}
+	idx := -1
+	for i, l := range t.links {
+		if l.A == hd || l.B == hd {
+			if idx >= 0 {
+				panic("topology: RehomeHost requires a single-homed host")
+			}
+			idx = i
+		}
+	}
+	if idx < 0 {
+		panic("topology: host has no access link")
+	}
+	old := t.links[idx]
+	prev := old.A
+	if prev == hd {
+		prev = old.B
+	}
+	if prev == to {
+		return
+	}
+	t.links[idx] = Link{A: hd, B: to, Latency: old.Latency, WAN: old.WAN}
+	for i := range t.adj[hd] {
+		if t.adj[hd][i].to == prev {
+			t.adj[hd][i].to = to
+		}
+	}
+	edges := t.adj[prev][:0]
+	for _, e := range t.adj[prev] {
+		if e.to != hd {
+			edges = append(edges, e)
+		}
+	}
+	t.adj[prev] = edges
+	t.adj[to] = append(t.adj[to], halfEdge{from: to, to: hd, latency: old.Latency, wan: old.WAN})
+	t.epoch++
+}
+
 // linkFailed must be called with t.mu held.
 func (t *Topology) linkFailed(a, b DeviceID) bool {
 	if len(t.failedLinks) == 0 {

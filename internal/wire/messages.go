@@ -70,6 +70,13 @@ const (
 	// eviction set, and members veto any evictee they can still hear.
 	TRapidPropose
 	TRapidVote
+	// THandoff / TReform are the adaptive-hierarchy control messages
+	// (docs/ADAPTIVE.md): an overloaded leader's abdication directive naming
+	// the least-loaded successor, and the epoch-guarded re-formation round
+	// that moves a cohort of members onto a different level-0 channel when a
+	// group's live size drifts outside its configured bounds.
+	THandoff
+	TReform
 )
 
 func (t Type) String() string {
@@ -77,7 +84,8 @@ func (t Type) String() string {
 		"syncreq", "gossip", "proxysummary", "proxyupdate", "svcreq", "svcreply",
 		"loadpoll", "loadreply", "loadreport", "dirquery", "dirmatches",
 		"rapidbeat", "rapidinfo", "rapidalert", "rapidjoin", "rapidview",
-		"rapidprobe", "rapidprobeack", "rapidsync", "rapidpropose", "rapidvote"}
+		"rapidprobe", "rapidprobeack", "rapidsync", "rapidpropose", "rapidvote",
+		"handoff", "reform"}
 	if int(t) < len(names) {
 		return names[t]
 	}
@@ -202,6 +210,10 @@ func Decode(b []byte) (Message, error) {
 		m = decRapidPropose(r)
 	case TRapidVote:
 		m = decRapidVote(r)
+	case THandoff:
+		m = decHandoff(r)
+	case TReform:
+		m = decReform(r)
 	default:
 		return nil, fmt.Errorf("wire: unknown packet type %d", uint8(t))
 	}
@@ -1163,4 +1175,75 @@ func decRapidVote(r *reader) *RapidVote {
 		v.Alive = append(v.Alive, membership.NodeID(r.i32()))
 	}
 	return v
+}
+
+// ---- adaptive hierarchy (docs/ADAPTIVE.md) ----
+
+// Handoff is an overloaded leader's abdication directive: the sender gives
+// up leadership of Level and names the least-loaded eligible member as its
+// successor. Seq orders handoffs from one sender at one level so a
+// replayed or reordered datagram cannot re-install a stale successor.
+type Handoff struct {
+	From      membership.NodeID
+	Level     uint8
+	Seq       uint64
+	Successor membership.NodeID
+}
+
+func (*Handoff) wireType() Type { return THandoff }
+
+func (h *Handoff) enc(w *writer) {
+	w.i32(int32(h.From))
+	w.u8(h.Level)
+	w.u64(h.Seq)
+	w.i32(int32(h.Successor))
+}
+
+func decHandoff(r *reader) *Handoff {
+	return &Handoff{
+		From:      membership.NodeID(r.i32()),
+		Level:     r.u8(),
+		Seq:       r.u64(),
+		Successor: membership.NodeID(r.i32()),
+	}
+}
+
+// Reform is one group re-formation round: the initiating level-0 leader
+// directs the listed movers onto a different level-0 channel — the upper
+// half of an oversized group onto a fresh channel (split), or the whole of
+// an undersized split-off group back onto its parent channel (merge).
+// Epoch is monotone per group; receivers ignore rounds at or below the
+// last epoch they acted on, so retransmissions and replays are idempotent.
+type Reform struct {
+	From       membership.NodeID
+	Epoch      uint64
+	NewChannel uint32
+	Movers     []membership.NodeID // ascending
+}
+
+func (*Reform) wireType() Type { return TReform }
+
+func (f *Reform) enc(w *writer) {
+	w.i32(int32(f.From))
+	w.u64(f.Epoch)
+	w.u32(f.NewChannel)
+	w.u32(uint32(len(f.Movers)))
+	for _, m := range f.Movers {
+		w.i32(int32(m))
+	}
+}
+
+func decReform(r *reader) *Reform {
+	f := &Reform{}
+	f.From = membership.NodeID(r.i32())
+	f.Epoch = r.u64()
+	f.NewChannel = r.u32()
+	n := r.sliceLen()
+	if n > 0 {
+		f.Movers = make([]membership.NodeID, 0, n)
+	}
+	for i := 0; i < n && r.err == nil; i++ {
+		f.Movers = append(f.Movers, membership.NodeID(r.i32()))
+	}
+	return f
 }
